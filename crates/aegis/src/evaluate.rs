@@ -1,0 +1,549 @@
+//! End-to-end attack/defense evaluation: the machinery behind the
+//! paper's case studies (Section III) and defense evaluation (Section
+//! VIII). Used by the examples and the experiment harness.
+
+use crate::pipeline::DefenseDeployment;
+use aegis_attack::{
+    ctc_collapse, layer_match_accuracy, trace_features, Dataset, EpochStats, GaussianNb,
+    Standardizer, TrainConfig, TrainingCurve,
+};
+use aegis_microarch::{EventId, OriginFilter};
+use aegis_sev::{Host, HostError, PlanSource, VmId};
+use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Trace-collection settings for attack datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectConfig {
+    /// Monitored traces per secret.
+    pub traces_per_secret: usize,
+    /// Monitoring window (≤ the app's window).
+    pub window_ns: u64,
+    /// Sampling interval (the paper's attacker uses 1 ms).
+    pub interval_ns: u64,
+    /// Average-pooling factor applied to each event row before learning.
+    pub pool: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// When true, the injected noise stream is seeded by the *secret*
+    /// only, so every execution of the same secret carries the identical
+    /// noise — the paper's Section IX-B countermeasure against attackers
+    /// who average multiple traces.
+    pub per_secret_noise: bool,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            traces_per_secret: 12,
+            window_ns: 500_000_000,
+            interval_ns: 1_000_000,
+            pool: 10,
+            seed: 7,
+            per_secret_noise: false,
+        }
+    }
+}
+
+/// Collects a labeled HPC-trace dataset of `app` running in `vm`, as
+/// observed by the *host* (the attacker's view: every counter on the
+/// guest's core, app and injected noise indistinguishable).
+///
+/// With `defense` set, a fresh obfuscator is deployed per trace.
+///
+/// # Errors
+///
+/// Returns [`HostError`] for invalid ids.
+pub fn collect_dataset(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    cfg: &CollectConfig,
+    defense: Option<&DefenseDeployment>,
+) -> Result<Dataset, HostError> {
+    let core_idx = host.core_of(vm, vcpu)?;
+    let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc011_ec70);
+    for secret in 0..app.n_secrets() {
+        for rep in 0..cfg.traces_per_secret {
+            let plan = app.sample_plan(secret, &mut rng);
+            host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
+            match defense {
+                Some(d) => {
+                    let seed = if cfg.per_secret_noise {
+                        cfg.seed ^ (secret as u64) << 20
+                    } else {
+                        cfg.seed ^ (secret as u64) << 20 ^ rep as u64
+                    };
+                    d.deploy(host, vm, vcpu, seed)?;
+                }
+                None => host.detach_injector(vm, vcpu)?,
+            }
+            let trace = host
+                .record_trace(
+                    core_idx,
+                    events.to_vec(),
+                    OriginFilter::Any,
+                    cfg.interval_ns,
+                    cfg.window_ns.min(app.window_ns()),
+                )
+                .expect("attack events exist in the catalog");
+            ds.push(trace_features(&trace, cfg.pool), secret);
+        }
+    }
+    host.detach_injector(vm, vcpu)?;
+    Ok(ds)
+}
+
+/// A trained classification attacker (WFA/KSA): a Gaussian
+/// class-conditional model (the generative counterpart of the paper's
+/// CNN; see `aegis_attack::GaussianNb` for why) plus the feature
+/// standardizer fitted on its training data.
+#[derive(Debug, Clone)]
+pub struct ClassifierAttack {
+    model: GaussianNb,
+    standardizer: Standardizer,
+    /// Training curve (Fig. 1 material): the model refit on growing
+    /// training subsets, one increment per "epoch".
+    pub curve: TrainingCurve,
+}
+
+impl ClassifierAttack {
+    /// Trains on a clean (or noisy, for the robust attacker of Fig. 9b)
+    /// dataset with the paper's 70/30 train/validation split. The
+    /// `train_cfg.epochs` value sets the number of learning-curve
+    /// increments recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset` is empty.
+    pub fn train(dataset: &Dataset, train_cfg: TrainConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e0);
+        let (mut train, mut val) = dataset.split(0.7, &mut rng);
+        let standardizer = Standardizer::fit(&train.samples);
+        standardizer.apply_dataset(&mut train);
+        standardizer.apply_dataset(&mut val);
+        let (model, curve) = fit_with_curve(&train, &val, train_cfg.epochs.max(1));
+        ClassifierAttack {
+            model,
+            standardizer,
+            curve,
+        }
+    }
+
+    /// Accuracy on new traces (the online exploitation phase).
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        let mut ds = dataset.clone();
+        self.standardizer.apply_dataset(&mut ds);
+        self.model.accuracy(&ds)
+    }
+}
+
+/// One monitored inference run for the model extraction attack: per-slice
+/// features and the ground-truth layer sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeaRun {
+    /// Per-slice feature vectors.
+    pub slices: Vec<Vec<f64>>,
+    /// Ground-truth (uncollapsed) layer index per slice; `BLANK` = idle.
+    pub slice_labels: Vec<usize>,
+    /// Ground-truth layer sequence of the model.
+    pub truth: Vec<usize>,
+}
+
+/// The CTC blank symbol (idle / between inferences).
+pub const BLANK: usize = LayerKind::ALL.len();
+
+/// MEA collection settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeaConfig {
+    /// Monitored inference runs per model.
+    pub runs_per_model: usize,
+    /// Sampling interval.
+    pub interval_ns: u64,
+    /// Idle padding before/after the inference inside the window.
+    pub pad_ns: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MeaConfig {
+    fn default() -> Self {
+        MeaConfig {
+            runs_per_model: 6,
+            interval_ns: 1_000_000,
+            pad_ns: 20_000_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Collects model-extraction runs: each run is one padded inference pass
+/// of one zoo model with per-slice layer labels.
+///
+/// # Errors
+///
+/// Returns [`HostError`] for invalid ids.
+pub fn collect_mea_runs(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    zoo: &DnnZoo,
+    events: &[EventId],
+    cfg: &MeaConfig,
+    defense: Option<&DefenseDeployment>,
+) -> Result<Vec<(usize, MeaRun)>, HostError> {
+    let core_idx = host.core_of(vm, vcpu)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0e4a_0001);
+    let mut runs = Vec::new();
+    for model in 0..zoo.n_secrets() {
+        for rep in 0..cfg.runs_per_model {
+            let (pass, spans) = zoo.sample_inference(model, &mut rng);
+            // Pad the inference with idle so the attacker must segment it.
+            let mut plan = WorkloadPlan::new();
+            plan.push(Segment::new(cfg.pad_ns, aegis_workloads::idle_rate()));
+            let offset = cfg.pad_ns;
+            let inference_ns = pass.duration_ns();
+            plan.segments.extend(pass.segments);
+            plan.push(Segment::new(cfg.pad_ns, aegis_workloads::idle_rate()));
+            let total_ns = plan.duration_ns();
+
+            host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
+            match defense {
+                Some(d) => {
+                    let seed = cfg.seed ^ (model as u64) << 24 ^ rep as u64;
+                    d.deploy(host, vm, vcpu, seed)?;
+                }
+                None => host.detach_injector(vm, vcpu)?,
+            }
+            let trace = host
+                .record_trace(
+                    core_idx,
+                    events.to_vec(),
+                    OriginFilter::Any,
+                    cfg.interval_ns,
+                    total_ns,
+                )
+                .expect("attack events exist in the catalog");
+
+            // Per-slice features: the event values of the slice plus the
+            // delta to the previous slice (temporal context).
+            let t_len = trace.len();
+            let mut slices = Vec::with_capacity(t_len);
+            for t in 0..t_len {
+                let mut f = Vec::with_capacity(events.len() * 2);
+                for row in &trace.data {
+                    f.push(row[t]);
+                }
+                for row in &trace.data {
+                    f.push(if t == 0 { 0.0 } else { row[t] - row[t - 1] });
+                }
+                slices.push(f);
+            }
+            // Ground-truth labels per slice midpoint.
+            let slice_labels: Vec<usize> = (0..t_len)
+                .map(|t| {
+                    let mid = t as u64 * cfg.interval_ns + cfg.interval_ns / 2;
+                    if mid < offset || mid >= offset + inference_ns {
+                        return BLANK;
+                    }
+                    let rel = mid - offset;
+                    spans
+                        .iter()
+                        .find(|s| rel >= s.start_ns && rel < s.end_ns)
+                        .map_or(BLANK, |s| s.kind.index())
+                })
+                .collect();
+            let truth: Vec<usize> = zoo
+                .model(model)
+                .label_sequence()
+                .iter()
+                .map(|k| k.index())
+                .collect();
+            runs.push((
+                model,
+                MeaRun {
+                    slices,
+                    slice_labels,
+                    truth,
+                },
+            ));
+        }
+    }
+    host.detach_injector(vm, vcpu)?;
+    Ok(runs)
+}
+
+/// The sequence-extraction attacker: a per-slice layer classifier with
+/// CTC-style greedy decoding (the reproduction's stand-in for the paper's
+/// GRU + CTC model).
+#[derive(Debug, Clone)]
+pub struct MeaAttack {
+    model: GaussianNb,
+    standardizer: Standardizer,
+    /// Training curve of the slice classifier.
+    pub curve: TrainingCurve,
+}
+
+impl MeaAttack {
+    /// Trains the slice classifier on labeled runs (70/30 split at the
+    /// slice level). `train_cfg.epochs` sets the learning-curve
+    /// increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` contains no slices.
+    pub fn train(runs: &[(usize, MeaRun)], train_cfg: TrainConfig, seed: u64) -> Self {
+        let mut ds = Dataset::new(Vec::new(), Vec::new(), BLANK + 1);
+        for (_, run) in runs {
+            for (f, &l) in run.slices.iter().zip(&run.slice_labels) {
+                ds.push(f.clone(), l);
+            }
+        }
+        assert!(!ds.is_empty(), "no slices to train on");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e0a_11ce);
+        let (mut train, mut val) = ds.split(0.7, &mut rng);
+        let standardizer = Standardizer::fit(&train.samples);
+        standardizer.apply_dataset(&mut train);
+        standardizer.apply_dataset(&mut val);
+        let (model, curve) = fit_with_curve(&train, &val, train_cfg.epochs.max(1));
+        MeaAttack {
+            model,
+            standardizer,
+            curve,
+        }
+    }
+
+    /// Extracts the layer sequence of one run: per-slice prediction, a
+    /// width-3 majority smoothing pass, suppression of single-slice
+    /// blips (every real layer spans at least two sampling slices), then
+    /// CTC greedy collapse. Smoothing plays the role the paper's
+    /// recurrent model plays through its temporal context.
+    pub fn extract(&self, run: &MeaRun) -> Vec<usize> {
+        let raw: Vec<usize> = run
+            .slices
+            .iter()
+            .map(|f| {
+                let mut x = f.clone();
+                self.standardizer.apply(&mut x);
+                self.model.predict(&x)
+            })
+            .collect();
+        let n = raw.len();
+        let smoothed: Vec<usize> = (0..n)
+            .map(|t| {
+                if t == 0 || t + 1 == n {
+                    return raw[t];
+                }
+                // Majority of the 3-window; ties keep the center.
+                if raw[t - 1] == raw[t + 1] && raw[t - 1] != raw[t] {
+                    raw[t - 1]
+                } else {
+                    raw[t]
+                }
+            })
+            .collect();
+        // Drop runs of length 1: sampling at 1 ms cannot legitimately see
+        // a layer for a single slice given the layer-duration floor.
+        let mut filtered = Vec::with_capacity(n);
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && smoothed[j] == smoothed[i] {
+                j += 1;
+            }
+            if j - i >= 2 {
+                filtered.extend_from_slice(&smoothed[i..j]);
+            }
+            i = j;
+        }
+        ctc_collapse(&filtered, BLANK)
+    }
+
+    /// Mean layer-match accuracy over runs — the paper's MEA metric.
+    pub fn sequence_accuracy(&self, runs: &[(usize, MeaRun)]) -> f64 {
+        if runs.is_empty() {
+            return 0.0;
+        }
+        runs.iter()
+            .map(|(_, run)| layer_match_accuracy(&self.extract(run), &run.truth))
+            .sum::<f64>()
+            / runs.len() as f64
+    }
+}
+
+/// Fits a Gaussian class-conditional model on growing prefixes of the
+/// (already shuffled) training set, recording one curve point per
+/// increment — the reproduction's analogue of the paper's per-epoch
+/// training curves.
+fn fit_with_curve(
+    train: &Dataset,
+    val: &Dataset,
+    increments: usize,
+) -> (GaussianNb, TrainingCurve) {
+    let mut curve = TrainingCurve::new();
+    let mut model = GaussianNb::fit(train);
+    for e in 0..increments {
+        let n = ((train.len() * (e + 1)) / increments).max(1);
+        let sub = Dataset::new(
+            train.samples[..n].to_vec(),
+            train.labels[..n].to_vec(),
+            train.n_classes,
+        );
+        let m = GaussianNb::fit(&sub);
+        curve.push(EpochStats {
+            epoch: e,
+            train_loss: m.mean_nll(&sub),
+            train_acc: m.accuracy(&sub),
+            val_acc: m.accuracy(val),
+        });
+        if e + 1 == increments {
+            model = m;
+        }
+    }
+    (model, curve)
+}
+
+/// Latency and CPU-usage measurement of one app execution, with or
+/// without the defense (Fig. 10 material).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Wall (simulated) time to complete the app plan, nanoseconds.
+    pub latency_ns: u64,
+    /// VM CPU utilization over the run, in `[0, 1]`.
+    pub cpu_usage: f64,
+}
+
+/// Runs one app plan to completion and measures latency and CPU usage.
+///
+/// # Errors
+///
+/// Returns [`HostError`] for invalid ids, or if the app fails to finish
+/// within 10× its nominal duration.
+pub fn measure_app_run(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    plan: WorkloadPlan,
+    defense: Option<&DefenseDeployment>,
+    seed: u64,
+) -> Result<RunMeasurement, HostError> {
+    let nominal = plan.duration_ns();
+    host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
+    match defense {
+        Some(d) => d.deploy(host, vm, vcpu, seed)?,
+        None => host.detach_injector(vm, vcpu)?,
+    }
+    host.reset_vm_stats(vm)?;
+    let latency = host
+        .run_until_app_done(vm, vcpu, nominal.saturating_mul(10).max(1_000_000))?
+        .ok_or(HostError::UnknownVcpu(vm, vcpu))?;
+    let cpu = host.vm_cpu_usage(vm)?;
+    host.detach_injector(vm, vcpu)?;
+    Ok(RunMeasurement {
+        latency_ns: latency,
+        cpu_usage: cpu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MechanismChoice;
+    use aegis_microarch::MicroArch;
+    use aegis_obfuscator::{GadgetStack, ObfuscatorConfig};
+    use aegis_sev::SevMode;
+    use aegis_workloads::KeystrokeApp;
+
+    fn host_vm() -> (Host, VmId) {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        (host, vm)
+    }
+
+    fn quick_collect() -> CollectConfig {
+        CollectConfig {
+            traces_per_secret: 16,
+            window_ns: 300_000_000,
+            interval_ns: 2_000_000,
+            pool: 25,
+            seed: 7,
+            per_secret_noise: false,
+        }
+    }
+
+    fn test_deployment(host: &Host) -> DefenseDeployment {
+        use aegis_fuzzer::Gadget;
+        use aegis_isa::{IsaCatalog, Vendor, WellKnown};
+        let isa = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = aegis_microarch::Core::new(host.arch(), 9);
+        let stack = GadgetStack::calibrate(
+            &isa,
+            &mut core,
+            vec![Gadget::new(WellKnown::Clflush.id(), WellKnown::Load64.id())],
+            64,
+        );
+        DefenseDeployment {
+            stack,
+            mechanism: MechanismChoice::Laplace { epsilon: 0.25 },
+            obfuscator: ObfuscatorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn keystroke_attack_succeeds_clean_and_fails_defended() {
+        let (mut host, vm) = host_vm();
+        // A compressed keystroke window so the quick test's 300 ms
+        // monitoring window sees every burst.
+        let app = KeystrokeApp::with_window(300_000_000);
+        let core = host.core_of(vm, 0).unwrap();
+        let events = host.core(core).catalog().attack_events().to_vec();
+        let cfg = quick_collect();
+
+        let clean = collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+        assert_eq!(clean.len(), 10 * cfg.traces_per_secret);
+        let attack = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
+        let clean_acc = attack.curve.final_val_acc();
+        assert!(clean_acc > 0.8, "clean accuracy {clean_acc}");
+
+        // Defended victim traces.
+        let deployment = test_deployment(&host);
+        let mut victim_cfg = cfg;
+        victim_cfg.seed = 99;
+        let defended = collect_dataset(
+            &mut host,
+            vm,
+            0,
+            &app,
+            &events,
+            &victim_cfg,
+            Some(&deployment),
+        )
+        .unwrap();
+        let def_acc = attack.accuracy(&defended);
+        assert!(
+            def_acc < clean_acc * 0.6,
+            "defense must hurt the attack: clean {clean_acc} defended {def_acc}"
+        );
+    }
+
+    #[test]
+    fn measure_app_run_reports_overheads() {
+        let (mut host, vm) = host_vm();
+        let app = KeystrokeApp::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = app.sample_plan(5, &mut rng);
+        let base = measure_app_run(&mut host, vm, 0, plan.clone(), None, 1).unwrap();
+        let deployment = test_deployment(&host);
+        let defended = measure_app_run(&mut host, vm, 0, plan, Some(&deployment), 1).unwrap();
+        assert!(
+            defended.cpu_usage > base.cpu_usage,
+            "{defended:?} vs {base:?}"
+        );
+        assert!(defended.latency_ns >= base.latency_ns);
+    }
+}

@@ -1,0 +1,62 @@
+//! # aegis
+//!
+//! A reproduction of **Aegis** (DSN 2024): a unified framework protecting
+//! confidential VMs from Hardware Performance Counter side channels with
+//! provable differential-privacy guarantees and minimal overhead.
+//!
+//! Aegis has three modules, all reproduced here over a full simulated
+//! substrate (synthetic ISA, micro-architectural HPC simulator, SEV-style
+//! host, secret-dependent workloads, from-scratch ML attackers):
+//!
+//! 1. **Application Profiler** (offline) — warm-up profiling plus
+//!    mutual-information ranking of vulnerable HPC events;
+//! 2. **Event Fuzzer** (offline) — grammar-based fuzzing for instruction
+//!    gadgets that perturb those events, confirmed and reduced to a
+//!    minimum covering set;
+//! 3. **Event Obfuscator** (online) — in-guest injection of gadget noise
+//!    governed by the Laplace (ε-DP) or d* ((d*,2ε)-privacy) mechanism.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, MechanismChoice};
+//! use aegis::sev::{Host, SevMode};
+//! use aegis::microarch::MicroArch;
+//! use aegis::workloads::KeystrokeApp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Offline: profile + fuzz on a template host you control.
+//! let mut template = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+//! let vm = template.launch_vm(1, SevMode::SevSnp)?;
+//! let app = KeystrokeApp::new();
+//! let plan = AegisPipeline::offline(&mut template, vm, 0, &app, &AegisConfig::default())?;
+//!
+//! // Online: deploy the obfuscator inside the production VM.
+//! let deployment = DefenseDeployment::new(&plan, MechanismChoice::Laplace { epsilon: 1.0 });
+//! deployment.deploy(&mut template, vm, 0, 42)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod evaluate;
+mod pipeline;
+mod plan;
+
+pub use evaluate::{
+    collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, MeaAttack,
+    MeaConfig, MeaRun, RunMeasurement, BLANK,
+};
+pub use pipeline::{AegisConfig, AegisPipeline, DefenseDeployment, MechanismChoice};
+pub use plan::DefensePlan;
+
+// Substrate re-exports, namespaced for downstream convenience.
+pub use aegis_attack as attack;
+pub use aegis_dp as dp;
+pub use aegis_fuzzer as fuzzer;
+pub use aegis_isa as isa;
+pub use aegis_microarch as microarch;
+pub use aegis_obfuscator as obfuscator;
+pub use aegis_perf as perf;
+pub use aegis_profiler as profiler;
+pub use aegis_sev as sev;
+pub use aegis_workloads as workloads;

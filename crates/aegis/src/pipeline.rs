@@ -1,0 +1,318 @@
+//! The unified Aegis pipeline: offline analysis and online deployment.
+
+use crate::plan::DefensePlan;
+use aegis_dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
+use aegis_fuzzer::{cluster_gadgets, covering_set, EventFuzzer, FuzzerConfig, GadgetStats};
+use aegis_isa::IsaCatalog;
+use aegis_microarch::{Core, InterferenceConfig};
+use aegis_obfuscator::{
+    ConstantOutput, GadgetStack, Obfuscator, ObfuscatorConfig, SecretConstantNoise,
+    UniformRandomNoise,
+};
+use aegis_profiler::{rank_events, warmup_profile, RankConfig, WarmupConfig};
+use aegis_sev::{Host, HostError, VmId};
+use aegis_workloads::SecretApp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the full offline pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AegisConfig {
+    /// Warm-up profiling settings.
+    pub warmup: WarmupConfig,
+    /// Event-ranking settings.
+    pub rank: RankConfig,
+    /// Event Fuzzer settings.
+    pub fuzzer: FuzzerConfig,
+    /// Number of top-ranked events to fuzz (the paper fuzzes every
+    /// vulnerable event; bounding this trades coverage for offline time).
+    pub fuzz_top_events: usize,
+    /// ISA-specification seed.
+    pub isa_seed: u64,
+}
+
+impl Default for AegisConfig {
+    fn default() -> Self {
+        AegisConfig {
+            warmup: WarmupConfig::default(),
+            rank: RankConfig::default(),
+            fuzzer: FuzzerConfig::default(),
+            fuzz_top_events: 24,
+            isa_seed: 7,
+        }
+    }
+}
+
+/// The DP mechanism (or Section IX baseline) selected for deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MechanismChoice {
+    /// ε-DP Laplace noise (paper's operating point: ε = 2⁰).
+    Laplace {
+        /// Privacy budget.
+        epsilon: f64,
+    },
+    /// (d*, 2ε)-private correlated noise (paper's operating point: ε = 2³).
+    DStar {
+        /// Privacy budget.
+        epsilon: f64,
+    },
+    /// Uniform random noise in `[0, bound]` (no privacy guarantee).
+    UniformRandom {
+        /// Upper bound, in normalized units.
+        bound: f64,
+    },
+    /// Fill the observation to a constant peak.
+    ConstantOutput {
+        /// The fill level, in normalized units.
+        peak: f64,
+    },
+    /// A deterministic noise level drawn per deployment seed — the
+    /// Section IX-B countermeasure against trace-averaging attackers.
+    SecretConstant {
+        /// Upper bound of the per-seed level, in normalized units.
+        bound: f64,
+    },
+}
+
+impl MechanismChoice {
+    /// Instantiates the mechanism.
+    pub fn build(&self, seed: u64) -> Box<dyn NoiseMechanism> {
+        match *self {
+            MechanismChoice::Laplace { epsilon } => Box::new(LaplaceMechanism::new(epsilon, seed)),
+            MechanismChoice::DStar { epsilon } => Box::new(DStarMechanism::new(epsilon, seed)),
+            MechanismChoice::UniformRandom { bound } => {
+                Box::new(UniformRandomNoise::new(bound, seed))
+            }
+            MechanismChoice::ConstantOutput { peak } => Box::new(ConstantOutput::new(peak)),
+            MechanismChoice::SecretConstant { bound } => {
+                Box::new(SecretConstantNoise::new(bound, seed))
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            MechanismChoice::Laplace { epsilon } => format!("laplace(eps={epsilon})"),
+            MechanismChoice::DStar { epsilon } => format!("dstar(eps={epsilon})"),
+            MechanismChoice::UniformRandom { bound } => format!("random(bound={bound})"),
+            MechanismChoice::ConstantOutput { peak } => format!("constant(peak={peak})"),
+            MechanismChoice::SecretConstant { bound } => format!("secret-constant(bound={bound})"),
+        }
+    }
+}
+
+/// A deployable defense: the calibrated gadget stack plus the chosen
+/// mechanism. Build one per protected vCPU with [`DefenseDeployment::deploy`],
+/// or mint per-window obfuscators for evaluation.
+#[derive(Debug, Clone)]
+pub struct DefenseDeployment {
+    /// The injection unit from the offline plan.
+    pub stack: GadgetStack,
+    /// Selected mechanism.
+    pub mechanism: MechanismChoice,
+    /// Obfuscator runtime settings.
+    pub obfuscator: ObfuscatorConfig,
+}
+
+impl DefenseDeployment {
+    /// Creates a deployment from an offline plan.
+    pub fn new(plan: &DefensePlan, mechanism: MechanismChoice) -> Self {
+        DefenseDeployment {
+            stack: plan.stack.clone(),
+            mechanism,
+            obfuscator: ObfuscatorConfig::default(),
+        }
+    }
+
+    /// Builds a fresh obfuscator instance (fresh noise stream).
+    pub fn make_obfuscator(&self, seed: u64) -> Obfuscator {
+        Obfuscator::with_seed(
+            self.stack.clone(),
+            self.mechanism.build(seed),
+            self.obfuscator,
+            seed,
+        )
+    }
+
+    /// Installs the obfuscator on the protected vCPU — the online stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for invalid ids.
+    pub fn deploy(
+        &self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        seed: u64,
+    ) -> Result<(), HostError> {
+        host.attach_injector(vm, vcpu, Box::new(self.make_obfuscator(seed)))
+    }
+
+    /// Installs an independent obfuscator on *every* vCPU of the VM — the
+    /// deployment for multi-vCPU guests (the paper's victim VM has four
+    /// vCPUs; protected applications may be scheduled onto any of them).
+    /// Each vCPU gets its own noise stream derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for an unknown VM.
+    pub fn deploy_all(&self, host: &mut Host, vm: VmId, seed: u64) -> Result<(), HostError> {
+        let mut vcpu = 0;
+        loop {
+            match host.attach_injector(
+                vm,
+                vcpu,
+                Box::new(self.make_obfuscator(seed ^ ((vcpu as u64) << 32))),
+            ) {
+                Ok(()) => vcpu += 1,
+                Err(HostError::UnknownVcpu(..)) if vcpu > 0 => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The Aegis offline pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct AegisPipeline;
+
+impl AegisPipeline {
+    /// Runs the full offline stage on a *template host*: warm-up
+    /// profiling, mutual-information ranking, event fuzzing over the
+    /// top-ranked events, gadget clustering and covering-set extraction,
+    /// and stack calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for invalid vm/vcpu ids.
+    pub fn offline(
+        template: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        app: &dyn SecretApp,
+        cfg: &AegisConfig,
+    ) -> Result<DefensePlan, HostError> {
+        // Module 1a: warm-up profiling.
+        let warmup = warmup_profile(template, vm, vcpu, app, &cfg.warmup)?;
+
+        // Module 1b: vulnerability ranking by mutual information.
+        let rankings = rank_events(template, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?;
+
+        // Module 2: fuzz the most vulnerable events on an isolated core of
+        // the same microarchitecture.
+        let arch = template.arch();
+        let isa = IsaCatalog::synthetic(arch.vendor(), cfg.isa_seed);
+        let mut fuzz_core = Core::new(arch, cfg.fuzzer.seed);
+        fuzz_core.set_interference(InterferenceConfig::isolated());
+        let targets: Vec<_> = rankings
+            .iter()
+            .take(cfg.fuzz_top_events)
+            .map(|r| r.event)
+            .collect();
+        let fuzzer = EventFuzzer::new(cfg.fuzzer);
+        let mut outcome = fuzzer.run(&isa, &mut fuzz_core, &targets);
+
+        // Module 2 filtering + covering set.
+        let gadget_stats = GadgetStats::from_events(&outcome.per_event);
+        cluster_gadgets(&mut outcome);
+        let covering = covering_set(&outcome.per_event);
+
+        // Calibrate the injection unit.
+        fuzz_core.reset_cache();
+        let stack = GadgetStack::from_covering(&isa, &mut fuzz_core, &covering);
+
+        Ok(DefensePlan {
+            template_arch: arch,
+            vulnerable_events: warmup.vulnerable,
+            rankings,
+            covering,
+            stack,
+            fuzz_report: outcome.report,
+            gadget_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::MicroArch;
+    use aegis_sev::SevMode;
+    use aegis_workloads::KeystrokeApp;
+
+    fn quick_cfg() -> AegisConfig {
+        AegisConfig {
+            warmup: WarmupConfig {
+                probe_ns: 2_000_000,
+                passes: 2,
+                ..WarmupConfig::default()
+            },
+            rank: RankConfig {
+                reps_per_secret: 3,
+                window_ns: 60_000_000,
+                interval_ns: 10_000_000,
+                seed: 7,
+            },
+            fuzzer: FuzzerConfig {
+                candidates_per_event: 60,
+                confirm_reps: 8,
+                ..FuzzerConfig::default()
+            },
+            fuzz_top_events: 6,
+            isa_seed: 7,
+        }
+    }
+
+    #[test]
+    fn offline_pipeline_produces_a_covering_plan() {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        let app = KeystrokeApp::new();
+        let plan = AegisPipeline::offline(&mut host, vm, 0, &app, &quick_cfg()).unwrap();
+
+        assert!(!plan.vulnerable_events.is_empty());
+        assert_eq!(plan.rankings.len(), plan.vulnerable_events.len());
+        // Rankings sorted descending.
+        for w in plan.rankings.windows(2) {
+            assert!(w[0].mi_bits >= w[1].mi_bits);
+        }
+        assert!(!plan.covering.is_empty(), "no covering gadgets found");
+        assert!(plan.stack.unit_uops() >= 1.0);
+        // Covering set is no larger than the covered events (paper: 43
+        // gadgets for 137 events).
+        assert!(plan.covering.len() <= plan.covered_events());
+    }
+
+    #[test]
+    fn deployment_attaches_an_injector() {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        let app = KeystrokeApp::new();
+        let plan = AegisPipeline::offline(&mut host, vm, 0, &app, &quick_cfg()).unwrap();
+        let deployment = DefenseDeployment::new(&plan, MechanismChoice::Laplace { epsilon: 1.0 });
+        deployment.deploy(&mut host, vm, 0, 42).unwrap();
+        // Injection shows up in the vCPU stats after some run time.
+        host.reset_vm_stats(vm).unwrap();
+        host.run(50_000_000, |_, _, _| {});
+        let stats = host.vcpu_stats(vm, 0).unwrap();
+        assert!(stats.injected_uops > 0.0, "{stats:?}");
+    }
+
+    #[test]
+    fn mechanism_labels_are_distinct() {
+        let labels: Vec<String> = [
+            MechanismChoice::Laplace { epsilon: 1.0 },
+            MechanismChoice::DStar { epsilon: 1.0 },
+            MechanismChoice::UniformRandom { bound: 1.0 },
+            MechanismChoice::ConstantOutput { peak: 1.0 },
+        ]
+        .iter()
+        .map(MechanismChoice::label)
+        .collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! The defense plan: everything the offline stage hands to the online
+//! Event Obfuscator.
+
+use aegis_fuzzer::{CoveringGadget, FuzzReport, GadgetStats};
+use aegis_microarch::{EventId, MicroArch};
+use aegis_obfuscator::GadgetStack;
+use aegis_profiler::EventRanking;
+use aegis_sev::{verify_attestation, AttestationError, AttestationReport};
+use serde::{Deserialize, Serialize};
+
+/// Output of Aegis's offline stage (Application Profiler + Event Fuzzer):
+/// the vulnerable events, their ranking, and the calibrated covering
+/// gadget stack to inject at runtime.
+///
+/// The plan is `serde`-serializable so a customer can compute it once on
+/// the template server and ship it into the production VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefensePlan {
+    /// Processor model of the template server the plan was profiled on.
+    /// Deployment targets must attest the same family.
+    pub template_arch: MicroArch,
+    /// All events that survived warm-up profiling.
+    pub vulnerable_events: Vec<EventId>,
+    /// Mutual-information ranking of the profiled events (descending).
+    pub rankings: Vec<EventRanking>,
+    /// The greedy minimum covering gadget set.
+    pub covering: Vec<CoveringGadget>,
+    /// The calibrated injection unit built from `covering`.
+    pub stack: GadgetStack,
+    /// Fuzzing step timings (Table III material).
+    pub fuzz_report: FuzzReport,
+    /// Gadgets-per-event statistics (Section VIII-B material).
+    pub gadget_stats: GadgetStats,
+}
+
+impl DefensePlan {
+    /// Number of events the covering stack perturbs.
+    pub fn covered_events(&self) -> usize {
+        self.covering.iter().map(|c| c.covers.len()).sum()
+    }
+
+    /// The most vulnerable events by mutual information.
+    pub fn top_events(&self, n: usize) -> Vec<EventId> {
+        self.rankings.iter().take(n).map(|r| r.event).collect()
+    }
+
+    /// Verifies a cloud host's attestation report against this plan: the
+    /// platform must be fully sealed and in the template's processor
+    /// family, "to guarantee the generality of the identified events"
+    /// (paper Section V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttestationError`] when the target is unsuitable.
+    pub fn verify_target(&self, report: &AttestationReport) -> Result<(), AttestationError> {
+        verify_attestation(report, self.template_arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::ActivityVector;
+
+    fn tiny_plan() -> DefensePlan {
+        DefensePlan {
+            template_arch: MicroArch::AmdEpyc7252,
+            vulnerable_events: vec![EventId(1), EventId(2)],
+            rankings: vec![
+                EventRanking {
+                    event: EventId(2),
+                    name: "B".into(),
+                    mi_bits: 3.0,
+                },
+                EventRanking {
+                    event: EventId(1),
+                    name: "A".into(),
+                    mi_bits: 1.0,
+                },
+            ],
+            covering: vec![CoveringGadget {
+                gadget: aegis_fuzzer::Gadget::new(aegis_isa::InstrId(0), aegis_isa::InstrId(1)),
+                covers: vec![EventId(1), EventId(2)],
+            }],
+            stack: GadgetStack {
+                gadgets: vec![aegis_fuzzer::Gadget::new(
+                    aegis_isa::InstrId(0),
+                    aegis_isa::InstrId(1),
+                )],
+                unit_activity: ActivityVector::ZERO,
+                per_gadget: vec![ActivityVector::ZERO],
+            },
+            fuzz_report: FuzzReport::default(),
+            gadget_stats: GadgetStats::from_events(&[]),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let plan = tiny_plan();
+        assert_eq!(plan.covered_events(), 2);
+        assert_eq!(plan.top_events(1), vec![EventId(2)]);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let plan = tiny_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: DefensePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

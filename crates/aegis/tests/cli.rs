@@ -1,0 +1,121 @@
+//! End-to-end test of the `aegis` command-line tool: plan generation,
+//! inspection, and evaluation through the real binary.
+
+use std::process::Command;
+
+fn aegis_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aegis"))
+}
+
+#[test]
+fn offline_inspect_evaluate_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("aegis-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = dir.join("plan.json");
+    let plan_str = plan.to_str().unwrap();
+
+    // offline → plan.json
+    let out = aegis_bin()
+        .args([
+            "offline",
+            "--app",
+            "keystroke",
+            "--out",
+            plan_str,
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("offline runs");
+    assert!(
+        out.status.success(),
+        "offline failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("plan written"), "{stdout}");
+    assert!(plan.exists());
+
+    // inspect
+    let out = aegis_bin()
+        .args(["inspect", "--plan", plan_str])
+        .output()
+        .expect("inspect runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("covering set"), "{stdout}");
+    assert!(stdout.contains("bits"), "{stdout}");
+
+    // evaluate: defense must beat the clean attack
+    let out = aegis_bin()
+        .args([
+            "evaluate",
+            "--app",
+            "keystroke",
+            "--plan",
+            plan_str,
+            "--mechanism",
+            "laplace",
+            "--epsilon",
+            "0.5",
+        ])
+        .output()
+        .expect("evaluate runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let grab = |marker: &str| -> f64 {
+        let line = stdout.lines().find(|l| l.contains(marker)).expect(marker);
+        line.split('%')
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let clean = grab("clean attack accuracy");
+    let defended = grab("defended attack accuracy");
+    assert!(clean > 80.0, "clean {clean}");
+    assert!(
+        defended < clean / 2.0,
+        "defended {defended} vs clean {clean}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = aegis_bin().args(["offline"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "{err}");
+
+    let out = aegis_bin()
+        .args([
+            "evaluate",
+            "--app",
+            "nope",
+            "--plan",
+            "x",
+            "--mechanism",
+            "laplace",
+            "--epsilon",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = aegis_bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = aegis_bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

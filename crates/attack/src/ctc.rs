@@ -1,0 +1,108 @@
+//! Sequence decoding for the model extraction attack.
+//!
+//! The paper frames MEA as sequence-to-sequence learning with a CTC
+//! decoder. Our reproduction classifies each sampling window into a layer
+//! type and applies CTC-style greedy decoding: collapse consecutive
+//! repeats (layers span many windows) and drop the blank/idle symbol. The
+//! attack metric is the fraction of matched layers between prediction and
+//! label ("the accuracy reflects the statistics of the matched layers
+//! between prediction and label sequences"), which we compute from the
+//! Levenshtein alignment.
+
+/// Collapses consecutive repeated symbols and removes `blank`, the CTC
+/// greedy decode of a per-window prediction sequence.
+///
+/// # Example
+///
+/// ```
+/// use aegis_attack::ctc_collapse;
+/// let windows = [1, 1, 1, 0, 2, 2, 0, 0, 1];
+/// assert_eq!(ctc_collapse(&windows, 0), vec![1, 2, 1]);
+/// ```
+pub fn ctc_collapse(windows: &[usize], blank: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut prev: Option<usize> = None;
+    for &w in windows {
+        if Some(w) != prev && w != blank {
+            out.push(w);
+        }
+        prev = Some(w);
+    }
+    out
+}
+
+/// Levenshtein edit distance between two symbol sequences.
+pub fn levenshtein(a: &[usize], b: &[usize]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Layer-match accuracy: `1 - edit_distance / max(len)`, clamped at 0.
+/// `1.0` means the predicted layer sequence equals the ground truth.
+pub fn layer_match_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    let denom = predicted.len().max(truth.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    let d = levenshtein(predicted, truth);
+    (1.0 - d as f64 / denom as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_removes_repeats_and_blanks() {
+        assert_eq!(ctc_collapse(&[0, 0, 0], 0), Vec::<usize>::new());
+        assert_eq!(ctc_collapse(&[1, 1, 2, 2, 2, 3], 0), vec![1, 2, 3]);
+        // A blank between equal symbols re-emits the symbol.
+        assert_eq!(ctc_collapse(&[1, 0, 1], 0), vec![1, 1]);
+    }
+
+    #[test]
+    fn levenshtein_known_cases() {
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(levenshtein(&[1, 2, 3], &[4, 5, 6]), 3);
+        assert_eq!(levenshtein(&[], &[1, 2]), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        let a = [1, 2, 3, 4, 2];
+        let b = [2, 3, 2, 2];
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn accuracy_bounds() {
+        assert_eq!(layer_match_accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(layer_match_accuracy(&[], &[]), 1.0);
+        assert_eq!(layer_match_accuracy(&[9, 9, 9], &[1, 2, 3]), 0.0);
+        let partial = layer_match_accuracy(&[1, 2, 4], &[1, 2, 3]);
+        assert!((partial - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_penalizes_length_mismatch() {
+        let acc = layer_match_accuracy(&[1, 2], &[1, 2, 3, 4]);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Labeled trace datasets and feature extraction.
+
+use aegis_perf::Trace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Turns a raw HPC trace into a fixed-length feature vector by average-
+/// pooling each event row with the given window, then concatenating rows.
+///
+/// Pooling tames the 4×3000 dimensionality the paper's CNN consumes while
+/// preserving the temporal envelope the attacks rely on.
+///
+/// # Panics
+///
+/// Panics if `pool == 0`.
+pub fn trace_features(trace: &Trace, pool: usize) -> Vec<f64> {
+    assert!(pool > 0, "pool must be positive");
+    let mut out = Vec::new();
+    for row in &trace.data {
+        for chunk in row.chunks(pool) {
+            out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        }
+        // Aggregate statistics per event row: the whole-trace envelope the
+        // paper's CNN pools up to, handed to the linear learner directly.
+        let total: f64 = row.iter().sum();
+        let peak = row.iter().copied().fold(0.0, f64::max);
+        out.push(total);
+        out.push(peak);
+    }
+    out
+}
+
+/// A labeled dataset of feature vectors.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature vectors (rows).
+    pub samples: Vec<Vec<f64>>,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or a label is out of range.
+    pub fn new(samples: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(samples.len(), labels.len(), "samples/labels mismatch");
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Dataset {
+            samples,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes`.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert!(label < self.n_classes, "label out of range");
+        self.samples.push(features);
+        self.labels.push(label);
+    }
+
+    /// Splits into shuffled train/validation subsets; `train_frac` is the
+    /// training share (the paper uses 70/30).
+    pub fn split(&self, train_frac: f64, rng: &mut StdRng) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_train = (self.len() as f64 * train_frac.clamp(0.0, 1.0)).round() as usize;
+        let make = |ids: &[usize]| Dataset {
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+            labels: ids.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        (make(&idx[..n_train]), make(&idx[n_train..]))
+    }
+}
+
+/// Per-feature standardization parameters fitted on a training set and
+/// reused verbatim on validation/attack data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits per-feature mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot standardize an empty set");
+        let d = data[0].len();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, x) in mean.iter_mut().zip(row) {
+                *m += x / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for row in data {
+            for ((s, x), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (x - m).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Standardizes one sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        for ((xi, m), s) in x.iter_mut().zip(&self.mean).zip(&self.std) {
+            *xi = (*xi - m) / s;
+        }
+    }
+
+    /// Standardizes a whole dataset in place.
+    pub fn apply_dataset(&self, ds: &mut Dataset) {
+        for row in &mut ds.samples {
+            self.apply(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::EventId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_features_pools_rows() {
+        let mut t = Trace::new(vec![EventId(0), EventId(1)], 1);
+        t.push_slice(&[1.0, 10.0]);
+        t.push_slice(&[3.0, 20.0]);
+        t.push_slice(&[5.0, 30.0]);
+        let f = trace_features(&t, 2);
+        assert_eq!(f, vec![2.0, 5.0, 9.0, 5.0, 15.0, 30.0, 60.0, 30.0]);
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let ds = Dataset::new(
+            (0..100).map(|i| vec![i as f64]).collect(),
+            (0..100).map(|i| i % 4).collect(),
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, va) = ds.split(0.7, &mut rng);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(va.len(), 30);
+        let mut all: Vec<f64> = tr.samples.iter().chain(&va.samples).map(|s| s[0]).collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn standardizer_zero_means_unit_std() {
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 100.0 + 2.0 * i as f64])
+            .collect();
+        let std = Standardizer::fit(&data);
+        let mut transformed = data.clone();
+        for row in &mut transformed {
+            std.apply(row);
+        }
+        for d in 0..2 {
+            let col: Vec<f64> = transformed.iter().map(|r| r[d]).collect();
+            assert!(crate::stats::mean(&col).abs() < 1e-9);
+            assert!((crate::stats::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_is_reusable_on_new_data() {
+        let data = vec![vec![0.0], vec![2.0]];
+        let std = Standardizer::fit(&data);
+        let mut x = vec![4.0];
+        std.apply(&mut x);
+        assert!((x[0] - 3.0).abs() < 1e-9); // (4-1)/1
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn push_validates_label() {
+        let mut ds = Dataset::new(vec![], vec![], 3);
+        ds.push(vec![1.0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn new_validates_lengths() {
+        Dataset::new(vec![vec![1.0]], vec![], 1);
+    }
+}

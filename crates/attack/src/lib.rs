@@ -1,0 +1,36 @@
+//! # aegis-attack
+//!
+//! The attacker's toolbox, implemented from scratch: feature extraction
+//! from HPC traces, statistics (Gaussian fitting, Q-Q analysis), PCA,
+//! classifiers (softmax regression and an MLP, standing in for the
+//! paper's CNN), CTC-style sequence decoding for model extraction, and
+//! empirical mutual-information estimators used to evaluate the defense.
+//!
+//! The paper's central claim is information-theoretic — DP noise destroys
+//! the correlation between secrets and HPC observations for *any*
+//! machine-learning attacker — so the exact learner is fungible; these
+//! learners reach the paper's ≳90% clean accuracy on the simulated
+//! channel and collapse identically under the defense.
+
+mod ctc;
+mod dataset;
+mod mi;
+mod mlp;
+mod nb;
+mod pca;
+mod softmax;
+mod stats;
+mod train;
+
+pub use ctc::{ctc_collapse, layer_match_accuracy, levenshtein};
+pub use dataset::{trace_features, Dataset, Standardizer};
+pub use mi::{label_feature_mi, mutual_information_hist};
+pub use mlp::{Mlp, MlpConfig};
+pub use nb::GaussianNb;
+pub use pca::Pca;
+pub use softmax::{SoftmaxRegression, TrainConfig};
+pub use stats::{
+    correlation, mean, median, qq_against_normal, qq_correlation, std_dev, variance, Gaussian,
+    QqPoint,
+};
+pub use train::{EpochStats, TrainingCurve};

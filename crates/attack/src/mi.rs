@@ -1,0 +1,177 @@
+//! Empirical mutual-information estimation.
+//!
+//! Fig. 9c of the paper evaluates the defense by the mutual information
+//! `I(X; X')` between clean and noised HPC leakage traces; as noise grows
+//! the MI collapses, bounding what *any* attacker can learn. This module
+//! estimates MI from samples by histogram discretization.
+
+/// Estimates `I(X; Y)` in bits from paired scalar samples using an
+/// equal-width 2-D histogram with `bins × bins` cells.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `bins < 2`.
+pub fn mutual_information_hist(xs: &[f64], ys: &[f64], bins: usize) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    assert!(bins >= 2, "need at least two bins");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let bx = Binner::fit(xs, bins);
+    let by = Binner::fit(ys, bins);
+    let mut joint = vec![0usize; bins * bins];
+    let mut px = vec![0usize; bins];
+    let mut py = vec![0usize; bins];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let i = bx.bin(x);
+        let j = by.bin(y);
+        joint[i * bins + j] += 1;
+        px[i] += 1;
+        py[j] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for i in 0..bins {
+        for j in 0..bins {
+            let c = joint[i * bins + j];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / nf;
+            let pi = px[i] as f64 / nf;
+            let pj = py[j] as f64 / nf;
+            mi += pxy * (pxy / (pi * pj)).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Estimates `I(label; X)` in bits between a discrete label and a scalar
+/// feature — the attacker-relevant leakage of one feature dimension.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or `bins < 2`.
+pub fn label_feature_mi(labels: &[usize], xs: &[f64], n_labels: usize, bins: usize) -> f64 {
+    assert_eq!(labels.len(), xs.len(), "paired samples required");
+    assert!(bins >= 2, "need at least two bins");
+    let n = xs.len();
+    if n == 0 || n_labels < 2 {
+        return 0.0;
+    }
+    let bx = Binner::fit(xs, bins);
+    let mut joint = vec![0usize; n_labels * bins];
+    let mut pl = vec![0usize; n_labels];
+    let mut px = vec![0usize; bins];
+    for (&l, &x) in labels.iter().zip(xs) {
+        let j = bx.bin(x);
+        joint[l * bins + j] += 1;
+        pl[l] += 1;
+        px[j] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for l in 0..n_labels {
+        for j in 0..bins {
+            let c = joint[l * bins + j];
+            if c == 0 {
+                continue;
+            }
+            let plx = c as f64 / nf;
+            let pi = pl[l] as f64 / nf;
+            let pj = px[j] as f64 / nf;
+            mi += plx * (plx / (pi * pj)).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+struct Binner {
+    lo: f64,
+    width: f64,
+    bins: usize,
+}
+
+impl Binner {
+    fn fit(xs: &[f64], bins: usize) -> Self {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(1e-300);
+        Binner { lo, width, bins }
+    }
+
+    fn bin(&self, x: f64) -> usize {
+        (((x - self.lo) / self.width) as usize).min(self.bins - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::rand_util::normal;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_variables_have_high_mi() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let mi = mutual_information_hist(&xs, &xs, 16);
+        assert!(mi > 3.0, "{mi}");
+    }
+
+    #[test]
+    fn independent_variables_have_low_mi() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let mi = mutual_information_hist(&xs, &ys, 16);
+        assert!(mi < 0.05, "{mi}");
+    }
+
+    #[test]
+    fn mi_decreases_with_added_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let mut last = f64::INFINITY;
+        for noise in [0.1, 1.0, 10.0] {
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|&x| x + normal(&mut rng, 0.0, noise))
+                .collect();
+            let mi = mutual_information_hist(&xs, &ys, 16);
+            assert!(mi < last, "noise {noise}: {mi} !< {last}");
+            last = mi;
+        }
+    }
+
+    #[test]
+    fn label_mi_detects_separated_classes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut labels = Vec::new();
+        let mut xs = Vec::new();
+        for _ in 0..10_000 {
+            let l = rng.gen_range(0..2usize);
+            labels.push(l);
+            xs.push(normal(&mut rng, l as f64 * 10.0, 1.0));
+        }
+        let mi = label_feature_mi(&labels, &xs, 2, 16);
+        assert!(mi > 0.9, "{mi}"); // ~1 bit for 2 separable classes
+    }
+
+    #[test]
+    fn label_mi_of_uninformative_feature_is_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let labels: Vec<usize> = (0..10_000).map(|_| rng.gen_range(0..4usize)).collect();
+        let xs: Vec<f64> = (0..10_000).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let mi = label_feature_mi(&labels, &xs, 4, 16);
+        assert!(mi < 0.05, "{mi}");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mutual_information_hist(&[], &[], 4), 0.0);
+        assert_eq!(label_feature_mi(&[], &[], 4, 4), 0.0);
+    }
+}

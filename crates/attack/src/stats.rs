@@ -1,0 +1,263 @@
+//! Basic statistics: moments, Gaussian fitting, Q-Q analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (averaging the middle pair for even lengths); 0 when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// A univariate Gaussian, the distribution the paper fits to HPC event
+/// values per secret ("we follow previous work to fit the monitored event
+/// values as a Gaussian-like unimodal distribution").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (floored at a tiny positive value).
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Fits mean and standard deviation to samples.
+    pub fn fit(xs: &[f64]) -> Self {
+        Gaussian {
+            mu: mean(xs),
+            sigma: std_dev(xs).max(1e-12),
+        }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Standard-normal quantile (inverse CDF) via the Acklam
+    /// approximation, used for Q-Q plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn standard_quantile(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+        // Acklam's rational approximation, |relative error| < 1.15e-9.
+        const A: [f64; 6] = [
+            -3.969683028665376e+01,
+            2.209460984245205e+02,
+            -2.759285104469687e+02,
+            1.383_577_518_672_69e2,
+            -3.066479806614716e+01,
+            2.506628277459239e+00,
+        ];
+        const B: [f64; 5] = [
+            -5.447609879822406e+01,
+            1.615858368580409e+02,
+            -1.556989798598866e+02,
+            6.680131188771972e+01,
+            -1.328068155288572e+01,
+        ];
+        const C: [f64; 6] = [
+            -7.784894002430293e-03,
+            -3.223964580411365e-01,
+            -2.400758277161838e+00,
+            -2.549732539343734e+00,
+            4.374664141464968e+00,
+            2.938163982698783e+00,
+        ];
+        const D: [f64; 4] = [
+            7.784695709041462e-03,
+            3.224671290700398e-01,
+            2.445134137142996e+00,
+            3.754408661907416e+00,
+        ];
+        let p_low = 0.02425;
+        if p < p_low {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - p_low {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            -Self::standard_quantile(1.0 - p)
+        }
+    }
+}
+
+/// One point of a Q-Q plot: theoretical standard-normal quantile vs the
+/// standardized sample quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QqPoint {
+    /// Theoretical N(0,1) quantile.
+    pub theoretical: f64,
+    /// Standardized sample quantile.
+    pub sample: f64,
+}
+
+/// Q-Q points of `xs` against N(0,1) after standardization (Fig. 3b).
+pub fn qq_against_normal(xs: &[f64]) -> Vec<QqPoint> {
+    let g = Gaussian::fit(xs);
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| QqPoint {
+            theoretical: Gaussian::standard_quantile((i as f64 + 0.5) / n as f64),
+            sample: (x - g.mu) / g.sigma,
+        })
+        .collect()
+}
+
+/// Pearson correlation of the Q-Q points — near 1.0 indicates normality.
+pub fn qq_correlation(points: &[QqPoint]) -> f64 {
+    let xs: Vec<f64> = points.iter().map(|p| p.theoretical).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.sample).collect();
+    correlation(&xs, &ys)
+}
+
+/// Pearson correlation coefficient; 0 when degenerate.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(&xs[..n]);
+    let my = mean(&ys[..n]);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::rand_util::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_of_known_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let g = Gaussian::fit(&xs);
+        assert!((g.mu - 5.0).abs() < 0.05, "{}", g.mu);
+        assert!((g.sigma - 2.0).abs() < 0.05, "{}", g.sigma);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gaussian {
+            mu: 0.0,
+            sigma: 1.0,
+        };
+        let mut acc = 0.0;
+        let dx = 0.01;
+        let mut x = -8.0;
+        while x < 8.0 {
+            acc += g.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "{acc}");
+    }
+
+    #[test]
+    fn quantile_is_inverse_of_cdf_landmarks() {
+        assert!((Gaussian::standard_quantile(0.5)).abs() < 1e-8);
+        assert!((Gaussian::standard_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((Gaussian::standard_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn qq_of_gaussian_data_is_straight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..5_000).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let corr = qq_correlation(&qq_against_normal(&xs));
+        assert!(corr > 0.999, "{corr}");
+    }
+
+    #[test]
+    fn qq_of_uniform_data_deviates() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let corr = qq_correlation(&qq_against_normal(&xs));
+        assert!(corr < 0.999, "{corr}");
+    }
+
+    #[test]
+    fn correlation_of_linear_data_is_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_bad_probability() {
+        Gaussian::standard_quantile(0.0);
+    }
+}

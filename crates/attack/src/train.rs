@@ -1,0 +1,73 @@
+//! Training-curve recording shared by the attack models.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics recorded at the end of one training epoch — the series plotted
+/// in Fig. 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index, starting at 0.
+    pub epoch: usize,
+    /// Mean training cross-entropy loss.
+    pub train_loss: f64,
+    /// Training accuracy in `[0, 1]`.
+    pub train_acc: f64,
+    /// Validation accuracy in `[0, 1]`.
+    pub val_acc: f64,
+}
+
+/// A full training curve.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingCurve {
+    /// Per-epoch statistics in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainingCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch.
+    pub fn push(&mut self, stats: EpochStats) {
+        self.epochs.push(stats);
+    }
+
+    /// Final validation accuracy, 0 if no epochs were recorded.
+    pub fn final_val_acc(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |e| e.val_acc)
+    }
+
+    /// Best validation accuracy across epochs.
+    pub fn best_val_acc(&self) -> f64 {
+        self.epochs.iter().map(|e| e.val_acc).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_on_empty_curve() {
+        let c = TrainingCurve::new();
+        assert_eq!(c.final_val_acc(), 0.0);
+        assert_eq!(c.best_val_acc(), 0.0);
+    }
+
+    #[test]
+    fn best_and_final_differ() {
+        let mut c = TrainingCurve::new();
+        for (i, v) in [0.5, 0.9, 0.8].iter().enumerate() {
+            c.push(EpochStats {
+                epoch: i,
+                train_loss: 1.0,
+                train_acc: *v,
+                val_acc: *v,
+            });
+        }
+        assert_eq!(c.final_val_acc(), 0.8);
+        assert_eq!(c.best_val_acc(), 0.9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Attack-side machine learning costs: feature extraction, PCA, the
+//! Gaussian class-conditional model, and one softmax epoch — the learner
+//! comparison behind the reproduction's model choice.
+
+use aegis::attack::{trace_features, Dataset, GaussianNb, Pca, SoftmaxRegression, TrainConfig};
+use aegis::microarch::rand_util::normal;
+use aegis::microarch::EventId;
+use aegis::perf::Trace;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn synthetic_dataset(n_per_class: usize, classes: usize, dim: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ds = Dataset::new(Vec::new(), Vec::new(), classes);
+    for c in 0..classes {
+        for _ in 0..n_per_class {
+            let row: Vec<f64> = (0..dim)
+                .map(|d| normal(&mut rng, (c * d % 7) as f64, 1.0))
+                .collect();
+            ds.push(row, c);
+        }
+    }
+    ds
+}
+
+fn bench_attack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack");
+
+    g.bench_function("trace_features_4x400_pool20", |b| {
+        let mut t = Trace::new((0..4).map(EventId).collect(), 1_000_000);
+        for i in 0..400 {
+            t.push_slice(&[i as f64, 2.0 * i as f64, 0.5 * i as f64, 1.0]);
+        }
+        b.iter(|| black_box(trace_features(&t, 20)));
+    });
+
+    g.bench_function("pca_fit_top1_200x88", |b| {
+        let ds = synthetic_dataset(20, 10, 88);
+        b.iter(|| black_box(Pca::fit(&ds.samples, 1)));
+    });
+
+    g.bench_function("gaussian_nb_fit_450x88", |b| {
+        let ds = synthetic_dataset(10, 45, 88);
+        b.iter(|| black_box(GaussianNb::fit(&ds)));
+    });
+
+    g.bench_function("gaussian_nb_predict", |b| {
+        let ds = synthetic_dataset(10, 45, 88);
+        let nb = GaussianNb::fit(&ds);
+        b.iter(|| black_box(nb.predict(&ds.samples[0])));
+    });
+
+    g.sample_size(20);
+    g.bench_function("softmax_one_epoch_450x88", |b| {
+        let ds = synthetic_dataset(10, 45, 88);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, val) = ds.split(0.7, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(SoftmaxRegression::train(&train, &val, cfg, &mut rng))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fuzzing throughput (the gadgets-per-second figure of Table III) and
+//! the cost of its building blocks.
+
+use aegis::fuzzer::{measure_median, measure_once, program_event, run_cleanup};
+use aegis::isa::{IsaCatalog, Vendor, WellKnown};
+use aegis::microarch::{named, Core, InterferenceConfig, MicroArch};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn setup() -> (IsaCatalog, Core) {
+    let isa = IsaCatalog::synthetic(Vendor::Amd, 7);
+    let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+    core.set_interference(InterferenceConfig::isolated());
+    (isa, core)
+}
+
+fn bench_fuzzing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzzing");
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("measure_once_gadget", |b| {
+        let (isa, mut core) = setup();
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        program_event(&mut core, ev);
+        let seq = [WellKnown::Clflush.id(), WellKnown::Load64.id()];
+        b.iter(|| black_box(measure_once(&mut core, &isa, &seq)));
+    });
+
+    g.bench_function("measure_median_10_reps", |b| {
+        let (isa, mut core) = setup();
+        let ev = core
+            .catalog()
+            .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+            .unwrap();
+        program_event(&mut core, ev);
+        let seq = [WellKnown::Clflush.id(), WellKnown::Load64.id()];
+        b.iter(|| black_box(measure_median(&mut core, &isa, &seq, 10)));
+    });
+
+    g.finish();
+
+    let mut g = c.benchmark_group("cleanup");
+    g.sample_size(10);
+    g.bench_function("full_isa_cleanup_14k_variants", |b| {
+        let (isa, mut core) = setup();
+        b.iter(|| black_box(run_cleanup(&isa, &mut core).usable.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fuzzing);
+criterion_main!(benches);

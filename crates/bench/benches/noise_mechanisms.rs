@@ -1,0 +1,61 @@
+//! Noise-generation throughput: the Event Obfuscator's daemon must
+//! sustain high injection rates, which is why it precomputes uniform-
+//! derived Laplace draws (Section VII-C). These benches quantify that
+//! design choice.
+
+use aegis::dp::{standard_laplace, DStarMechanism, LaplaceMechanism, NoiseBuffer, NoiseMechanism};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise");
+
+    g.bench_function("standard_laplace_inverse_cdf", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(standard_laplace(&mut rng)));
+    });
+
+    // The "library API" alternative the paper rejects: two uniforms, a
+    // log and a branch through the exponential-difference formulation.
+    g.bench_function("laplace_via_two_exponentials", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let e1 = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln();
+            let e2 = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln();
+            black_box(e1 - e2)
+        });
+    });
+
+    g.bench_function("precomputed_buffer_next", |b| {
+        let mut buf = NoiseBuffer::standard_laplace(4096, StdRng::seed_from_u64(2));
+        b.iter(|| black_box(buf.next()));
+    });
+
+    g.bench_function("laplace_mechanism_noise_at", |b| {
+        let mut m = LaplaceMechanism::new(1.0, 3);
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            black_box(m.noise_at(t, 0.5))
+        });
+    });
+
+    g.bench_function("dstar_mechanism_noise_at", |b| {
+        let mut m = DStarMechanism::new(1.0, 3);
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            if t.is_multiple_of(4096) {
+                m.reset();
+                t = 1;
+            }
+            black_box(m.noise_at(t, 0.5))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

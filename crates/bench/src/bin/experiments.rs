@@ -1,0 +1,35 @@
+//! Experiment runner regenerating the paper's tables and figures.
+
+use aegis_bench::experiments;
+use aegis_bench::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
+
+    if ids.is_empty() || ids[0] == "list" {
+        println!("Usage: experiments <id ...|all> [--quick]\n\nExperiments:");
+        for (id, desc) in experiments::EXPERIMENTS {
+            println!("  {id:<10} {desc}");
+        }
+        return;
+    }
+    let started = std::time::Instant::now();
+    if ids[0] == "all" {
+        experiments::run_all(&cfg);
+    } else {
+        for id in ids {
+            experiments::run(id, &cfg);
+        }
+    }
+    eprintln!(
+        "\n[experiments completed in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
+}

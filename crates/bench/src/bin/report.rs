@@ -1,0 +1,20 @@
+//! Renders the JSON artifacts the experiment harness saves under
+//! `results/` as ASCII bar charts.
+//!
+//! ```sh
+//! cargo run --release -p aegis-bench --bin experiments -- fig9a
+//! cargo run --release -p aegis-bench --bin report
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    if let Err(e) = aegis_bench::chart::render_dir(&dir, 40) {
+        eprintln!("error: {e}");
+        eprintln!("run an experiment first, e.g. `experiments -- fig9a`");
+        std::process::exit(1);
+    }
+}

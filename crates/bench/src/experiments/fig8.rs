@@ -1,0 +1,65 @@
+//! Fig. 8: mutual information of each vulnerable HPC event for the three
+//! case studies (descending MI curves; the MEA curve decays slower
+//! because DNN execution touches more of the micro-architecture).
+
+use crate::output::{print_header, print_kv, Table};
+use crate::scenarios::{ksa_app, mea_zoo, new_host, wfa_app, ExpConfig};
+use aegis::profiler::{rank_events, warmup_profile, RankConfig, WarmupConfig};
+use aegis::workloads::SecretApp;
+
+pub fn run(cfg: &ExpConfig) {
+    let wfa = wfa_app(cfg);
+    let ksa = ksa_app(cfg);
+    let mea = mea_zoo(cfg);
+    let apps: [(&str, &dyn SecretApp); 3] = [
+        ("websites (Fig. 8a)", &wfa),
+        ("keystrokes (Fig. 8b)", &ksa),
+        ("DNN models (Fig. 8c)", &mea),
+    ];
+    for (i, (label, app)) in apps.into_iter().enumerate() {
+        print_header(&format!("Fig. 8 — mutual information per event: {label}"));
+        let (mut host, vm) = new_host(cfg.seed + i as u64);
+        let warm_cfg = WarmupConfig {
+            probe_ns: if cfg.quick { 2_000_000 } else { 4_000_000 },
+            passes: 2,
+            ..WarmupConfig::default()
+        };
+        let warm = warmup_profile(&mut host, vm, 0, app, &warm_cfg).unwrap();
+        print_kv("vulnerable events after warm-up", warm.vulnerable.len());
+
+        let rank_cfg = RankConfig {
+            reps_per_secret: if cfg.quick { 2 } else { 4 },
+            window_ns: if cfg.quick { 60_000_000 } else { 150_000_000 },
+            interval_ns: 10_000_000,
+            seed: cfg.seed,
+        };
+        // Bound ranked events in quick mode to keep the sweep short.
+        let targets: Vec<_> = if cfg.quick {
+            warm.vulnerable.iter().copied().take(24).collect()
+        } else {
+            warm.vulnerable.clone()
+        };
+        let rankings = rank_events(&mut host, vm, 0, app, &targets, &rank_cfg).unwrap();
+
+        let mut t = Table::new(&["rank", "event", "MI (bits)"]);
+        let show = 12.min(rankings.len());
+        for (r, e) in rankings.iter().take(show).enumerate() {
+            t.row_strings(vec![
+                (r + 1).to_string(),
+                e.name.clone(),
+                format!("{:.3}", e.mi_bits),
+            ]);
+        }
+        t.print();
+        // Decile summary of the full descending curve.
+        let deciles: Vec<String> = (0..=10)
+            .map(|d| {
+                let idx = (rankings.len().saturating_sub(1)) * d / 10;
+                format!("{:.2}", rankings.get(idx).map_or(0.0, |e| e.mi_bits))
+            })
+            .collect();
+        print_kv("MI curve deciles (best→worst)", deciles.join(" "));
+        let high = rankings.iter().filter(|e| e.mi_bits > 1.0).count();
+        print_kv("events with > 1 bit of leakage", high);
+    }
+}

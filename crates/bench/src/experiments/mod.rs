@@ -1,0 +1,105 @@
+//! Experiment registry: one entry per table/figure of the paper.
+
+use crate::scenarios::ExpConfig;
+
+mod extensions;
+mod fig1;
+mod fig10;
+mod fig11;
+mod fig3;
+mod fig8;
+mod fig9;
+mod fuzzing;
+mod tables;
+
+/// All experiment ids with one-line descriptions.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    (
+        "fig1",
+        "Training curves + final accuracy of the three HPC attacks",
+    ),
+    (
+        "table1",
+        "HPC event statistics across the four processor models",
+    ),
+    ("table2", "Event-type distribution and warm-up survival"),
+    (
+        "fig3",
+        "Distribution / Q-Q / per-site Gaussians of one cache event",
+    ),
+    (
+        "fig8",
+        "Mutual information of each vulnerable event per case study",
+    ),
+    ("table3", "Fuzzing time per step and gadget throughput"),
+    ("fuzzstats", "Confirmed-gadget statistics per event"),
+    (
+        "fig9a",
+        "Attack accuracy vs epsilon (clean-trained attacker)",
+    ),
+    (
+        "fig9b",
+        "Attack accuracy vs epsilon (robust noisy-trained attacker)",
+    ),
+    (
+        "fig9c",
+        "Mutual information I(X;X') between clean and noised traces",
+    ),
+    ("fig10", "Latency and CPU-usage overhead vs epsilon"),
+    ("fig11", "Random-noise baseline vs the Laplace mechanism"),
+    (
+        "constout",
+        "Constant-output masking noise volume vs Laplace",
+    ),
+    (
+        "multitries",
+        "Trace-averaging attacker and secret-dependent noise",
+    ),
+    (
+        "ext_crypto",
+        "Extension: fine-grained crypto-key extraction (future work)",
+    ),
+    (
+        "ext_multigadget",
+        "Extension: multi-instruction noise gadgets (future work)",
+    ),
+    (
+        "ablations",
+        "Ablations: attacker model, injection lanes, injection interval",
+    ),
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (call sites list valid ids to the user first).
+pub fn run(id: &str, cfg: &ExpConfig) {
+    match id {
+        "fig1" => fig1::run(cfg),
+        "table1" => tables::table1(cfg),
+        "table2" => tables::table2(cfg),
+        "fig3" => fig3::run(cfg),
+        "fig8" => fig8::run(cfg),
+        "table3" => fuzzing::table3(cfg),
+        "fuzzstats" => fuzzing::fuzzstats(cfg),
+        "fig9a" => fig9::fig9a(cfg),
+        "fig9b" => fig9::fig9b(cfg),
+        "fig9c" => fig9::fig9c(cfg),
+        "fig10" => fig10::run(cfg),
+        "fig11" => fig11::fig11(cfg),
+        "constout" => fig11::constout(cfg),
+        "multitries" => fig11::multitries(cfg),
+        "ext_crypto" => extensions::ext_crypto(cfg),
+        "ext_multigadget" => extensions::ext_multigadget(cfg),
+        "ablations" => extensions::ablations(cfg),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+/// Runs every experiment in registry order.
+pub fn run_all(cfg: &ExpConfig) {
+    for (id, _) in EXPERIMENTS {
+        run(id, cfg);
+    }
+}

@@ -1,0 +1,78 @@
+//! Table I (HPC event statistics per processor) and Table II (event-type
+//! distribution and warm-up survival).
+
+use crate::output::{print_header, print_kv, Table};
+use crate::scenarios::{wfa_app, ExpConfig};
+use aegis::microarch::{EventCatalog, EventKind, MicroArch};
+use aegis::profiler::{warmup_profile, WarmupConfig};
+use aegis::sev::Host;
+
+/// Table I: number of HPC events per processor model and the number of
+/// events differing from the family reference (paper: 6166 / 6172 / 1903
+/// / 1903 with 14 and 0 differing).
+pub fn table1(_cfg: &ExpConfig) {
+    print_header("Table I — HPC event statistics per processor");
+    let mut t = Table::new(&["processor", "# events", "# differing from family ref"]);
+    for arch in MicroArch::ALL {
+        let cat = EventCatalog::for_arch(arch);
+        let reference = EventCatalog::for_arch(arch.family_reference());
+        let differing = if arch == arch.family_reference() {
+            "/".to_string()
+        } else {
+            let replaced = reference
+                .events()
+                .iter()
+                .zip(cat.events())
+                .filter(|(a, b)| a.name != b.name)
+                .count();
+            let added = cat.len().saturating_sub(reference.len());
+            (replaced + added).to_string()
+        };
+        t.row_strings(vec![
+            arch.name().to_string(),
+            cat.len().to_string(),
+            differing,
+        ]);
+    }
+    t.print();
+}
+
+/// Table II: per-kind distribution of HPC events, and the percentage of
+/// each kind remaining after warm-up profiling of the WFA application.
+pub fn table2(cfg: &ExpConfig) {
+    print_header("Table II — event-type distribution (remaining-after-warm-up % in brackets)");
+    let app = wfa_app(cfg);
+    let mut t = Table::new(&["processor", "H", "S", "HC", "T", "R", "O", "survivors"]);
+    for arch in [MicroArch::IntelXeonE5_1650, MicroArch::AmdEpyc7252] {
+        let mut host = Host::new(arch, 2, cfg.seed);
+        let vm = host.launch_vm(1, aegis::sev::SevMode::SevSnp).unwrap();
+        let warm_cfg = WarmupConfig {
+            probe_ns: if cfg.quick { 2_000_000 } else { 5_000_000 },
+            passes: if cfg.quick { 2 } else { 3 },
+            ..WarmupConfig::default()
+        };
+        let result = warmup_profile(&mut host, vm, 0, &app, &warm_cfg).unwrap();
+        let total = result.tested as f64;
+        let mut cells = vec![arch.name().to_string()];
+        for kind in EventKind::ALL {
+            let ks = result
+                .kind_survival
+                .iter()
+                .find(|k| k.kind == kind)
+                .unwrap();
+            cells.push(format!(
+                "{:.2}% ({:.2})",
+                ks.total as f64 / total * 100.0,
+                ks.remaining_pct()
+            ));
+        }
+        cells.push(result.vulnerable.len().to_string());
+        t.row_strings(cells);
+    }
+    t.print();
+    print_kv(
+        "paper",
+        "Intel H 0.39 (100), S 0.31 (0), HC 1.00 (100), T 36.15 (7.98), R 7.75 (99.37), O 54.40 (0); \
+         AMD H 1.26 (100), S 1.00 (0), HC 3.26 (100), T 87.17 (1.57), R 5.20 (91.83), O 2.11 (0)",
+    );
+}

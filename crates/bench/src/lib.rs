@@ -1,0 +1,19 @@
+//! # aegis-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! Aegis paper (DSN 2024), plus shared scenario plumbing for the
+//! Criterion microbenchmarks.
+//!
+//! Run `cargo run --release -p aegis-bench --bin experiments -- list` to
+//! see the experiment ids; each prints the same rows/series the paper
+//! reports (accuracy-vs-ε curves, event distributions, fuzzing timings,
+//! overheads, ...). `all` runs everything; `--quick` shrinks dataset
+//! sizes for smoke runs.
+
+pub mod chart;
+pub mod experiments;
+pub mod output;
+pub mod scenarios;
+
+pub use output::{print_header, print_kv, Table};
+pub use scenarios::{ksa_app, mea_zoo, new_host, wfa_app, ExpConfig};

@@ -1,0 +1,124 @@
+//! Plain-text table output and JSON artifact persistence for experiment
+//! reports.
+
+use std::fmt::Display;
+use std::path::Path;
+
+/// Prints an experiment section header.
+pub fn print_header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Prints a key/value line.
+pub fn print_kv(key: &str, value: impl Display) {
+    println!("  {key}: {value}");
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Convenience for string cells.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Serializes the table as a JSON array of column→cell objects and
+    /// writes it under `results/<id>.json`, so downstream tooling can plot
+    /// the regenerated figures without scraping stdout.
+    ///
+    /// I/O failures are reported to stderr but never abort an experiment.
+    pub fn save(&self, id: &str) {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let map: serde_json::Map<String, serde_json::Value> = self
+                    .columns
+                    .iter()
+                    .zip(row)
+                    .map(|(c, v)| (c.clone(), serde_json::Value::String(v.clone())))
+                    .collect();
+                serde_json::Value::Object(map)
+            })
+            .collect();
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results dir: {e}");
+            return;
+        }
+        let path = dir.join(format!("{id}.json"));
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+        }
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::from("  ");
+            for (cell, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.columns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a float with 4 significant-ish digits for table cells.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

@@ -1,0 +1,116 @@
+//! Privacy-budget bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error when a charge would exceed the configured privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExhausted {
+    /// Budget configured.
+    pub total: f64,
+    /// Budget already spent.
+    pub spent: f64,
+    /// The charge that was rejected.
+    pub requested: f64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: spent {:.4} of {:.4}, requested {:.4}",
+            self.spent, self.total, self.requested
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// A sequential-composition privacy budget: charges add up, and a charge
+/// that would exceed the total is refused. Customers pick the total ε per
+/// deployment (the paper's chosen operating points are ε = 2⁰ for Laplace
+/// and ε = 2³ for d*).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget of `total` ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total <= 0`.
+    pub fn new(total: f64) -> Self {
+        assert!(total > 0.0, "budget must be positive");
+        PrivacyBudget { total, spent: 0.0 }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Charges `eps` against the budget (sequential composition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] if the charge does not fit; the budget
+    /// is left unchanged in that case.
+    pub fn charge(&mut self, eps: f64) -> Result<(), BudgetExhausted> {
+        if eps < 0.0 || self.spent + eps > self.total + 1e-12 {
+            return Err(BudgetExhausted {
+                total: self.total,
+                spent: self.spent,
+                requested: eps,
+            });
+        }
+        self.spent += eps;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut b = PrivacyBudget::new(2.0);
+        b.charge(0.5).unwrap();
+        b.charge(1.0).unwrap();
+        assert!((b.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overcharge_is_refused_and_harmless() {
+        let mut b = PrivacyBudget::new(1.0);
+        b.charge(0.9).unwrap();
+        let err = b.charge(0.2).unwrap_err();
+        assert_eq!(err.requested, 0.2);
+        assert!((b.spent() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_charge_is_refused() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert!(b.charge(-0.1).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_panics() {
+        PrivacyBudget::new(0.0);
+    }
+}

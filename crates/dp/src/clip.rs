@@ -1,0 +1,67 @@
+//! Noise clipping: injected gadget counts cannot be negative.
+//!
+//! "As the number of injected instruction gadgets cannot be negative,
+//! each noise element is truncated by a clip bound of `[0, B_u]`, where
+//! the upper bound `B_u` is determined empirically based on the profiling
+//! of HPC events" (Section VIII-C; e.g. `B_u = 2e4` for RETIRED_UOPS).
+
+use serde::{Deserialize, Serialize};
+
+/// A `[lo, hi]` clipping bound applied to noise values before injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClipBound {
+    /// Lower bound (0 for instruction injection).
+    pub lo: f64,
+    /// Upper bound `B_u`.
+    pub hi: f64,
+}
+
+impl ClipBound {
+    /// The paper's injection bound `[0, B_u]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b_u < 0`.
+    pub fn injection(b_u: f64) -> Self {
+        assert!(b_u >= 0.0, "upper clip bound must be non-negative");
+        ClipBound { lo: 0.0, hi: b_u }
+    }
+
+    /// Clamps a noise value into the bound.
+    pub fn clip(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+impl Default for ClipBound {
+    /// The paper's RETIRED_UOPS bound, `[0, 2e4]` (normalized units).
+    fn default() -> Self {
+        ClipBound::injection(2e4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clips_both_tails() {
+        let c = ClipBound::injection(10.0);
+        assert_eq!(c.clip(-5.0), 0.0);
+        assert_eq!(c.clip(5.0), 5.0);
+        assert_eq!(c.clip(50.0), 10.0);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ClipBound::default();
+        assert_eq!(c.lo, 0.0);
+        assert_eq!(c.hi, 2e4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_bound_panics() {
+        ClipBound::injection(-1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # aegis-dp
+//!
+//! The differential-privacy machinery of the Event Obfuscator: the
+//! [`LaplaceMechanism`] (ε-DP, Theorem 1 of the paper) and the
+//! [`DStarMechanism`] ((d*, 2ε)-privacy, Theorem 2, after Chan et al.'s
+//! continual release), plus the injection [`ClipBound`], a precomputed
+//! [`NoiseBuffer`] mirroring the daemon's high-rate noise calculator, and
+//! sequential-composition [`PrivacyBudget`] bookkeeping.
+//!
+//! All Laplace draws are derived from uniform variates by inverse CDF —
+//! as the paper's implementation does for latency — and every consumer is
+//! seed-deterministic.
+
+mod budget;
+mod buffer;
+mod clip;
+mod dstar;
+mod laplace;
+mod mechanism;
+
+pub use budget::{BudgetExhausted, PrivacyBudget};
+pub use buffer::NoiseBuffer;
+pub use clip::ClipBound;
+pub use dstar::{anchor, largest_dividing_pow2, DStarMechanism};
+pub use laplace::LaplaceMechanism;
+pub use mechanism::{d_star_distance, laplace, standard_laplace, NoiseMechanism};

@@ -1,0 +1,119 @@
+//! Step 1: instruction cleanup.
+//!
+//! The machine-readable ISA specification contains many variants that are
+//! illegal on the target microarchitecture. The cleanup step executes
+//! every variant once and drops the ones that fault; the paper finds only
+//! ~24% of variants legal, with ~99% of faults being illegal-instruction
+//! faults (Section VI-C).
+
+use aegis_isa::{InstrId, IsaCatalog};
+use aegis_microarch::{Core, ExecError, Origin};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Outcome statistics of the cleanup step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CleanupStats {
+    /// Variants tested.
+    pub total: usize,
+    /// Variants that executed cleanly.
+    pub legal: usize,
+    /// `#UD` faults.
+    pub illegal_faults: usize,
+    /// `#GP` (privilege) faults.
+    pub privilege_faults: usize,
+    /// Wall time of the step, seconds.
+    pub wall_seconds: f64,
+}
+
+impl CleanupStats {
+    /// Fraction of variants that are legal.
+    pub fn legal_fraction(&self) -> f64 {
+        self.legal as f64 / self.total.max(1) as f64
+    }
+
+    /// Of all faults, the fraction that are `#UD`.
+    pub fn illegal_fault_fraction(&self) -> f64 {
+        let faults = self.illegal_faults + self.privilege_faults;
+        if faults == 0 {
+            0.0
+        } else {
+            self.illegal_faults as f64 / faults as f64
+        }
+    }
+}
+
+/// Result of the cleanup step: the usable instruction list plus stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupResult {
+    /// Instructions that execute in user mode, in catalog order.
+    pub usable: Vec<InstrId>,
+    /// Statistics.
+    pub stats: CleanupStats,
+}
+
+/// Executes every catalog variant once on `core`, keeping the survivors.
+pub fn run_cleanup(catalog: &IsaCatalog, core: &mut Core) -> CleanupResult {
+    let start = Instant::now();
+    let mut usable = Vec::new();
+    let mut stats = CleanupStats {
+        total: catalog.len(),
+        legal: 0,
+        illegal_faults: 0,
+        privilege_faults: 0,
+        wall_seconds: 0.0,
+    };
+    for spec in catalog.variants() {
+        match core.execute_instr(spec, Origin::Host) {
+            Ok(_) => {
+                stats.legal += 1;
+                usable.push(spec.id);
+            }
+            Err(ExecError::IllegalInstruction) => stats.illegal_faults += 1,
+            Err(ExecError::PrivilegeFault) => stats.privilege_faults += 1,
+        }
+    }
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    CleanupResult { usable, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_isa::Vendor;
+    use aegis_microarch::{InterferenceConfig, MicroArch};
+
+    fn setup() -> (IsaCatalog, Core) {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        (catalog, core)
+    }
+
+    #[test]
+    fn cleanup_matches_catalog_ground_truth() {
+        let (catalog, mut core) = setup();
+        let result = run_cleanup(&catalog, &mut core);
+        assert_eq!(result.usable, catalog.legal_ids());
+        assert_eq!(
+            result.stats.legal + result.stats.illegal_faults + result.stats.privilege_faults,
+            catalog.len()
+        );
+    }
+
+    #[test]
+    fn legal_fraction_near_paper() {
+        let (catalog, mut core) = setup();
+        let result = run_cleanup(&catalog, &mut core);
+        let f = result.stats.legal_fraction();
+        assert!((0.20..0.30).contains(&f), "{f}");
+        assert!(result.stats.illegal_fault_fraction() > 0.95);
+    }
+
+    #[test]
+    fn cleanup_records_wall_time() {
+        let (catalog, mut core) = setup();
+        let result = run_cleanup(&catalog, &mut core);
+        assert!(result.stats.wall_seconds > 0.0);
+    }
+}

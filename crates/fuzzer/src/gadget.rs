@@ -1,0 +1,112 @@
+//! Instruction-sequence gadgets: the fuzzer's input format model.
+
+use aegis_isa::{Category, Extension, InstrId, InstructionSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An instruction-sequence gadget: a *reset* sequence bringing the target
+/// HPC event to a known state `S0`, followed by a *trigger* sequence
+/// transitioning it to `S1` (Fig. 4 of the paper). The reproduction uses
+/// one instruction per sequence, which the paper found sufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gadget {
+    /// The reset instruction (e.g. `CLFLUSH` for cache events).
+    pub reset: InstrId,
+    /// The trigger instruction (e.g. a load that now misses).
+    pub trigger: InstrId,
+}
+
+impl Gadget {
+    /// Creates a gadget.
+    pub fn new(reset: InstrId, trigger: InstrId) -> Self {
+        Gadget { reset, trigger }
+    }
+}
+
+impl fmt::Display for Gadget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} ; {}]", self.reset, self.trigger)
+    }
+}
+
+/// The root-cause cluster of a gadget: the extension and category of its
+/// reset and trigger instructions. Gadget filtering groups confirmed
+/// gadgets by this key, "as these properties can strongly indicate the
+/// root cause ... in the underlying microarchitectural level" (VI-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GadgetCluster {
+    /// Reset instruction's extension.
+    pub reset_ext: Extension,
+    /// Reset instruction's category.
+    pub reset_cat: Category,
+    /// Trigger instruction's extension.
+    pub trigger_ext: Extension,
+    /// Trigger instruction's category.
+    pub trigger_cat: Category,
+}
+
+impl GadgetCluster {
+    /// Builds the cluster key from the two instruction specs.
+    pub fn of(reset: &InstructionSpec, trigger: &InstructionSpec) -> Self {
+        GadgetCluster {
+            reset_ext: reset.extension,
+            reset_cat: reset.category,
+            trigger_ext: trigger.extension,
+            trigger_cat: trigger.category,
+        }
+    }
+}
+
+impl fmt::Display for GadgetCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ; {}/{}",
+            self.reset_ext, self.reset_cat, self.trigger_ext, self.trigger_cat
+        )
+    }
+}
+
+/// A gadget confirmed to alter a specific HPC event, with its measured
+/// per-execution effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmedGadget {
+    /// The gadget.
+    pub gadget: Gadget,
+    /// Median counter change per gadget execution.
+    pub effect: f64,
+    /// Root-cause cluster.
+    pub cluster: GadgetCluster,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_isa::{well_known, WellKnown};
+
+    #[test]
+    fn display_is_compact() {
+        let g = Gadget::new(InstrId(1), InstrId(4));
+        assert_eq!(g.to_string(), "[i00001 ; i00004]");
+    }
+
+    #[test]
+    fn cluster_key_from_specs() {
+        let flush = well_known(WellKnown::Clflush);
+        let load = well_known(WellKnown::Load64);
+        let c = GadgetCluster::of(&flush, &load);
+        assert_eq!(c.reset_cat, Category::Flush);
+        assert_eq!(c.trigger_cat, Category::Load);
+        assert_eq!(c.to_string(), "BASE/FLUSH ; BASE/LOAD");
+    }
+
+    #[test]
+    fn gadgets_order_and_hash() {
+        use std::collections::HashSet;
+        let a = Gadget::new(InstrId(0), InstrId(1));
+        let b = Gadget::new(InstrId(0), InstrId(2));
+        assert!(a < b);
+        let set: HashSet<Gadget> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! The measurement harness: executes candidate gadgets under controlled
+//! conditions and reads the target HPC event with RDPMC.
+//!
+//! Mirrors the paper's setup (Section VI-D): the fuzzing process is pinned
+//! to an isolated core, all memory operands point at a pre-allocated data
+//! page (the simulator's scratch page), serializing CPUID instructions
+//! fence the measured region, and each measurement is repeated with the
+//! median taken to suppress external interference.
+
+use aegis_attack_stats::median;
+use aegis_isa::{well_known, InstrId, IsaCatalog, WellKnown};
+use aegis_microarch::{Core, CounterConfig, EventId, Origin, OriginFilter};
+
+/// Minimal median helper, private to the fuzzer (avoids a dependency on
+/// the attack crate for one function).
+mod aegis_attack_stats {
+    pub fn median(xs: &mut [f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    }
+}
+
+/// Counter slot the harness reserves for the event under test.
+const SLOT: usize = 0;
+
+/// Programs the target event on the harness slot.
+///
+/// # Panics
+///
+/// Panics if the event is unknown on the core.
+pub fn program_event(core: &mut Core, event: EventId) {
+    core.pmu_mut()
+        .program(
+            SLOT,
+            CounterConfig {
+                event,
+                filter: OriginFilter::Any,
+            },
+        )
+        .expect("profiled event must exist on this core");
+}
+
+/// Executes one instruction sequence between serializing fences and
+/// returns the counter delta (one "measurement" in the paper's protocol).
+///
+/// Faulting instructions contribute nothing; the harness skips them the
+/// way the real prolog/epilog recovers from SIGILL.
+pub fn measure_once(core: &mut Core, catalog: &IsaCatalog, seq: &[InstrId]) -> f64 {
+    let cpuid = well_known(WellKnown::Cpuid);
+    // Serialize, snapshot, run, snapshot, serialize.
+    let _ = core.execute_instr(&cpuid, Origin::Host);
+    let before = core.pmu().rdpmc(SLOT).expect("slot programmed") as f64;
+    for &id in seq {
+        if let Some(spec) = catalog.get(id) {
+            let _ = core.execute_instr(spec, Origin::Host);
+        }
+    }
+    let after = core.pmu().rdpmc(SLOT).expect("slot programmed") as f64;
+    let _ = core.execute_instr(&cpuid, Origin::Host);
+    after - before
+}
+
+/// Repeats [`measure_once`] `reps` times and returns the median delta —
+/// the paper's noise-suppression protocol with `reps = 10`.
+pub fn measure_median(core: &mut Core, catalog: &IsaCatalog, seq: &[InstrId], reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| measure_once(core, catalog, seq))
+        .collect();
+    median(&mut samples)
+}
+
+/// Runs a sequence `r` times inside one window, returning the per-
+/// iteration deltas (for the repeated-triggers confirmation of Fig. 6).
+pub fn measure_repeated(
+    core: &mut Core,
+    catalog: &IsaCatalog,
+    seq: &[InstrId],
+    r: usize,
+) -> Vec<f64> {
+    (0..r).map(|_| measure_once(core, catalog, seq)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_isa::Vendor;
+    use aegis_microarch::{named, InterferenceConfig, MicroArch};
+
+    fn setup() -> (IsaCatalog, Core) {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        (catalog, core)
+    }
+
+    #[test]
+    fn flush_load_gadget_moves_refill_event() {
+        let (catalog, mut core) = setup();
+        let ev = core
+            .catalog()
+            .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+            .unwrap();
+        program_event(&mut core, ev);
+        let seq = [WellKnown::Clflush.id(), WellKnown::Load64.id()];
+        let delta = measure_median(&mut core, &catalog, &seq, 10);
+        assert!((0.9..1.5).contains(&delta), "refill delta {delta}");
+    }
+
+    #[test]
+    fn nop_does_not_move_refill_event() {
+        let (catalog, mut core) = setup();
+        let ev = core
+            .catalog()
+            .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+            .unwrap();
+        program_event(&mut core, ev);
+        let delta = measure_median(&mut core, &catalog, &[WellKnown::Nop.id()], 10);
+        assert!(delta.abs() < 0.5, "nop delta {delta}");
+    }
+
+    #[test]
+    fn uops_event_counts_everything() {
+        let (catalog, mut core) = setup();
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        program_event(&mut core, ev);
+        let delta = measure_median(&mut core, &catalog, &[WellKnown::Add64.id()], 10);
+        assert!(delta >= 1.0, "uops delta {delta}");
+    }
+
+    #[test]
+    fn faulting_instructions_are_skipped() {
+        let (catalog, mut core) = setup();
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        program_event(&mut core, ev);
+        let illegal = catalog.variants().iter().find(|v| !v.legal).unwrap().id;
+        let delta = measure_median(&mut core, &catalog, &[illegal], 5);
+        assert!(delta.abs() < 1.0, "illegal instr delta {delta}");
+    }
+
+    #[test]
+    fn repeated_measure_returns_r_samples() {
+        let (catalog, mut core) = setup();
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        program_event(&mut core, ev);
+        let v = measure_repeated(&mut core, &catalog, &[WellKnown::Add64.id()], 7);
+        assert_eq!(v.len(), 7);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aegis-fuzzer
+//!
+//! The Event Fuzzer (Module 2 of Aegis): automatically discovers
+//! instruction-sequence gadgets that alter the vulnerable HPC events
+//! identified by the Application Profiler.
+//!
+//! The fuzzing pipeline follows Fig. 5 of the paper:
+//!
+//! 1. **Instruction cleanup** ([`run_cleanup`]) — execute every variant of
+//!    the machine-readable ISA specification and drop faulting ones
+//!    (~24% survive, ~99% of faults are `#UD`).
+//! 2. **Code generation + execution** ([`EventFuzzer`]) — grammar-based
+//!    generation of `(reset ; trigger)` gadgets, executed in a pinned,
+//!    isolated, serialized harness with RDPMC measurement and medians
+//!    over repeated runs.
+//! 3. **Result confirmation** — repeated-trigger cold/hot path analysis
+//!    with the `λ1`/`λ2` constraints, plus gadgets-reordering
+//!    cross-validation against inherited dirty state.
+//! 4. **Gadget filtering** ([`cluster_gadgets`], [`covering_set`]) —
+//!    clustering by extension/category root cause, extraction of the
+//!    strongest gadget per event, and the greedy minimum covering set the
+//!    Event Obfuscator injects.
+
+mod cleanup;
+mod filter;
+mod fuzzer;
+mod gadget;
+mod harness;
+mod report;
+
+pub use cleanup::{run_cleanup, CleanupResult, CleanupStats};
+pub use filter::{cluster_gadgets, covering_set, CoveringGadget, FilterStats, GadgetStats};
+pub use fuzzer::{
+    ConfirmedSeqGadget, EventFuzzer, EventGadgets, FuzzOutcome, FuzzerConfig, SeqGadget,
+};
+pub use gadget::{ConfirmedGadget, Gadget, GadgetCluster};
+pub use harness::{measure_median, measure_once, measure_repeated, program_event};
+pub use report::FuzzReport;

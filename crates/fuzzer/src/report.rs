@@ -1,0 +1,72 @@
+//! Fuzzing-run timing report (Table III of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock breakdown of a fuzzing run: one row of Table III plus the
+/// throughput figures quoted in Section VIII-B.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FuzzReport {
+    /// Instruction-cleanup wall time, seconds.
+    pub cleanup_seconds: f64,
+    /// Gadget generation + execution wall time, seconds.
+    pub generation_seconds: f64,
+    /// Result-confirmation wall time, seconds.
+    pub confirmation_seconds: f64,
+    /// Gadget-filtering wall time, seconds (filled by the filtering step).
+    pub filtering_seconds: f64,
+    /// Number of usable instructions after cleanup.
+    pub usable_instructions: usize,
+    /// Total candidate gadgets executed.
+    pub gadgets_tested: usize,
+}
+
+impl FuzzReport {
+    /// Pulls the accumulated generation/confirmation timings from the
+    /// fuzzing loop.
+    pub(crate) fn finish(&mut self) {
+        let (gen, confirm) = crate::fuzzer::take_timing_scratch();
+        self.generation_seconds = gen;
+        self.confirmation_seconds = confirm;
+    }
+
+    /// Total wall time across all steps, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.cleanup_seconds
+            + self.generation_seconds
+            + self.confirmation_seconds
+            + self.filtering_seconds
+    }
+
+    /// Gadgets fuzzed per second of generation+execution time.
+    pub fn throughput_per_second(&self) -> f64 {
+        if self.generation_seconds == 0.0 {
+            0.0
+        } else {
+            self.gadgets_tested as f64 / self.generation_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_throughput() {
+        let r = FuzzReport {
+            cleanup_seconds: 1.0,
+            generation_seconds: 10.0,
+            confirmation_seconds: 2.0,
+            filtering_seconds: 0.5,
+            usable_instructions: 3400,
+            gadgets_tested: 1000,
+        };
+        assert!((r.total_seconds() - 13.5).abs() < 1e-12);
+        assert!((r.throughput_per_second() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_generation_time_gives_zero_throughput() {
+        assert_eq!(FuzzReport::default().throughput_per_second(), 0.0);
+    }
+}

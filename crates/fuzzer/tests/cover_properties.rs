@@ -1,0 +1,123 @@
+//! Property-based tests of the covering-set construction and gadget
+//! statistics over randomly generated fuzzing outcomes.
+
+use aegis_fuzzer::{
+    covering_set, ConfirmedGadget, EventGadgets, Gadget, GadgetCluster, GadgetStats,
+};
+use aegis_isa::{well_known, InstrId, WellKnown};
+use aegis_microarch::EventId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn confirmed(reset: u32, trigger: u32, effect: f64) -> ConfirmedGadget {
+    let r = well_known(WellKnown::Clflush);
+    let t = well_known(WellKnown::Load64);
+    ConfirmedGadget {
+        gadget: Gadget::new(InstrId(reset), InstrId(trigger)),
+        effect,
+        cluster: GadgetCluster::of(&r, &t),
+    }
+}
+
+/// Strategy: up to 12 events, each with up to 6 gadgets drawn from a pool
+/// of 10 gadget identities (so intersections are common).
+fn outcomes() -> impl Strategy<Value = Vec<EventGadgets>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..10, 0u32..10, 0.5f64..50.0), 0..6),
+        1..12,
+    )
+    .prop_map(|events| {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, gs)| EventGadgets {
+                event: EventId(i as u32),
+                confirmed: gs.into_iter().map(|(r, t, e)| confirmed(r, t, e)).collect(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn cover_is_complete_and_minimal_ish(per_event in outcomes()) {
+        let cover = covering_set(&per_event);
+
+        // 1. Completeness: every event with ≥1 gadget is covered.
+        let coverable: BTreeSet<EventId> = per_event
+            .iter()
+            .filter(|e| !e.confirmed.is_empty())
+            .map(|e| e.event)
+            .collect();
+        let covered: BTreeSet<EventId> =
+            cover.iter().flat_map(|c| c.covers.iter().copied()).collect();
+        prop_assert_eq!(&covered, &coverable);
+
+        // 2. Soundness: a gadget only covers events it was confirmed for.
+        for cg in &cover {
+            for ev in &cg.covers {
+                let eg = per_event.iter().find(|e| e.event == *ev).unwrap();
+                prop_assert!(eg.confirmed.iter().any(|c| c.gadget == cg.gadget));
+            }
+        }
+
+        // 3. No gadget is selected twice, and no event is claimed twice.
+        let mut gadgets: Vec<Gadget> = cover.iter().map(|c| c.gadget).collect();
+        let before = gadgets.len();
+        gadgets.sort();
+        gadgets.dedup();
+        prop_assert_eq!(gadgets.len(), before);
+        let claimed: usize = cover.iter().map(|c| c.covers.len()).sum();
+        prop_assert_eq!(claimed, coverable.len());
+
+        // 4. Size bound: never larger than the number of coverable events.
+        prop_assert!(cover.len() <= coverable.len());
+
+        // 5. Greedy guarantee sanity: the first pick covers at least as
+        //    many events as any single gadget could.
+        if let Some(first) = cover.first() {
+            let best_single = per_event
+                .iter()
+                .flat_map(|e| e.confirmed.iter().map(move |c| (c.gadget, e.event)))
+                .fold(std::collections::BTreeMap::<Gadget, BTreeSet<EventId>>::new(), |mut m, (g, ev)| {
+                    m.entry(g).or_default().insert(ev);
+                    m
+                })
+                .values()
+                .map(BTreeSet::len)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(first.covers.len() == best_single);
+        }
+    }
+
+    #[test]
+    fn gadget_stats_are_consistent(per_event in outcomes()) {
+        let stats = GadgetStats::from_events(&per_event);
+        let counts: Vec<usize> = per_event.iter().map(|e| e.confirmed.len()).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        prop_assert!((stats.mean - mean).abs() < 1e-9);
+        if let Some((ev, n)) = stats.max {
+            prop_assert_eq!(n, *counts.iter().max().unwrap());
+            let eg = per_event.iter().find(|e| e.event == ev).unwrap();
+            prop_assert_eq!(eg.confirmed.len(), n);
+        }
+        // The median lies within the count range.
+        if !counts.is_empty() {
+            let lo = *counts.iter().min().unwrap() as f64;
+            let hi = *counts.iter().max().unwrap() as f64;
+            prop_assert!(stats.median >= lo && stats.median <= hi);
+        }
+    }
+
+    #[test]
+    fn covering_set_is_deterministic(per_event in outcomes()) {
+        let a = covering_set(&per_event);
+        let b = covering_set(&per_event);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.gadget, y.gadget);
+            prop_assert_eq!(&x.covers, &y.covers);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Assembly-text emission.
+//!
+//! The paper's cleanup step "transfers the ISA specification to an
+//! assembly file and tests each instruction" (Section VI-C). This
+//! module renders catalog variants in that textual form: a NASM-flavoured
+//! listing in which every variant becomes one labelled instruction whose
+//! memory operands point at the pre-allocated data page, bracketed by the
+//! measurement prolog/epilog of Section VI-D.
+
+use crate::catalog::IsaCatalog;
+use crate::spec::{Category, InstructionSpec};
+use std::fmt::Write;
+
+/// Renders one variant as an assembly line. Memory operands reference the
+/// scratch data page symbol, exactly like the harness that "initializes
+/// all registers that will be used as memory operands to the address of a
+/// pre-allocated writable data page".
+pub fn emit_instruction(spec: &InstructionSpec) -> String {
+    let operands = match (spec.mem_reads, spec.mem_writes) {
+        (0, 0) => match spec.category {
+            Category::Branch | Category::Call => " near_target".to_string(),
+            _ => String::new(),
+        },
+        (r, 0) if r > 0 => " rax, [data_page]".to_string(),
+        (0, w) if w > 0 => " [data_page], rax".to_string(),
+        _ => " [data_page], rbx".to_string(), // read-modify-write forms
+    };
+    format!("    {}{operands}", spec.mnemonic)
+}
+
+/// Renders a full test file for the catalog: a prolog that saves state
+/// and points memory registers at the data page, one labelled test block
+/// per variant, and the restoring epilog.
+pub fn emit_test_file(catalog: &IsaCatalog) -> String {
+    let mut out = String::with_capacity(catalog.len() * 48);
+    out.push_str("; auto-generated instruction test file\n");
+    out.push_str("section .bss\n");
+    out.push_str("data_page: resb 4096\n");
+    out.push_str("section .text\n");
+    out.push_str("prolog:\n");
+    out.push_str("    push rbx\n    push rbp\n    sub rsp, 4096\n");
+    out.push_str("    lea rax, [data_page]\n    mov rbx, rax\n");
+    for spec in catalog.variants() {
+        writeln!(out, "test_{}:", spec.id).expect("writing to String cannot fail");
+        out.push_str(&emit_instruction(spec));
+        out.push('\n');
+    }
+    out.push_str("epilog:\n");
+    out.push_str("    add rsp, 4096\n    pop rbp\n    pop rbx\n    ret\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Vendor;
+    use crate::spec::{well_known, WellKnown};
+
+    #[test]
+    fn loads_reference_the_data_page() {
+        let line = emit_instruction(&well_known(WellKnown::Load64));
+        assert_eq!(line, "    MOV_LOAD64 rax, [data_page]");
+    }
+
+    #[test]
+    fn stores_write_the_data_page() {
+        let line = emit_instruction(&well_known(WellKnown::Store64));
+        assert_eq!(line, "    MOV_STORE64 [data_page], rax");
+    }
+
+    #[test]
+    fn branches_get_a_target() {
+        let line = emit_instruction(&well_known(WellKnown::BranchBiased));
+        assert!(line.ends_with("near_target"), "{line}");
+    }
+
+    #[test]
+    fn pure_register_ops_have_no_operands_emitted() {
+        let line = emit_instruction(&well_known(WellKnown::Nop));
+        assert_eq!(line, "    NOP");
+    }
+
+    #[test]
+    fn test_file_covers_every_variant_with_prolog_and_epilog() {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let file = emit_test_file(&catalog);
+        assert!(file.starts_with("; auto-generated"));
+        assert!(file.contains("prolog:"));
+        assert!(file.trim_end().ends_with("ret"));
+        let labels = file.matches("\ntest_i").count();
+        assert_eq!(labels, catalog.len());
+        // Scratch allocation mirrors the harness ("one page of scratch
+        // space on the stack").
+        assert!(file.contains("sub rsp, 4096"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # aegis-isa
+//!
+//! A synthetic, machine-readable ISA specification, standing in for the
+//! uops.info x86 instruction catalog used by the Aegis paper (DSN 2024).
+//!
+//! The Event Fuzzer in Aegis consumes an ISA specification: a large list of
+//! *instruction variants* (one mnemonic expanded over operand widths and
+//! addressing forms), each annotated with its extension (BASE, SSE, ...),
+//! general category (arithmetic, load, ...), micro-op count, memory
+//! behaviour, and whether it is legal on a given microarchitecture. Only the
+//! *attributes* of variants matter to the fuzzer — not real x86 encodings —
+//! so this crate generates a deterministic catalog with the same shape as
+//! the real specification: roughly 14,000 variants, of which roughly 24%
+//! are legal on any one microarchitecture (the paper measures 24.16% legal
+//! on Intel and 24.31% on AMD, with ~99% of faults being illegal-opcode
+//! faults).
+//!
+//! ## Example
+//!
+//! ```
+//! use aegis_isa::{IsaCatalog, Vendor};
+//!
+//! let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+//! assert!(catalog.len() > 10_000);
+//! let legal = catalog.variants().iter().filter(|v| v.legal).count();
+//! let frac = legal as f64 / catalog.len() as f64;
+//! assert!(frac > 0.20 && frac < 0.30);
+//! ```
+
+pub mod asm;
+mod catalog;
+mod spec;
+
+pub use catalog::{CatalogStats, IsaCatalog, Vendor};
+pub use spec::{
+    well_known, BranchBehaviour, Category, Extension, InstrId, InstructionSpec, OperandWidth,
+    WellKnown,
+};

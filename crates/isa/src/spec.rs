@@ -1,0 +1,603 @@
+//! Instruction variant specification types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an instruction variant inside an [`IsaCatalog`].
+///
+/// The id is the index of the variant in the catalog it was created by, so
+/// it is stable for a fixed `(vendor, seed)` pair.
+///
+/// [`IsaCatalog`]: crate::IsaCatalog
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstrId(pub u32);
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{:05}", self.0)
+    }
+}
+
+/// ISA extension an instruction variant belongs to (uops.info's `extension`
+/// attribute). Used by the fuzzer's gadget-filtering step to cluster gadgets
+/// by root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Extension {
+    /// Baseline integer ISA, always supported.
+    Base,
+    /// Legacy x87 floating point stack.
+    X87Fpu,
+    /// MMX packed integer.
+    Mmx,
+    /// Streaming SIMD extensions (all SSE generations collapsed).
+    Sse,
+    /// 256-bit advanced vector extensions.
+    Avx,
+    /// 512-bit advanced vector extensions (Intel-only in this model).
+    Avx512,
+    /// Bit-manipulation instructions.
+    Bmi,
+    /// AES / SHA cryptographic acceleration.
+    Crypto,
+    /// Fused multiply-add.
+    Fma,
+    /// Hardware transactional memory (Intel-only in this model).
+    Tsx,
+    /// Control-flow enforcement.
+    Cet,
+    /// Virtualization extensions (privileged).
+    Vmx,
+    /// Model-specific / system management (privileged).
+    System,
+}
+
+impl Extension {
+    /// All extensions, in a stable order.
+    pub const ALL: [Extension; 13] = [
+        Extension::Base,
+        Extension::X87Fpu,
+        Extension::Mmx,
+        Extension::Sse,
+        Extension::Avx,
+        Extension::Avx512,
+        Extension::Bmi,
+        Extension::Crypto,
+        Extension::Fma,
+        Extension::Tsx,
+        Extension::Cet,
+        Extension::Vmx,
+        Extension::System,
+    ];
+
+    /// Short uppercase tag used in generated mnemonics.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Extension::Base => "BASE",
+            Extension::X87Fpu => "X87",
+            Extension::Mmx => "MMX",
+            Extension::Sse => "SSE",
+            Extension::Avx => "AVX",
+            Extension::Avx512 => "AVX512",
+            Extension::Bmi => "BMI",
+            Extension::Crypto => "CRYPTO",
+            Extension::Fma => "FMA",
+            Extension::Tsx => "TSX",
+            Extension::Cet => "CET",
+            Extension::Vmx => "VMX",
+            Extension::System => "SYS",
+        }
+    }
+}
+
+impl fmt::Display for Extension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// General semantic category of an instruction variant (uops.info's
+/// `category` attribute), e.g. arithmetic or logical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Integer addition/subtraction/compare.
+    Arith,
+    /// Bitwise logic.
+    Logic,
+    /// Shifts and rotates.
+    Shift,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (long latency).
+    Div,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Register-to-register move.
+    Move,
+    /// Conditional branch.
+    Branch,
+    /// Call/return control transfer.
+    Call,
+    /// No-operation.
+    Nop,
+    /// Cache-line flush (e.g. CLFLUSH) — resets cache state.
+    Flush,
+    /// Memory fence.
+    Fence,
+    /// Fully serializing instruction (e.g. CPUID).
+    Serialize,
+    /// Scalar floating point.
+    Float,
+    /// Packed SIMD operation.
+    Simd,
+    /// Cryptographic round operation.
+    Crypto,
+    /// String/rep-prefixed memory operation.
+    String,
+    /// Bit manipulation (population count, extract, ...).
+    BitManip,
+    /// Privileged system operation (MSR access, ring changes).
+    System,
+    /// Software prefetch hint.
+    Prefetch,
+}
+
+impl Category {
+    /// All categories, in a stable order.
+    pub const ALL: [Category; 21] = [
+        Category::Arith,
+        Category::Logic,
+        Category::Shift,
+        Category::Mul,
+        Category::Div,
+        Category::Load,
+        Category::Store,
+        Category::Move,
+        Category::Branch,
+        Category::Call,
+        Category::Nop,
+        Category::Flush,
+        Category::Fence,
+        Category::Serialize,
+        Category::Float,
+        Category::Simd,
+        Category::Crypto,
+        Category::String,
+        Category::BitManip,
+        Category::System,
+        Category::Prefetch,
+    ];
+
+    /// Short uppercase tag used in generated mnemonics.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Category::Arith => "ARITH",
+            Category::Logic => "LOGIC",
+            Category::Shift => "SHIFT",
+            Category::Mul => "MUL",
+            Category::Div => "DIV",
+            Category::Load => "LOAD",
+            Category::Store => "STORE",
+            Category::Move => "MOV",
+            Category::Branch => "BR",
+            Category::Call => "CALL",
+            Category::Nop => "NOP",
+            Category::Flush => "FLUSH",
+            Category::Fence => "FENCE",
+            Category::Serialize => "SER",
+            Category::Float => "FP",
+            Category::Simd => "SIMD",
+            Category::Crypto => "CRYPT",
+            Category::String => "STR",
+            Category::BitManip => "BIT",
+            Category::System => "SYS",
+            Category::Prefetch => "PF",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Effective operand width of a variant, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperandWidth {
+    /// 8-bit operands.
+    W8,
+    /// 16-bit operands.
+    W16,
+    /// 32-bit operands.
+    W32,
+    /// 64-bit operands.
+    W64,
+    /// 128-bit vector operands.
+    W128,
+    /// 256-bit vector operands.
+    W256,
+    /// 512-bit vector operands.
+    W512,
+}
+
+impl OperandWidth {
+    /// Width in bits.
+    pub fn bits(self) -> u16 {
+        match self {
+            OperandWidth::W8 => 8,
+            OperandWidth::W16 => 16,
+            OperandWidth::W32 => 32,
+            OperandWidth::W64 => 64,
+            OperandWidth::W128 => 128,
+            OperandWidth::W256 => 256,
+            OperandWidth::W512 => 512,
+        }
+    }
+}
+
+/// How a control-transfer variant behaves when executed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchBehaviour {
+    /// Not a branch.
+    None,
+    /// Branch with a strongly biased direction (predictable).
+    Biased,
+    /// Branch whose direction is data dependent (often mispredicted).
+    DataDependent,
+}
+
+/// A single instruction variant in the machine-readable ISA specification.
+///
+/// Mirrors the attributes the Aegis fuzzer extracts from uops.info: the
+/// extension and category used by the gadget-filtering step, plus the
+/// micro-architectural cost model used by the core simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionSpec {
+    /// Stable identifier within the catalog.
+    pub id: InstrId,
+    /// Human-readable mnemonic, e.g. `SSE_SIMD_W128_0042`.
+    pub mnemonic: String,
+    /// ISA extension the variant belongs to.
+    pub extension: Extension,
+    /// Semantic category.
+    pub category: Category,
+    /// Effective operand width.
+    pub width: OperandWidth,
+    /// Number of micro-ops the variant decodes into.
+    pub uops: u8,
+    /// Number of memory read operands.
+    pub mem_reads: u8,
+    /// Number of memory write operands.
+    pub mem_writes: u8,
+    /// Nominal latency in cycles (excluding cache misses).
+    pub latency: u8,
+    /// Whether the instruction serializes the pipeline (e.g. CPUID).
+    pub serializing: bool,
+    /// Whether the instruction faults outside ring 0.
+    pub privileged: bool,
+    /// Branch behaviour, if any.
+    pub branch: BranchBehaviour,
+    /// Whether the variant decodes and executes on the catalog's target
+    /// microarchitecture. Illegal variants raise `#UD` when executed.
+    pub legal: bool,
+}
+
+impl InstructionSpec {
+    /// Total number of memory operands (reads + writes).
+    pub fn mem_ops(&self) -> u8 {
+        self.mem_reads + self.mem_writes
+    }
+
+    /// Whether executing this variant in user mode completes without fault.
+    pub fn executes_in_user_mode(&self) -> bool {
+        self.legal && !self.privileged
+    }
+}
+
+/// Well-known instructions guaranteed to exist (legal, unprivileged unless
+/// noted) at fixed ids at the head of every synthetic catalog.
+///
+/// These are the archetypes the fuzzer's harness and the obfuscator's
+/// prolog/epilog rely on, mirroring the specific instructions named in the
+/// paper (`CLFLUSH` for reset sequences, `CPUID` for serialization,
+/// `RDPMC` for counter reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WellKnown {
+    /// Single-µop no-operation.
+    Nop,
+    /// Cache-line flush — the canonical reset instruction.
+    Clflush,
+    /// Serializing CPU identification — fences fuzzer measurements.
+    Cpuid,
+    /// Read performance-monitoring counter.
+    Rdpmc,
+    /// 64-bit load from the scratch page.
+    Load64,
+    /// 64-bit store to the scratch page.
+    Store64,
+    /// 64-bit register add.
+    Add64,
+    /// Full memory fence.
+    Mfence,
+    /// Spin-loop hint.
+    Pause,
+    /// Packed SIMD add (SSE).
+    SimdAdd,
+    /// Scalar floating add (x87).
+    FpAdd,
+    /// Biased conditional branch.
+    BranchBiased,
+}
+
+impl WellKnown {
+    /// All well-known instructions in catalog order.
+    pub const ALL: [WellKnown; 12] = [
+        WellKnown::Nop,
+        WellKnown::Clflush,
+        WellKnown::Cpuid,
+        WellKnown::Rdpmc,
+        WellKnown::Load64,
+        WellKnown::Store64,
+        WellKnown::Add64,
+        WellKnown::Mfence,
+        WellKnown::Pause,
+        WellKnown::SimdAdd,
+        WellKnown::FpAdd,
+        WellKnown::BranchBiased,
+    ];
+
+    /// Fixed id of this instruction in every synthetic catalog.
+    pub fn id(self) -> InstrId {
+        InstrId(self as u32)
+    }
+}
+
+/// Builds the spec for one [`WellKnown`] instruction.
+pub fn well_known(which: WellKnown) -> InstructionSpec {
+    let (mnemonic, ext, cat, uops, reads, writes, lat, ser, priv_, br) = match which {
+        WellKnown::Nop => (
+            "NOP",
+            Extension::Base,
+            Category::Nop,
+            1,
+            0,
+            0,
+            1,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Clflush => (
+            "CLFLUSH",
+            Extension::Base,
+            Category::Flush,
+            2,
+            0,
+            0,
+            4,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Cpuid => (
+            "CPUID",
+            Extension::Base,
+            Category::Serialize,
+            20,
+            0,
+            0,
+            60,
+            true,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Rdpmc => (
+            "RDPMC",
+            Extension::Base,
+            Category::System,
+            10,
+            0,
+            0,
+            30,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Load64 => (
+            "MOV_LOAD64",
+            Extension::Base,
+            Category::Load,
+            1,
+            1,
+            0,
+            4,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Store64 => (
+            "MOV_STORE64",
+            Extension::Base,
+            Category::Store,
+            1,
+            0,
+            1,
+            4,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Add64 => (
+            "ADD64",
+            Extension::Base,
+            Category::Arith,
+            1,
+            0,
+            0,
+            1,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Mfence => (
+            "MFENCE",
+            Extension::Base,
+            Category::Fence,
+            3,
+            0,
+            0,
+            20,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::Pause => (
+            "PAUSE",
+            Extension::Base,
+            Category::Nop,
+            1,
+            0,
+            0,
+            10,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::SimdAdd => (
+            "PADDQ",
+            Extension::Sse,
+            Category::Simd,
+            1,
+            0,
+            0,
+            2,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::FpAdd => (
+            "FADD",
+            Extension::X87Fpu,
+            Category::Float,
+            1,
+            0,
+            0,
+            3,
+            false,
+            false,
+            BranchBehaviour::None,
+        ),
+        WellKnown::BranchBiased => (
+            "JZ_BIASED",
+            Extension::Base,
+            Category::Branch,
+            1,
+            0,
+            0,
+            1,
+            false,
+            false,
+            BranchBehaviour::Biased,
+        ),
+    };
+    let width = match which {
+        WellKnown::SimdAdd => OperandWidth::W128,
+        _ => OperandWidth::W64,
+    };
+    InstructionSpec {
+        id: which.id(),
+        mnemonic: mnemonic.to_string(),
+        extension: ext,
+        category: cat,
+        width,
+        uops,
+        mem_reads: reads,
+        mem_writes: writes,
+        latency: lat,
+        serializing: ser,
+        privileged: priv_,
+        branch: br,
+        legal: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_ids_are_stable_and_ordered() {
+        for (idx, wk) in WellKnown::ALL.iter().enumerate() {
+            assert_eq!(wk.id(), InstrId(idx as u32));
+            assert_eq!(well_known(*wk).id, wk.id());
+        }
+    }
+
+    #[test]
+    fn well_known_specs_are_legal_and_unprivileged() {
+        for wk in WellKnown::ALL {
+            let spec = well_known(wk);
+            assert!(spec.legal, "{} must be legal", spec.mnemonic);
+            assert!(spec.executes_in_user_mode(), "{}", spec.mnemonic);
+        }
+    }
+
+    #[test]
+    fn cpuid_is_serializing() {
+        assert!(well_known(WellKnown::Cpuid).serializing);
+    }
+
+    #[test]
+    fn clflush_is_flush_category() {
+        assert_eq!(well_known(WellKnown::Clflush).category, Category::Flush);
+    }
+
+    #[test]
+    fn mem_ops_counts_reads_and_writes() {
+        let mut spec = well_known(WellKnown::Load64);
+        assert_eq!(spec.mem_ops(), 1);
+        spec.mem_writes = 2;
+        assert_eq!(spec.mem_ops(), 3);
+    }
+
+    #[test]
+    fn extension_tags_are_unique() {
+        let mut tags: Vec<_> = Extension::ALL.iter().map(|e| e.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), Extension::ALL.len());
+    }
+
+    #[test]
+    fn category_tags_are_unique() {
+        let mut tags: Vec<_> = Category::ALL.iter().map(|c| c.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn operand_width_bits_increase() {
+        let widths = [
+            OperandWidth::W8,
+            OperandWidth::W16,
+            OperandWidth::W32,
+            OperandWidth::W64,
+            OperandWidth::W128,
+            OperandWidth::W256,
+            OperandWidth::W512,
+        ];
+        for pair in widths.windows(2) {
+            assert!(pair[0].bits() < pair[1].bits());
+        }
+    }
+
+    #[test]
+    fn instr_id_displays_padded() {
+        assert_eq!(InstrId(7).to_string(), "i00007");
+    }
+}

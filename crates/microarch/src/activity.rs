@@ -1,0 +1,364 @@
+//! Micro-architectural activity accounting.
+//!
+//! Everything that executes on a simulated core — decoded instruction
+//! sequences from the fuzzer, rate-based workload segments from a guest VM,
+//! host interrupt handlers — is reduced to an [`ActivityVector`]: how much
+//! of each micro-architectural *feature* (µops retired, L1D misses,
+//! branches, ...) the execution produced. HPC events then observe linear
+//! functions of this vector (see [`crate::EventDesc`]), which is precisely
+//! the causal chain that makes HPC side channels work on real hardware.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul};
+
+/// A micro-architectural feature tracked by the simulator.
+///
+/// The feature set covers the activity classes that the paper's vulnerable
+/// HPC events respond to: instruction retirement, load/store dispatch,
+/// cache-hierarchy traffic, branching, FP/SIMD execution, and the
+/// kernel-side activity (interrupts, syscalls, page faults) that host
+/// software/tracepoint events observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Feature {
+    /// Micro-ops retired.
+    UopsRetired,
+    /// Architectural instructions retired.
+    InstrRetired,
+    /// Load µops dispatched.
+    Loads,
+    /// Store µops dispatched.
+    Stores,
+    /// L1 data-cache accesses.
+    L1dAccess,
+    /// L1 data-cache hits.
+    L1dHit,
+    /// L1 data-cache misses.
+    L1dMiss,
+    /// L2 cache misses.
+    L2Miss,
+    /// Last-level cache misses (refills from system).
+    LlcMiss,
+    /// Data-TLB misses.
+    DtlbMiss,
+    /// Branch instructions retired.
+    Branches,
+    /// Mispredicted branches.
+    BranchMisses,
+    /// Scalar floating-point operations.
+    FpOps,
+    /// Packed SIMD operations.
+    SimdOps,
+    /// Legacy x87 operations.
+    X87Ops,
+    /// Cryptographic acceleration operations.
+    CryptoOps,
+    /// Bit-manipulation operations.
+    BitManipOps,
+    /// Pipeline stall cycles.
+    StallCycles,
+    /// Unhalted core cycles.
+    Cycles,
+    /// Hardware interrupts taken.
+    Interrupts,
+    /// System calls serviced (host-kernel view).
+    Syscalls,
+    /// Page faults serviced (host-kernel view).
+    PageFaults,
+    /// Cache lines explicitly flushed.
+    CacheFlushes,
+    /// Pipeline serializations (CPUID-class instructions).
+    Serializations,
+}
+
+impl Feature {
+    /// Number of tracked features.
+    pub const COUNT: usize = 24;
+
+    /// All features in index order.
+    pub const ALL: [Feature; Feature::COUNT] = [
+        Feature::UopsRetired,
+        Feature::InstrRetired,
+        Feature::Loads,
+        Feature::Stores,
+        Feature::L1dAccess,
+        Feature::L1dHit,
+        Feature::L1dMiss,
+        Feature::L2Miss,
+        Feature::LlcMiss,
+        Feature::DtlbMiss,
+        Feature::Branches,
+        Feature::BranchMisses,
+        Feature::FpOps,
+        Feature::SimdOps,
+        Feature::X87Ops,
+        Feature::CryptoOps,
+        Feature::BitManipOps,
+        Feature::StallCycles,
+        Feature::Cycles,
+        Feature::Interrupts,
+        Feature::Syscalls,
+        Feature::PageFaults,
+        Feature::CacheFlushes,
+        Feature::Serializations,
+    ];
+
+    /// Index of the feature inside an [`ActivityVector`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::UopsRetired => "uops_retired",
+            Feature::InstrRetired => "instr_retired",
+            Feature::Loads => "loads",
+            Feature::Stores => "stores",
+            Feature::L1dAccess => "l1d_access",
+            Feature::L1dHit => "l1d_hit",
+            Feature::L1dMiss => "l1d_miss",
+            Feature::L2Miss => "l2_miss",
+            Feature::LlcMiss => "llc_miss",
+            Feature::DtlbMiss => "dtlb_miss",
+            Feature::Branches => "branches",
+            Feature::BranchMisses => "branch_misses",
+            Feature::FpOps => "fp_ops",
+            Feature::SimdOps => "simd_ops",
+            Feature::X87Ops => "x87_ops",
+            Feature::CryptoOps => "crypto_ops",
+            Feature::BitManipOps => "bitmanip_ops",
+            Feature::StallCycles => "stall_cycles",
+            Feature::Cycles => "cycles",
+            Feature::Interrupts => "interrupts",
+            Feature::Syscalls => "syscalls",
+            Feature::PageFaults => "page_faults",
+            Feature::CacheFlushes => "cache_flushes",
+            Feature::Serializations => "serializations",
+        }
+    }
+
+    /// Features counted by hardware PMU logic (as opposed to the host
+    /// kernel). Hardware-ish events draw their responses from these.
+    pub fn is_hardware(self) -> bool {
+        !matches!(
+            self,
+            Feature::Interrupts | Feature::Syscalls | Feature::PageFaults
+        )
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dense vector of per-feature activity amounts.
+///
+/// Used both as an *amount* (activity produced by an execution) and as a
+/// *rate* (activity per microsecond, in workload segment descriptions).
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityVector(pub [f64; Feature::COUNT]);
+
+impl ActivityVector {
+    /// The zero vector.
+    pub const ZERO: ActivityVector = ActivityVector([0.0; Feature::COUNT]);
+
+    /// Creates a zero vector.
+    pub fn new() -> Self {
+        Self::ZERO
+    }
+
+    /// Builds a vector from `(feature, amount)` pairs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aegis_microarch::{ActivityVector, Feature};
+    /// let v = ActivityVector::from_pairs(&[(Feature::Loads, 2.0)]);
+    /// assert_eq!(v[Feature::Loads], 2.0);
+    /// ```
+    pub fn from_pairs(pairs: &[(Feature, f64)]) -> Self {
+        let mut v = Self::ZERO;
+        for &(f, x) in pairs {
+            v[f] += x;
+        }
+        v
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Whether every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&x| x == 0.0)
+    }
+
+    /// Component-wise scale by `k`.
+    pub fn scaled(&self, k: f64) -> Self {
+        let mut out = *self;
+        for x in &mut out.0 {
+            *x *= k;
+        }
+        out
+    }
+
+    /// Iterates over `(feature, value)` pairs with non-zero values.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Feature, f64)> + '_ {
+        Feature::ALL
+            .iter()
+            .copied()
+            .zip(self.0.iter().copied())
+            .filter(|&(_, x)| x != 0.0)
+    }
+}
+
+impl Default for ActivityVector {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Debug for ActivityVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (feat, x) in self.iter_nonzero() {
+            map.entry(&feat.name(), &x);
+        }
+        map.finish()
+    }
+}
+
+impl Index<Feature> for ActivityVector {
+    type Output = f64;
+    fn index(&self, f: Feature) -> &f64 {
+        &self.0[f.index()]
+    }
+}
+
+impl IndexMut<Feature> for ActivityVector {
+    fn index_mut(&mut self, f: Feature) -> &mut f64 {
+        &mut self.0[f.index()]
+    }
+}
+
+impl Add for ActivityVector {
+    type Output = ActivityVector;
+    fn add(mut self, rhs: ActivityVector) -> ActivityVector {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ActivityVector {
+    fn add_assign(&mut self, rhs: ActivityVector) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Mul<f64> for ActivityVector {
+    type Output = ActivityVector;
+    fn mul(self, k: f64) -> ActivityVector {
+        self.scaled(k)
+    }
+}
+
+/// Who produced a unit of activity on a physical core.
+///
+/// SEV's confidentiality boundary is expressed through this type: the host
+/// can always observe *counter values* on a core, but host-kernel events
+/// (software events, most tracepoints) never fire for guest-internal
+/// activity, while hardware events fire regardless of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// Host kernel or host userspace activity.
+    Host,
+    /// Activity inside the guest VM with the given id.
+    Guest(u32),
+}
+
+impl Origin {
+    /// Whether the activity originated inside any guest.
+    pub fn is_guest(self) -> bool {
+        matches!(self, Origin::Guest(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_indices_match_all_order() {
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn feature_names_unique() {
+        let mut names: Vec<_> = Feature::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Feature::COUNT);
+    }
+
+    #[test]
+    fn kernel_features_are_not_hardware() {
+        assert!(!Feature::Syscalls.is_hardware());
+        assert!(!Feature::PageFaults.is_hardware());
+        assert!(!Feature::Interrupts.is_hardware());
+        assert!(Feature::UopsRetired.is_hardware());
+        assert!(Feature::LlcMiss.is_hardware());
+    }
+
+    #[test]
+    fn from_pairs_accumulates_duplicates() {
+        let v = ActivityVector::from_pairs(&[(Feature::Loads, 1.0), (Feature::Loads, 2.0)]);
+        assert_eq!(v[Feature::Loads], 3.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = ActivityVector::from_pairs(&[(Feature::Loads, 1.0)]);
+        let b = ActivityVector::from_pairs(&[(Feature::Loads, 2.0), (Feature::Stores, 1.0)]);
+        let c = a + b;
+        assert_eq!(c[Feature::Loads], 3.0);
+        assert_eq!(c[Feature::Stores], 1.0);
+        let d = c * 2.0;
+        assert_eq!(d[Feature::Loads], 6.0);
+        assert_eq!(d.total(), 8.0);
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(ActivityVector::ZERO.is_zero());
+        assert!(!ActivityVector::from_pairs(&[(Feature::Cycles, 0.1)]).is_zero());
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeroes() {
+        let v = ActivityVector::from_pairs(&[(Feature::FpOps, 5.0)]);
+        let pairs: Vec<_> = v.iter_nonzero().collect();
+        assert_eq!(pairs, vec![(Feature::FpOps, 5.0)]);
+    }
+
+    #[test]
+    fn origin_guest_detection() {
+        assert!(Origin::Guest(3).is_guest());
+        assert!(!Origin::Host.is_guest());
+    }
+
+    #[test]
+    fn debug_shows_nonzero_entries() {
+        let v = ActivityVector::from_pairs(&[(Feature::Branches, 1.5)]);
+        let s = format!("{v:?}");
+        assert!(s.contains("branches"), "{s}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Microarchitecture models and their fixed parameters.
+
+use aegis_isa::Vendor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four processor models the paper characterizes (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroArch {
+    /// Intel Xeon E5-1650 — 6166 HPC events.
+    IntelXeonE5_1650,
+    /// Intel Xeon E5-4617 — 6172 HPC events, 14 differing from the E5-1650.
+    IntelXeonE5_4617,
+    /// AMD EPYC 7252 — 1903 HPC events (the paper's SEV host).
+    AmdEpyc7252,
+    /// AMD EPYC 7313P — 1903 HPC events, identical to the EPYC 7252.
+    AmdEpyc7313P,
+}
+
+impl MicroArch {
+    /// All supported models.
+    pub const ALL: [MicroArch; 4] = [
+        MicroArch::IntelXeonE5_1650,
+        MicroArch::IntelXeonE5_4617,
+        MicroArch::AmdEpyc7252,
+        MicroArch::AmdEpyc7313P,
+    ];
+
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroArch::IntelXeonE5_1650 => "Intel Xeon E5-1650",
+            MicroArch::IntelXeonE5_4617 => "Intel Xeon E5-4617",
+            MicroArch::AmdEpyc7252 => "AMD EPYC 7252",
+            MicroArch::AmdEpyc7313P => "AMD EPYC 7313P",
+        }
+    }
+
+    /// Vendor family.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            MicroArch::IntelXeonE5_1650 | MicroArch::IntelXeonE5_4617 => Vendor::Intel,
+            MicroArch::AmdEpyc7252 | MicroArch::AmdEpyc7313P => Vendor::Amd,
+        }
+    }
+
+    /// Total number of HPC events exposed through the perf subsystem
+    /// (Table I of the paper).
+    pub fn event_count(self) -> usize {
+        match self {
+            MicroArch::IntelXeonE5_1650 => 6166,
+            MicroArch::IntelXeonE5_4617 => 6172,
+            MicroArch::AmdEpyc7252 | MicroArch::AmdEpyc7313P => 1903,
+        }
+    }
+
+    /// Number of events that differ from the family's reference model
+    /// (E5-1650 for Intel, EPYC 7252 for AMD); Table I row 2.
+    pub fn differing_events(self) -> usize {
+        match self {
+            MicroArch::IntelXeonE5_4617 => 14,
+            _ => 0,
+        }
+    }
+
+    /// The family's reference model, whose event catalog this model shares
+    /// (up to [`Self::differing_events`] differences).
+    pub fn family_reference(self) -> MicroArch {
+        match self.vendor() {
+            Vendor::Intel => MicroArch::IntelXeonE5_1650,
+            Vendor::Amd => MicroArch::AmdEpyc7252,
+        }
+    }
+
+    /// Number of hardware HPC registers supporting concurrent monitoring
+    /// (`C` in the paper's cost model; 4 on both testbeds).
+    pub fn counter_slots(self) -> usize {
+        4
+    }
+
+    /// Sustained µop throughput per microsecond of one core. Used by the
+    /// SEV simulator to convert injected instruction gadgets into latency
+    /// and CPU-usage overheads.
+    pub fn uops_capacity_per_us(self) -> f64 {
+        match self.vendor() {
+            Vendor::Intel => 3_600.0,
+            Vendor::Amd => 4_000.0,
+        }
+    }
+
+    /// Seed stream identifying the family's shared event catalog.
+    pub(crate) fn family_seed(self) -> u64 {
+        match self.vendor() {
+            Vendor::Intel => 0x1a7e_1000,
+            Vendor::Amd => 0xa3d0_2000,
+        }
+    }
+}
+
+impl fmt::Display for MicroArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_counts_match_table1() {
+        assert_eq!(MicroArch::IntelXeonE5_1650.event_count(), 6166);
+        assert_eq!(MicroArch::IntelXeonE5_4617.event_count(), 6172);
+        assert_eq!(MicroArch::AmdEpyc7252.event_count(), 1903);
+        assert_eq!(MicroArch::AmdEpyc7313P.event_count(), 1903);
+    }
+
+    #[test]
+    fn differing_events_match_table1() {
+        assert_eq!(MicroArch::IntelXeonE5_4617.differing_events(), 14);
+        assert_eq!(MicroArch::AmdEpyc7313P.differing_events(), 0);
+    }
+
+    #[test]
+    fn vendors() {
+        assert_eq!(MicroArch::IntelXeonE5_1650.vendor(), Vendor::Intel);
+        assert_eq!(MicroArch::AmdEpyc7252.vendor(), Vendor::Amd);
+    }
+
+    #[test]
+    fn four_counter_slots_everywhere() {
+        for m in MicroArch::ALL {
+            assert_eq!(m.counter_slots(), 4);
+        }
+    }
+
+    #[test]
+    fn family_reference_is_idempotent() {
+        for m in MicroArch::ALL {
+            assert_eq!(
+                m.family_reference().family_reference(),
+                m.family_reference()
+            );
+        }
+    }
+
+    #[test]
+    fn family_members_share_seed() {
+        assert_eq!(
+            MicroArch::AmdEpyc7252.family_seed(),
+            MicroArch::AmdEpyc7313P.family_seed()
+        );
+        assert_ne!(
+            MicroArch::AmdEpyc7252.family_seed(),
+            MicroArch::IntelXeonE5_1650.family_seed()
+        );
+    }
+}

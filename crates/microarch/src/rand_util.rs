@@ -1,0 +1,102 @@
+//! Small sampling helpers shared across the simulator crates.
+//!
+//! The offline crate set does not include `rand_distr`, and the paper's
+//! Event Obfuscator in any case derives its noise "directly from the
+//! uniform distribution" rather than library APIs (Section VII-C), so the
+//! few distributions we need are implemented here from uniform draws.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * gauss(rng)
+}
+
+/// Samples a Poisson count with rate `lambda` (Knuth's method for small
+/// rates, normal approximation above 64 where Knuth's product underflows).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, 3.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 5_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, 400.0)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_rejects_negative_std() {
+        let mut rng = StdRng::seed_from_u64(6);
+        normal(&mut rng, 0.0, -1.0);
+    }
+}

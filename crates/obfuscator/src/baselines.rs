@@ -1,0 +1,222 @@
+//! Alternative defense strategies evaluated in Section IX: uniform random
+//! noise (Fig. 11) and constant HPC output.
+
+use aegis_dp::NoiseMechanism;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random noise in `[0, bound]` (normalized units) — the
+/// strawman of Fig. 11. Provides no provable privacy guarantee and needs
+/// roughly 4.4× more injected noise than the Laplace mechanism for the
+/// same protection.
+#[derive(Debug, Clone)]
+pub struct UniformRandomNoise {
+    bound: f64,
+    rng: StdRng,
+}
+
+impl UniformRandomNoise {
+    /// Creates the mechanism with the given upper bound (as a fraction of
+    /// the peak HPC value `p` in the paper's x-axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 0`.
+    pub fn new(bound: f64, seed: u64) -> Self {
+        assert!(bound >= 0.0, "bound must be non-negative");
+        UniformRandomNoise {
+            bound,
+            rng: StdRng::seed_from_u64(seed ^ 0x0a1d_0001),
+        }
+    }
+
+    /// The configured bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+impl NoiseMechanism for UniformRandomNoise {
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+
+    /// Random noise carries no privacy budget; reported as infinity.
+    fn epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn noise_at(&mut self, _t: usize, _x_t: f64) -> f64 {
+        if self.bound == 0.0 {
+            0.0
+        } else {
+            self.rng.gen_range(0.0..self.bound)
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Constant-output masking: fill every slice up to the peak value `p` so
+/// the observed series is flat. Defeats the attack completely but, as
+/// Section IX-A measures, injects ~18× more counts than Laplace noise —
+/// "an overkill defense".
+#[derive(Debug, Clone)]
+pub struct ConstantOutput {
+    peak: f64,
+}
+
+impl ConstantOutput {
+    /// Creates the mechanism filling to `peak` (normalized units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak < 0`.
+    pub fn new(peak: f64) -> Self {
+        assert!(peak >= 0.0, "peak must be non-negative");
+        ConstantOutput { peak }
+    }
+
+    /// The fill level.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+impl NoiseMechanism for ConstantOutput {
+    fn name(&self) -> &'static str {
+        "constant-output"
+    }
+
+    /// Deterministic masking: no differential-privacy semantics (ε = 0
+    /// would claim perfect privacy, which holds only if `peak` is never
+    /// exceeded; we report 0 for "not a DP mechanism, strongest masking").
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn noise_at(&mut self, _t: usize, x_t: f64) -> f64 {
+        (self.peak - x_t).max(0.0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Secret-dependent constant noise (Section IX-B): a deterministic noise
+/// level drawn once per deployment seed. Deployed with a per-secret seed,
+/// every execution of the same secret carries the identical offset, so an
+/// attacker averaging multiple traces removes nothing — and the offset
+/// differs across secrets, so a global bias calibration does not help
+/// either.
+#[derive(Debug, Clone)]
+pub struct SecretConstantNoise {
+    level: f64,
+}
+
+impl SecretConstantNoise {
+    /// Draws the constant level uniformly from `[0, bound]` using `seed`
+    /// (pass a secret-derived seed to make the level secret dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 0`.
+    pub fn new(bound: f64, seed: u64) -> Self {
+        assert!(bound >= 0.0, "bound must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ec7_c057);
+        SecretConstantNoise {
+            level: if bound == 0.0 {
+                0.0
+            } else {
+                rng.gen_range(0.0..bound)
+            },
+        }
+    }
+
+    /// The drawn constant level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl NoiseMechanism for SecretConstantNoise {
+    fn name(&self) -> &'static str {
+        "secret-constant"
+    }
+
+    /// Deterministic noise: not a DP mechanism (reported as infinite ε).
+    fn epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn noise_at(&mut self, _t: usize, _x_t: f64) -> f64 {
+        self.level
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_constant_is_deterministic_per_seed() {
+        let mut a = SecretConstantNoise::new(2.0, 41);
+        let mut b = SecretConstantNoise::new(2.0, 41);
+        let mut c = SecretConstantNoise::new(2.0, 42);
+        assert_eq!(a.noise_at(1, 0.0), b.noise_at(9, 5.0));
+        assert_ne!(a.noise_at(2, 0.0), c.noise_at(2, 0.0));
+        assert!((0.0..2.0).contains(&a.level()));
+    }
+
+    #[test]
+    fn uniform_noise_respects_bound() {
+        let mut m = UniformRandomNoise::new(3.0, 1);
+        for t in 1..1000 {
+            let r = m.noise_at(t, 0.0);
+            assert!((0.0..3.0).contains(&r));
+        }
+        assert_eq!(m.bound(), 3.0);
+    }
+
+    #[test]
+    fn uniform_noise_zero_bound_is_silent() {
+        let mut m = UniformRandomNoise::new(0.0, 1);
+        assert_eq!(m.noise_at(1, 5.0), 0.0);
+    }
+
+    #[test]
+    fn constant_output_fills_to_peak() {
+        let mut m = ConstantOutput::new(10.0);
+        assert_eq!(m.noise_at(1, 4.0), 6.0);
+        assert_eq!(m.noise_at(2, 10.0), 0.0);
+        assert_eq!(m.noise_at(3, 12.0), 0.0); // never negative
+    }
+
+    #[test]
+    fn constant_output_noise_volume_exceeds_laplace() {
+        use aegis_dp::LaplaceMechanism;
+        // A bursty series: mostly small values, occasional peaks — like a
+        // website trace. Constant output must fill the whole area under
+        // the peak, Laplace only adds ~1/ε per slice.
+        let series: Vec<f64> = (0..1000)
+            .map(|t| if t % 50 == 0 { 10.0 } else { 0.5 })
+            .collect();
+        let mut co = ConstantOutput::new(10.0);
+        let mut lap = LaplaceMechanism::new(1.0, 3);
+        let co_total: f64 = series
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| co.noise_at(t + 1, x))
+            .sum();
+        let lap_total: f64 = series
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| lap.noise_at(t + 1, x).max(0.0))
+            .sum();
+        assert!(
+            co_total > 10.0 * lap_total,
+            "constant {co_total} vs laplace {lap_total}"
+        );
+    }
+}

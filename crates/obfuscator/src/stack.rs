@@ -1,0 +1,154 @@
+//! The injected code segment: the covering gadget set stacked into one
+//! repeatable unit.
+//!
+//! "By stacking these gadgets together, we conduct a code segment that
+//! executes repeatedly to inject noise to vulnerable HPC events. The
+//! number of repetitions of the code execution is determined by the noise
+//! value computed from the noise calculator" (Section VII-C).
+
+use aegis_fuzzer::{CoveringGadget, Gadget};
+use aegis_isa::IsaCatalog;
+use aegis_microarch::{ActivityVector, Core, Feature, Origin};
+use serde::{Deserialize, Serialize};
+
+/// A calibrated stack of covering gadgets: the obfuscator's unit of
+/// injection, annotated with the micro-architectural activity one full
+/// execution of the stack produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GadgetStack {
+    /// The stacked gadgets, in execution order.
+    pub gadgets: Vec<Gadget>,
+    /// Mean activity of one full stack execution.
+    pub unit_activity: ActivityVector,
+    /// Mean activity of each gadget individually (same order as
+    /// `gadgets`); lets the injector drive signature-diverse gadget
+    /// subsets independently.
+    pub per_gadget: Vec<ActivityVector>,
+}
+
+impl GadgetStack {
+    /// Calibrates a stack by executing it `reps` times on a scratch core
+    /// and averaging the produced activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gadgets` is empty, `reps == 0`, or a gadget references
+    /// an instruction missing from the catalog.
+    pub fn calibrate(
+        catalog: &IsaCatalog,
+        core: &mut Core,
+        gadgets: Vec<Gadget>,
+        reps: usize,
+    ) -> Self {
+        assert!(!gadgets.is_empty(), "a gadget stack cannot be empty");
+        assert!(reps > 0, "calibration needs at least one repetition");
+        let mut per_gadget = vec![ActivityVector::new(); gadgets.len()];
+        for _ in 0..reps {
+            for (gi, g) in gadgets.iter().enumerate() {
+                for id in [g.reset, g.trigger] {
+                    let spec = catalog.get(id).expect("gadget instruction in catalog");
+                    if let Ok(delta) = core.execute_instr(spec, Origin::Host) {
+                        per_gadget[gi] += delta;
+                    }
+                }
+            }
+        }
+        let mut unit_activity = ActivityVector::new();
+        for pg in &mut per_gadget {
+            *pg = pg.scaled(1.0 / reps as f64);
+            unit_activity += *pg;
+        }
+        GadgetStack {
+            gadgets,
+            unit_activity,
+            per_gadget,
+        }
+    }
+
+    /// Builds and calibrates the stack from a fuzzer covering set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `covering` is empty.
+    pub fn from_covering(
+        catalog: &IsaCatalog,
+        core: &mut Core,
+        covering: &[CoveringGadget],
+    ) -> Self {
+        let gadgets = covering.iter().map(|c| c.gadget).collect();
+        Self::calibrate(catalog, core, gadgets, 64)
+    }
+
+    /// Reference effect of one stack execution: µops retired, the unit
+    /// the noise calculator converts counts into repetitions with.
+    pub fn unit_uops(&self) -> f64 {
+        self.unit_activity[Feature::UopsRetired].max(1.0)
+    }
+
+    /// Number of gadgets in the stack.
+    pub fn len(&self) -> usize {
+        self.gadgets.len()
+    }
+
+    /// Whether the stack is empty (never true for calibrated stacks).
+    pub fn is_empty(&self) -> bool {
+        self.gadgets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_isa::{Vendor, WellKnown};
+    use aegis_microarch::{InterferenceConfig, MicroArch};
+
+    fn setup() -> (IsaCatalog, Core) {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        (catalog, core)
+    }
+
+    fn flush_load() -> Gadget {
+        Gadget::new(WellKnown::Clflush.id(), WellKnown::Load64.id())
+    }
+
+    #[test]
+    fn calibration_measures_stack_activity() {
+        let (catalog, mut core) = setup();
+        let stack = GadgetStack::calibrate(&catalog, &mut core, vec![flush_load()], 100);
+        // CLFLUSH (2 µops) + load (1 µop).
+        assert!((stack.unit_activity[Feature::UopsRetired] - 3.0).abs() < 0.5);
+        // Every load misses after the flush → one refill per execution.
+        assert!((stack.unit_activity[Feature::LlcMiss] - 1.0).abs() < 0.2);
+        assert!((stack.unit_activity[Feature::CacheFlushes] - 1.0).abs() < 0.2);
+        assert_eq!(stack.len(), 1);
+    }
+
+    #[test]
+    fn unit_uops_has_floor() {
+        let (catalog, mut core) = setup();
+        let nop_gadget = Gadget::new(WellKnown::Nop.id(), WellKnown::Nop.id());
+        let stack = GadgetStack::calibrate(&catalog, &mut core, vec![nop_gadget], 10);
+        assert!(stack.unit_uops() >= 1.0);
+    }
+
+    #[test]
+    fn stacks_of_multiple_gadgets_sum_activity() {
+        let (catalog, mut core) = setup();
+        let g1 = flush_load();
+        let g2 = Gadget::new(WellKnown::Nop.id(), WellKnown::SimdAdd.id());
+        let single = GadgetStack::calibrate(&catalog, &mut core, vec![g1], 50);
+        core.reset_cache();
+        let double = GadgetStack::calibrate(&catalog, &mut core, vec![g1, g2], 50);
+        assert!(double.unit_uops() > single.unit_uops());
+        assert!(double.unit_activity[Feature::SimdOps] > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_stack_panics() {
+        let (catalog, mut core) = setup();
+        GadgetStack::calibrate(&catalog, &mut core, vec![], 10);
+    }
+}

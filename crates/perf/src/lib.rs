@@ -1,0 +1,20 @@
+//! # aegis-perf
+//!
+//! A `perf_event_open`-style monitoring layer over the simulated cores of
+//! [`aegis_microarch`]: counter-slot programming with origin filters
+//! (pid / exclude-kernel analogues), time multiplexing with
+//! enabled/running scaling when more events are requested than the four
+//! hardware slots, and interval-sampled trace recording.
+//!
+//! This is the acquisition path both sides of the Aegis paper use: the
+//! malicious host samples four events per 1 ms over 3 s to mount attacks,
+//! and the Application Profiler opens groups of `C = 4` events at a time
+//! to characterize all of them.
+
+mod monitor;
+mod recorder;
+mod trace;
+
+pub use monitor::{PerfError, PerfMonitor, DEFAULT_QUANTUM_NS};
+pub use recorder::TraceRecorder;
+pub use trace::Trace;

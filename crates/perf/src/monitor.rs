@@ -1,0 +1,319 @@
+//! The perf-style monitor: programs the four hardware counter slots,
+//! time-multiplexes larger event groups, and scales counts by
+//! enabled/running time exactly like the Linux perf subsystem.
+
+use aegis_microarch::{Core, CounterConfig, EventId, OriginFilter, COUNTER_SLOTS};
+use std::fmt;
+
+/// Default multiplex rotation quantum (the kernel default is on the order
+/// of a scheduler tick).
+pub const DEFAULT_QUANTUM_NS: u64 = 4_000_000;
+
+/// Error opening or operating a [`PerfMonitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// No events requested.
+    NoEvents,
+    /// An event id was rejected by the PMU (unknown on this core).
+    UnknownEvent(EventId),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::NoEvents => f.write_str("no events requested"),
+            PerfError::UnknownEvent(e) => write!(f, "event {e} unknown on this core"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+/// A perf-like monitor over one core.
+///
+/// When more events are requested than the four hardware slots, groups of
+/// four are rotated on a time quantum and counts are *scaled* by
+/// enabled/running time — the same time-multiplexing behaviour the paper
+/// points out degrades accuracy, which is why the profiler monitors at
+/// most `C = 4` events per pass.
+///
+/// The monitor is driven by the simulation loop: call
+/// [`PerfMonitor::on_executed`] after each slice of core execution.
+#[derive(Debug)]
+pub struct PerfMonitor {
+    events: Vec<EventId>,
+    filter: OriginFilter,
+    groups: Vec<Vec<usize>>,
+    active_group: usize,
+    quantum_ns: u64,
+    time_in_group_ns: u64,
+    enabled_ns: u64,
+    running_ns: Vec<u64>,
+    accumulated: Vec<f64>,
+}
+
+impl PerfMonitor {
+    /// Opens a monitor for `events` on `core` with the given origin
+    /// filter, programming the first multiplex group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::NoEvents`] for an empty list and
+    /// [`PerfError::UnknownEvent`] if an event is not in the core's
+    /// catalog.
+    pub fn open(
+        core: &mut Core,
+        events: Vec<EventId>,
+        filter: OriginFilter,
+    ) -> Result<Self, PerfError> {
+        if events.is_empty() {
+            return Err(PerfError::NoEvents);
+        }
+        for &e in &events {
+            if core.catalog().get(e).is_none() {
+                return Err(PerfError::UnknownEvent(e));
+            }
+        }
+        let groups: Vec<Vec<usize>> = (0..events.len())
+            .collect::<Vec<_>>()
+            .chunks(COUNTER_SLOTS)
+            .map(<[usize]>::to_vec)
+            .collect();
+        let n = events.len();
+        let mut mon = PerfMonitor {
+            events,
+            filter,
+            groups,
+            active_group: 0,
+            quantum_ns: DEFAULT_QUANTUM_NS,
+            time_in_group_ns: 0,
+            enabled_ns: 0,
+            running_ns: vec![0; n],
+            accumulated: vec![0.0; n],
+        };
+        mon.program_active(core);
+        Ok(mon)
+    }
+
+    /// Overrides the multiplex rotation quantum.
+    pub fn set_quantum(&mut self, quantum_ns: u64) {
+        self.quantum_ns = quantum_ns.max(1);
+    }
+
+    /// The monitored events in request order.
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Whether the monitor needs time multiplexing.
+    pub fn is_multiplexed(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    fn program_active(&mut self, core: &mut Core) {
+        for slot in 0..COUNTER_SLOTS {
+            core.pmu_mut().clear(slot);
+        }
+        let filter = self.filter;
+        for (slot, &idx) in self.groups[self.active_group].iter().enumerate() {
+            core.pmu_mut()
+                .program(
+                    slot,
+                    CounterConfig {
+                        event: self.events[idx],
+                        filter,
+                    },
+                )
+                .expect("events validated at open");
+        }
+    }
+
+    fn collect_active(&mut self, core: &mut Core) {
+        for (slot, &idx) in self.groups[self.active_group].iter().enumerate() {
+            let v = core.pmu().rdpmc(slot).expect("slot programmed") as f64;
+            self.accumulated[idx] += v;
+            core.pmu_mut().reset_value(slot);
+        }
+    }
+
+    /// Notifies the monitor that the core just executed `dur_ns` of work.
+    /// Rotates the active multiplex group when the quantum expires.
+    pub fn on_executed(&mut self, core: &mut Core, dur_ns: u64) {
+        self.enabled_ns += dur_ns;
+        for &idx in &self.groups[self.active_group] {
+            self.running_ns[idx] += dur_ns;
+        }
+        self.time_in_group_ns += dur_ns;
+        if self.is_multiplexed() && self.time_in_group_ns >= self.quantum_ns {
+            self.collect_active(core);
+            self.active_group = (self.active_group + 1) % self.groups.len();
+            self.program_active(core);
+            self.time_in_group_ns = 0;
+        }
+    }
+
+    /// Reads the scaled cumulative counts of all events:
+    /// `count * enabled / running`, the perf multiplexing estimate.
+    pub fn read_scaled(&mut self, core: &mut Core) -> Vec<f64> {
+        self.collect_active(core);
+        self.accumulated
+            .iter()
+            .zip(&self.running_ns)
+            .map(|(&acc, &run)| {
+                if run == 0 {
+                    0.0
+                } else {
+                    acc * self.enabled_ns as f64 / run as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Reads scaled counts and resets the accumulation window — one
+    /// sampling interval.
+    pub fn sample_and_reset(&mut self, core: &mut Core) -> Vec<f64> {
+        let out = self.read_scaled(core);
+        self.accumulated.iter_mut().for_each(|v| *v = 0.0);
+        self.running_ns.iter_mut().for_each(|v| *v = 0);
+        self.enabled_ns = 0;
+        out
+    }
+
+    /// Closes the monitor, freeing the hardware slots.
+    pub fn close(self, core: &mut Core) {
+        for slot in 0..COUNTER_SLOTS {
+            core.pmu_mut().clear(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::{ActivityVector, Feature, InterferenceConfig, MicroArch, Origin};
+
+    fn core() -> Core {
+        let mut c = Core::new(MicroArch::AmdEpyc7252, 11);
+        c.set_interference(InterferenceConfig::isolated());
+        c
+    }
+
+    fn uops_rate(r: f64) -> ActivityVector {
+        ActivityVector::from_pairs(&[(Feature::UopsRetired, r)])
+    }
+
+    #[test]
+    fn open_rejects_empty_and_unknown() {
+        let mut c = core();
+        assert_eq!(
+            PerfMonitor::open(&mut c, vec![], OriginFilter::Any).err(),
+            Some(PerfError::NoEvents)
+        );
+        assert_eq!(
+            PerfMonitor::open(&mut c, vec![EventId(u32::MAX)], OriginFilter::Any).err(),
+            Some(PerfError::UnknownEvent(EventId(u32::MAX)))
+        );
+    }
+
+    #[test]
+    fn four_events_not_multiplexed() {
+        let mut c = core();
+        let ids = c.catalog().attack_events().to_vec();
+        let mon = PerfMonitor::open(&mut c, ids, OriginFilter::Any).unwrap();
+        assert!(!mon.is_multiplexed());
+    }
+
+    #[test]
+    fn counts_accumulate_unmultiplexed() {
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let mut mon = PerfMonitor::open(&mut c, vec![ev], OriginFilter::Any).unwrap();
+        for _ in 0..10 {
+            c.run_mix(&uops_rate(100.0), 100_000, Origin::Host); // 0.1ms
+            mon.on_executed(&mut c, 100_000);
+        }
+        let counts = mon.read_scaled(&mut c);
+        // 1 ms total at 100 uops/us = 100k uops.
+        assert!((counts[0] - 100_000.0).abs() < 15_000.0, "{}", counts[0]);
+    }
+
+    #[test]
+    fn multiplexed_scaling_estimates_true_count() {
+        let mut c = core();
+        // Monitor RETIRED_UOPS plus 7 fillers → 2 groups, ~50% running each.
+        let cat = c.catalog();
+        let uops_ev = cat.lookup(aegis_microarch::named::RETIRED_UOPS).unwrap();
+        let mut ids = vec![uops_ev];
+        ids.extend(
+            cat.events()
+                .iter()
+                .map(|e| e.id)
+                .filter(|&e| e != uops_ev)
+                .take(7),
+        );
+        let mut mon = PerfMonitor::open(&mut c, ids, OriginFilter::Any).unwrap();
+        assert!(mon.is_multiplexed());
+        mon.set_quantum(200_000);
+        let steady = uops_rate(100.0);
+        for _ in 0..200 {
+            c.run_mix(&steady, 100_000, Origin::Host);
+            mon.on_executed(&mut c, 100_000);
+        }
+        let counts = mon.read_scaled(&mut c);
+        // Total 20 ms at 100 uops/us = 2e6 uops; RETIRED_UOPS has weight 1.0
+        // and ran only ~half the time, so scaling must recover ~2e6.
+        let expected = 2.0e6;
+        assert!(
+            (counts[0] - expected).abs() / expected < 0.25,
+            "scaled {} vs expected {expected}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn sample_and_reset_windows_are_independent() {
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let mut mon = PerfMonitor::open(&mut c, vec![ev], OriginFilter::Any).unwrap();
+        c.run_mix(&uops_rate(50.0), 1_000_000, Origin::Host);
+        mon.on_executed(&mut c, 1_000_000);
+        let s1 = mon.sample_and_reset(&mut c);
+        let s2 = mon.sample_and_reset(&mut c);
+        assert!(s1[0] > 10_000.0);
+        assert_eq!(s2[0], 0.0);
+    }
+
+    #[test]
+    fn guest_filter_sees_only_guest_activity() {
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let mut mon = PerfMonitor::open(&mut c, vec![ev], OriginFilter::GuestOnly(1)).unwrap();
+        c.run_mix(&uops_rate(100.0), 1_000_000, Origin::Host);
+        mon.on_executed(&mut c, 1_000_000);
+        assert_eq!(mon.read_scaled(&mut c)[0], 0.0);
+        c.run_mix(&uops_rate(100.0), 1_000_000, Origin::Guest(1));
+        mon.on_executed(&mut c, 1_000_000);
+        assert!(mon.read_scaled(&mut c)[0] > 0.0);
+    }
+
+    #[test]
+    fn close_frees_slots() {
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let mon = PerfMonitor::open(&mut c, vec![ev], OriginFilter::Any).unwrap();
+        mon.close(&mut c);
+        assert!(c.pmu().rdpmc(0).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Sampled HPC traces: the time-series matrices exchanged between the
+//! attacker, the profiler and the defense evaluation.
+
+use aegis_microarch::EventId;
+use serde::{Deserialize, Serialize};
+
+/// A sampled HPC leakage trace: for each monitored event, a time series of
+/// per-interval counts.
+///
+/// This is the `x ∈ X` object of the paper's attack abstraction: "each
+/// trace is a time-series of length `T`, where every time slice `x[t]` is
+/// a vector of monitored events". The paper's attacker samples 4 events at
+/// 1 ms for 3 s, giving a 4×3000 tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Monitored events, one per row.
+    pub events: Vec<EventId>,
+    /// Sampling interval in nanoseconds.
+    pub interval_ns: u64,
+    /// `data[e][t]` = scaled count of `events[e]` in interval `t`.
+    pub data: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given events and interval.
+    pub fn new(events: Vec<EventId>, interval_ns: u64) -> Self {
+        let n = events.len();
+        Trace {
+            events,
+            interval_ns,
+            data: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of monitored events (rows).
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of time slices (columns).
+    pub fn len(&self) -> usize {
+        self.data.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the trace has no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one time slice (one value per event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() != self.n_events()`.
+    pub fn push_slice(&mut self, slice: &[f64]) {
+        assert_eq!(slice.len(), self.n_events(), "slice arity mismatch");
+        for (row, &v) in self.data.iter_mut().zip(slice) {
+            row.push(v);
+        }
+    }
+
+    /// The series of one event row.
+    pub fn row(&self, event_idx: usize) -> &[f64] {
+        &self.data[event_idx]
+    }
+
+    /// Flattens to a feature vector (row-major), the layout consumed by
+    /// the attack models.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_events() * self.len());
+        for row in &self.data {
+            out.extend_from_slice(row);
+        }
+        out
+    }
+
+    /// Total counts per event over the whole trace.
+    pub fn totals(&self) -> Vec<f64> {
+        self.data.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Peak (maximum) per-interval count over all events and slices —
+    /// the `p` of the paper's constant-output and random-noise baselines.
+    pub fn peak(&self) -> f64 {
+        self.data
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(vec![EventId(0), EventId(1)], 1_000_000);
+        t.push_slice(&[1.0, 10.0]);
+        t.push_slice(&[2.0, 20.0]);
+        t.push_slice(&[3.0, 30.0]);
+        t
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = trace();
+        assert_eq!(t.n_events(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rows_and_flatten() {
+        let t = trace();
+        assert_eq!(t.row(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(t.to_flat(), vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn totals_and_peak() {
+        let t = trace();
+        assert_eq!(t.totals(), vec![6.0, 60.0]);
+        assert_eq!(t.peak(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        trace().push_slice(&[1.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(vec![EventId(0)], 1);
+        assert!(t.is_empty());
+        assert_eq!(t.peak(), 0.0);
+    }
+}

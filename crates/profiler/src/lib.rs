@@ -1,0 +1,29 @@
+//! # aegis-profiler
+//!
+//! The Application Profiler (Module 1 of Aegis): identifies which HPC
+//! events leak a protected application's secrets, and how badly.
+//!
+//! Profiling runs offline on a *template server* of the same processor
+//! family as the target cloud host, where the customer has host
+//! privileges. Two stages:
+//!
+//! 1. **Warm-up profiling** ([`warmup_profile`]) — compare every event's
+//!    counts with the application running vs idle, in groups of `C = 4`
+//!    to avoid counter multiplexing; fewer than 10% of events survive.
+//! 2. **Event ranking** ([`rank_events`]) — measure each surviving event
+//!    `m` times per secret, PCA-reduce each series to a scalar, fit
+//!    per-secret Gaussians, and compute the mutual information of Eq. 1
+//!    as the vulnerability score.
+//!
+//! The [`CostModel`] reproduces the paper's profiling-time accounting
+//! (`T_W = M·t_w·2/C`, `T_P = N·S·100·t_p/C`).
+
+mod cost;
+mod ranking;
+mod selection;
+mod warmup;
+
+pub use cost::CostModel;
+pub use ranking::{gaussian_mixture_mi, rank_events, EventRanking, RankConfig};
+pub use selection::select_monitoring_events;
+pub use warmup::{warmup_profile, KindSurvival, WarmupConfig, WarmupResult};

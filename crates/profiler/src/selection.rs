@@ -1,0 +1,132 @@
+//! Monitoring-slot selection from the vulnerability ranking.
+//!
+//! The attacker (and the defender assessing worst-case leakage) can only
+//! monitor `C = 4` events concurrently; the paper selects the four events
+//! used throughout its case studies from the ranking results of Section
+//! VIII-A: "These four events would leak most information about the
+//! secrets sealed in the confidential VM", while covering *different*
+//! micro-architectural aspects ("instruction retirements, operation
+//! dispatch and cache accesses"). This module reproduces that selection:
+//! greedy by mutual information with a diversity constraint on the
+//! events' dominant features.
+
+use crate::ranking::EventRanking;
+use aegis_microarch::{EventCatalog, EventId, Feature};
+
+/// Selects up to `slots` events to monitor: descending mutual
+/// information, skipping events whose dominant feature is already
+/// represented (so the set spans distinct micro-architectural aspects,
+/// like the paper's retirement/dispatch/cache mix). Falls back to pure
+/// ranking order if diversity cannot fill the slots.
+pub fn select_monitoring_events(
+    rankings: &[EventRanking],
+    catalog: &EventCatalog,
+    slots: usize,
+) -> Vec<EventId> {
+    let mut chosen: Vec<EventId> = Vec::with_capacity(slots);
+    let mut used_features: Vec<Feature> = Vec::with_capacity(slots);
+    for r in rankings {
+        if chosen.len() == slots {
+            break;
+        }
+        let Some(desc) = catalog.get(r.event) else {
+            continue;
+        };
+        let Some(dominant) = desc.dominant_feature() else {
+            continue;
+        };
+        if !used_features.contains(&dominant) {
+            chosen.push(r.event);
+            used_features.push(dominant);
+        }
+    }
+    // Fill any remaining slots by raw rank.
+    for r in rankings {
+        if chosen.len() == slots {
+            break;
+        }
+        if !chosen.contains(&r.event) {
+            chosen.push(r.event);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::MicroArch;
+
+    fn rank(event: u32, mi: f64, catalog: &EventCatalog) -> EventRanking {
+        EventRanking {
+            event: EventId(event),
+            name: catalog.get(EventId(event)).unwrap().name.clone(),
+            mi_bits: mi,
+        }
+    }
+
+    #[test]
+    fn selection_prefers_rank_but_enforces_feature_diversity() {
+        let catalog = EventCatalog::for_arch(MicroArch::AmdEpyc7252);
+        // Find two events sharing a dominant feature and one differing.
+        let events = catalog.events();
+        let a = &events[0];
+        let same = events
+            .iter()
+            .find(|e| e.id != a.id && e.dominant_feature() == a.dominant_feature())
+            .expect("a same-feature event exists");
+        let diff = events
+            .iter()
+            .find(|e| {
+                e.dominant_feature().is_some() && e.dominant_feature() != a.dominant_feature()
+            })
+            .expect("a different-feature event exists");
+        let rankings = vec![
+            rank(a.id.0, 3.0, &catalog),
+            rank(same.id.0, 2.9, &catalog),
+            rank(diff.id.0, 2.0, &catalog),
+        ];
+        let picked = select_monitoring_events(&rankings, &catalog, 2);
+        assert_eq!(picked, vec![a.id, diff.id], "diversity must skip the clone");
+    }
+
+    #[test]
+    fn falls_back_to_rank_order_when_diversity_exhausted() {
+        let catalog = EventCatalog::for_arch(MicroArch::AmdEpyc7252);
+        let events = catalog.events();
+        let a = &events[0];
+        let same: Vec<&aegis_microarch::EventDesc> = events
+            .iter()
+            .filter(|e| e.dominant_feature() == a.dominant_feature())
+            .take(3)
+            .collect();
+        assert!(same.len() >= 3);
+        let rankings: Vec<EventRanking> = same
+            .iter()
+            .enumerate()
+            .map(|(i, e)| rank(e.id.0, 3.0 - i as f64 * 0.1, &catalog))
+            .collect();
+        let picked = select_monitoring_events(&rankings, &catalog, 3);
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked[0], same[0].id);
+    }
+
+    #[test]
+    fn never_selects_more_than_slots() {
+        let catalog = EventCatalog::for_arch(MicroArch::AmdEpyc7252);
+        let rankings: Vec<EventRanking> = catalog
+            .events()
+            .iter()
+            .take(20)
+            .map(|e| rank(e.id.0, 1.0, &catalog))
+            .collect();
+        assert_eq!(select_monitoring_events(&rankings, &catalog, 4).len(), 4);
+        assert!(select_monitoring_events(&rankings, &catalog, 50).len() <= 20);
+    }
+
+    #[test]
+    fn empty_rankings_select_nothing() {
+        let catalog = EventCatalog::for_arch(MicroArch::AmdEpyc7252);
+        assert!(select_monitoring_events(&[], &catalog, 4).is_empty());
+    }
+}

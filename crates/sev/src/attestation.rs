@@ -1,0 +1,206 @@
+//! Remote attestation.
+//!
+//! Before trusting a cloud VM with secrets, the customer performs remote
+//! attestation against the platform security processor "to confirm if the
+//! hardware details and security settings are correct"; in particular,
+//! "the processor model of the cloud server is obtained from the AMD PSP
+//! during the remote attestation" and drives the choice of template server
+//! (paper Sections III-A and V-B). This module models that flow: the host
+//! produces a signed-measurement stand-in, and the guest side verifies
+//! the processor family and protection mode before deploying an offline
+//! defense plan computed on a template of the same family.
+
+use crate::host::{Host, HostError, VmId};
+use crate::policy::SevMode;
+use aegis_microarch::MicroArch;
+use serde::{Deserialize, Serialize};
+
+/// An attestation report for one launched VM: the PSP-provided facts the
+/// customer's verification checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttestationReport {
+    /// The attested VM.
+    pub vm: VmId,
+    /// Processor model of the hosting platform.
+    pub arch: MicroArch,
+    /// Protection mode the VM was launched with.
+    pub mode: SevMode,
+    /// Launch measurement (a stand-in for the PSP's signed digest; covers
+    /// the VM identity, topology and policy).
+    pub measurement: u64,
+}
+
+impl AttestationReport {
+    /// Whether the attested platform belongs to the same processor family
+    /// as `template` — the compatibility requirement for an offline
+    /// defense plan profiled on that template ("this server should have a
+    /// similar processor model, i.e., in the same processor family, as
+    /// the target cloud server").
+    pub fn same_family_as(&self, template: MicroArch) -> bool {
+        self.arch.family_reference() == template.family_reference()
+    }
+
+    /// Whether memory *and* register state are sealed from the host —
+    /// what a customer should demand before shipping secrets.
+    pub fn is_fully_sealed(&self) -> bool {
+        !self.mode.memory_readable_by_host() && !self.mode.registers_readable_by_host()
+    }
+}
+
+/// Verification failures the customer's attestation check can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The platform's processor family differs from the template server's,
+    /// so the profiled event list and gadget effects do not transfer.
+    FamilyMismatch {
+        /// Family the plan was profiled on.
+        expected: MicroArch,
+        /// Family the cloud host attested.
+        actual: MicroArch,
+    },
+    /// The VM is not protected strongly enough (memory or registers
+    /// readable by the host).
+    InsufficientProtection(SevMode),
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::FamilyMismatch { expected, actual } => write!(
+                f,
+                "processor family mismatch: plan profiled on {expected}, host attests {actual}"
+            ),
+            AttestationError::InsufficientProtection(mode) => {
+                write!(f, "insufficient protection mode {mode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+impl Host {
+    /// Produces the attestation report for a VM (the PSP side of remote
+    /// attestation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::UnknownVm`] for unknown ids.
+    pub fn attest(&self, vm: VmId) -> Result<AttestationReport, HostError> {
+        let mode = self.vm_mode(vm)?;
+        // A deterministic measurement over the launch-time facts; a real
+        // PSP signs a digest of the initial memory image and policy.
+        let mut m = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for byte in [
+            vm.0 as u8,
+            mode as u8,
+            self.arch() as u8,
+            self.n_cores() as u8,
+        ] {
+            m ^= byte as u64;
+            m = m.wrapping_mul(0x1000_0000_01b3);
+        }
+        Ok(AttestationReport {
+            vm,
+            arch: self.arch(),
+            mode,
+            measurement: m,
+        })
+    }
+}
+
+/// Verifies an attestation report against the customer's requirements:
+/// full sealing and family compatibility with the profiling template.
+///
+/// # Errors
+///
+/// Returns the first [`AttestationError`] encountered.
+pub fn verify_attestation(
+    report: &AttestationReport,
+    template_arch: MicroArch,
+) -> Result<(), AttestationError> {
+    if !report.is_fully_sealed() {
+        return Err(AttestationError::InsufficientProtection(report.mode));
+    }
+    if !report.same_family_as(template_arch) {
+        return Err(AttestationError::FamilyMismatch {
+            expected: template_arch,
+            actual: report.arch,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(arch: MicroArch, mode: SevMode) -> (Host, VmId) {
+        let mut h = Host::new(arch, 2, 3);
+        let vm = h.launch_vm(1, mode).unwrap();
+        (h, vm)
+    }
+
+    #[test]
+    fn attestation_reports_platform_facts() {
+        let (h, vm) = host(MicroArch::AmdEpyc7252, SevMode::SevSnp);
+        let r = h.attest(vm).unwrap();
+        assert_eq!(r.arch, MicroArch::AmdEpyc7252);
+        assert_eq!(r.mode, SevMode::SevSnp);
+        assert!(r.is_fully_sealed());
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_mode_sensitive() {
+        let (h1, vm1) = host(MicroArch::AmdEpyc7252, SevMode::SevSnp);
+        let (h2, vm2) = host(MicroArch::AmdEpyc7252, SevMode::SevSnp);
+        assert_eq!(
+            h1.attest(vm1).unwrap().measurement,
+            h2.attest(vm2).unwrap().measurement
+        );
+        let (h3, vm3) = host(MicroArch::AmdEpyc7252, SevMode::Sev);
+        assert_ne!(
+            h1.attest(vm1).unwrap().measurement,
+            h3.attest(vm3).unwrap().measurement
+        );
+    }
+
+    #[test]
+    fn same_family_accepts_sibling_models() {
+        let (h, vm) = host(MicroArch::AmdEpyc7313P, SevMode::SevSnp);
+        let r = h.attest(vm).unwrap();
+        // Profiled on the 7252, deployed on the 7313P: same family → ok.
+        assert!(r.same_family_as(MicroArch::AmdEpyc7252));
+        assert!(!r.same_family_as(MicroArch::IntelXeonE5_1650));
+    }
+
+    #[test]
+    fn verification_rejects_weak_modes_and_wrong_family() {
+        let (h, vm) = host(MicroArch::AmdEpyc7252, SevMode::Sev);
+        let r = h.attest(vm).unwrap();
+        assert_eq!(
+            verify_attestation(&r, MicroArch::AmdEpyc7252),
+            Err(AttestationError::InsufficientProtection(SevMode::Sev))
+        );
+
+        let (h, vm) = host(MicroArch::IntelXeonE5_4617, SevMode::SevSnp);
+        let r = h.attest(vm).unwrap();
+        assert!(matches!(
+            verify_attestation(&r, MicroArch::AmdEpyc7252),
+            Err(AttestationError::FamilyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verification_accepts_a_proper_deployment() {
+        let (h, vm) = host(MicroArch::AmdEpyc7252, SevMode::SevSnp);
+        let r = h.attest(vm).unwrap();
+        assert_eq!(verify_attestation(&r, MicroArch::AmdEpyc7313P), Ok(()));
+    }
+
+    #[test]
+    fn unknown_vm_errors() {
+        let (h, _) = host(MicroArch::AmdEpyc7252, SevMode::SevSnp);
+        assert!(h.attest(VmId(42)).is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! The host: physical cores, guest VMs, and the discrete-time scheduler.
+
+use crate::policy::{SevMode, SevViolation};
+use crate::source::ActivitySource;
+use aegis_microarch::{
+    ActivityVector, Core, EventCatalog, EventId, Feature, MicroArch, Origin, OriginFilter,
+};
+use aegis_perf::{PerfError, Trace, TraceRecorder};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Scheduler tick: 100 µs of simulated time.
+pub const TICK_NS: u64 = 100_000;
+
+/// Identifier of a launched VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Error operating the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Not enough unassigned physical cores for the requested vCPUs.
+    NoFreeCores,
+    /// Unknown VM id.
+    UnknownVm(VmId),
+    /// vCPU index out of range for the VM.
+    UnknownVcpu(VmId, usize),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::NoFreeCores => f.write_str("not enough free physical cores"),
+            HostError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            HostError::UnknownVcpu(vm, v) => write!(f, "unknown vCPU {v} of {vm}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Per-vCPU execution statistics, the basis of the paper's latency and
+/// CPU-usage overhead measurements (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VcpuStats {
+    /// µops executed by the protected application.
+    pub app_uops: f64,
+    /// µops executed by the injected noise gadgets.
+    pub injected_uops: f64,
+    /// Wall-clock (simulated) time at which the app plan completed.
+    pub app_done_at_ns: Option<u64>,
+}
+
+struct Vcpu {
+    core: usize,
+    app: Option<Box<dyn ActivitySource>>,
+    injector: Option<Box<dyn ActivitySource>>,
+    stats: VcpuStats,
+}
+
+struct Vm {
+    id: VmId,
+    mode: SevMode,
+    vcpus: Vec<Vcpu>,
+    launched_at_ns: u64,
+}
+
+/// A simulated cloud host running confidential VMs.
+///
+/// The host owns the physical cores (and therefore all HPC registers): it
+/// can program and read any counter — the honest-but-curious hypervisor of
+/// the paper's threat model — but cannot read encrypted guest memory or
+/// registers, and cannot separate the activity of processes pinned to the
+/// same guest vCPU.
+pub struct Host {
+    arch: MicroArch,
+    cores: Vec<Core>,
+    assignment: Vec<Option<(usize, usize)>>, // core -> (vm_idx, vcpu_idx)
+    vms: Vec<Vm>,
+    clock_ns: u64,
+    host_bg: ActivityVector,
+}
+
+impl Host {
+    /// Creates a host with `n_cores` cores of the given model.
+    pub fn new(arch: MicroArch, n_cores: usize, seed: u64) -> Self {
+        let catalog = Arc::new(EventCatalog::for_arch(arch));
+        let cores = (0..n_cores)
+            .map(|i| Core::with_catalog(arch, Arc::clone(&catalog), seed.wrapping_add(i as u64)))
+            .collect();
+        // Light host-kernel background on every core.
+        let host_bg = ActivityVector::from_pairs(&[
+            (Feature::UopsRetired, 1.0),
+            (Feature::InstrRetired, 0.8),
+            (Feature::Loads, 0.2),
+            (Feature::Cycles, 0.5),
+            (Feature::Syscalls, 0.0005),
+        ]);
+        Host {
+            arch,
+            cores,
+            assignment: vec![None; n_cores],
+            vms: Vec::new(),
+            clock_ns: 0,
+            host_bg,
+        }
+    }
+
+    /// Processor model of every core.
+    pub fn arch(&self) -> MicroArch {
+        self.arch
+    }
+
+    /// Number of physical cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current simulated time.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Mutable access to a physical core (the host may do anything here,
+    /// including programming HPC counters against guests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn core_mut(&mut self, idx: usize) -> &mut Core {
+        &mut self.cores[idx]
+    }
+
+    /// Shared access to a physical core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn core(&self, idx: usize) -> &Core {
+        &self.cores[idx]
+    }
+
+    /// Launches a VM with `n_vcpus` vCPUs, each pinned 1:1 to a free
+    /// physical core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::NoFreeCores`] if the host is over-committed.
+    pub fn launch_vm(&mut self, n_vcpus: usize, mode: SevMode) -> Result<VmId, HostError> {
+        let free: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| self.assignment[c].is_none())
+            .take(n_vcpus)
+            .collect();
+        if free.len() < n_vcpus {
+            return Err(HostError::NoFreeCores);
+        }
+        let id = VmId(self.vms.len() as u32);
+        let vm_idx = self.vms.len();
+        let vcpus = free
+            .iter()
+            .enumerate()
+            .map(|(v, &core)| {
+                self.assignment[core] = Some((vm_idx, v));
+                Vcpu {
+                    core,
+                    app: None,
+                    injector: None,
+                    stats: VcpuStats::default(),
+                }
+            })
+            .collect();
+        self.vms.push(Vm {
+            id,
+            mode,
+            vcpus,
+            launched_at_ns: self.clock_ns,
+        });
+        Ok(id)
+    }
+
+    fn vm(&self, vm: VmId) -> Result<&Vm, HostError> {
+        self.vms
+            .iter()
+            .find(|v| v.id == vm)
+            .ok_or(HostError::UnknownVm(vm))
+    }
+
+    fn vcpu_mut(&mut self, vm: VmId, vcpu: usize) -> Result<&mut Vcpu, HostError> {
+        let v = self
+            .vms
+            .iter_mut()
+            .find(|v| v.id == vm)
+            .ok_or(HostError::UnknownVm(vm))?;
+        v.vcpus
+            .get_mut(vcpu)
+            .ok_or(HostError::UnknownVcpu(vm, vcpu))
+    }
+
+    /// The protection mode a VM was launched with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::UnknownVm`] for unknown ids.
+    pub fn vm_mode(&self, vm: VmId) -> Result<SevMode, HostError> {
+        self.vm(vm).map(|v| v.mode)
+    }
+
+    /// The physical core a vCPU is pinned to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn core_of(&self, vm: VmId, vcpu: usize) -> Result<usize, HostError> {
+        let v = self.vm(vm)?;
+        v.vcpus
+            .get(vcpu)
+            .map(|c| c.core)
+            .ok_or(HostError::UnknownVcpu(vm, vcpu))
+    }
+
+    /// Runs the protected application `source` on a vCPU, replacing any
+    /// previous app and clearing its completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn attach_app(
+        &mut self,
+        vm: VmId,
+        vcpu: usize,
+        source: Box<dyn ActivitySource>,
+    ) -> Result<(), HostError> {
+        let v = self.vcpu_mut(vm, vcpu)?;
+        v.app = Some(source);
+        v.stats.app_done_at_ns = None;
+        Ok(())
+    }
+
+    /// Installs the Event Obfuscator's noise injector on the *same* vCPU
+    /// as the protected application (the paper pins both together so the
+    /// hypervisor cannot separate them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn attach_injector(
+        &mut self,
+        vm: VmId,
+        vcpu: usize,
+        source: Box<dyn ActivitySource>,
+    ) -> Result<(), HostError> {
+        self.vcpu_mut(vm, vcpu)?.injector = Some(source);
+        Ok(())
+    }
+
+    /// Removes the injector from a vCPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn detach_injector(&mut self, vm: VmId, vcpu: usize) -> Result<(), HostError> {
+        self.vcpu_mut(vm, vcpu)?.injector = None;
+        Ok(())
+    }
+
+    /// Whether the vCPU's app plan has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn app_finished(&self, vm: VmId, vcpu: usize) -> Result<bool, HostError> {
+        let v = self.vm(vm)?;
+        let vc = v.vcpus.get(vcpu).ok_or(HostError::UnknownVcpu(vm, vcpu))?;
+        Ok(vc.app.is_none() || vc.stats.app_done_at_ns.is_some())
+    }
+
+    /// Execution statistics of a vCPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn vcpu_stats(&self, vm: VmId, vcpu: usize) -> Result<VcpuStats, HostError> {
+        let v = self.vm(vm)?;
+        v.vcpus
+            .get(vcpu)
+            .map(|c| c.stats)
+            .ok_or(HostError::UnknownVcpu(vm, vcpu))
+    }
+
+    /// Zeroes a VM's execution statistics (start of a measurement window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn reset_vm_stats(&mut self, vm: VmId) -> Result<(), HostError> {
+        let now = self.clock_ns;
+        let v = self
+            .vms
+            .iter_mut()
+            .find(|v| v.id == vm)
+            .ok_or(HostError::UnknownVm(vm))?;
+        v.launched_at_ns = now;
+        for vc in &mut v.vcpus {
+            vc.stats = VcpuStats::default();
+        }
+        Ok(())
+    }
+
+    /// VM CPU utilization since the last stats reset: fraction of the
+    /// VM's total core capacity spent executing (app + injected noise) —
+    /// what the paper measures from the host with `top`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn vm_cpu_usage(&self, vm: VmId) -> Result<f64, HostError> {
+        let v = self.vm(vm)?;
+        let elapsed_us = (self.clock_ns - v.launched_at_ns) as f64 / 1_000.0;
+        if elapsed_us == 0.0 {
+            return Ok(0.0);
+        }
+        let cap = self.arch.uops_capacity_per_us() * elapsed_us * v.vcpus.len() as f64;
+        let used: f64 = v
+            .vcpus
+            .iter()
+            .map(|c| c.stats.app_uops + c.stats.injected_uops)
+            .sum();
+        Ok(used / cap)
+    }
+
+    /// Attempts to read a guest's memory — fails for every SEV mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SevViolation::MemoryEncrypted`] when the guest is
+    /// protected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is unknown.
+    pub fn read_guest_memory(&self, vm: VmId) -> Result<Vec<u8>, SevViolation> {
+        let v = self.vm(vm).expect("known vm");
+        if v.mode.memory_readable_by_host() {
+            Ok(vec![0u8; 4096])
+        } else {
+            Err(SevViolation::MemoryEncrypted)
+        }
+    }
+
+    /// Attempts to read a guest's register state — fails for SEV-ES+.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SevViolation::RegistersEncrypted`] when protected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is unknown.
+    pub fn read_guest_registers(&self, vm: VmId) -> Result<Vec<u64>, SevViolation> {
+        let v = self.vm(vm).expect("known vm");
+        if v.mode.registers_readable_by_host() {
+            Ok(vec![0u64; 16])
+        } else {
+            Err(SevViolation::RegistersEncrypted)
+        }
+    }
+
+    /// Advances simulated time by one tick on every core, then invokes
+    /// `observer(core_idx, core, TICK_NS)` so monitors can sample.
+    pub fn tick<F: FnMut(usize, &mut Core, u64)>(&mut self, mut observer: F) {
+        for core_idx in 0..self.cores.len() {
+            let core = &mut self.cores[core_idx];
+            // Host kernel background everywhere.
+            core.run_mix(&self.host_bg, TICK_NS, Origin::Host);
+
+            if let Some((vm_idx, vcpu_idx)) = self.assignment[core_idx] {
+                let vm_id = self.vms[vm_idx].id;
+                let vcpu = &mut self.vms[vm_idx].vcpus[vcpu_idx];
+                let cap = self.arch.uops_capacity_per_us();
+
+                let app_rate = vcpu
+                    .app
+                    .as_mut()
+                    .and_then(ActivitySource::demand)
+                    .unwrap_or(ActivityVector::ZERO);
+
+                // The injector first observes the app's activity (the
+                // kernel module's RDPMC monitoring), then runs at its
+                // demanded rate with priority — the daemon inserts noise
+                // inline, ahead of app progress.
+                let inj_rate = vcpu
+                    .injector
+                    .as_mut()
+                    .map(|inj| {
+                        inj.observe_coscheduled(&app_rate, TICK_NS);
+                        inj.demand().unwrap_or(ActivityVector::ZERO)
+                    })
+                    .unwrap_or(ActivityVector::ZERO);
+                let inj_uops = inj_rate[Feature::UopsRetired].min(cap);
+                let inj_scale = if inj_rate[Feature::UopsRetired] > cap {
+                    cap / inj_rate[Feature::UopsRetired]
+                } else {
+                    1.0
+                };
+                let inj_exec = inj_rate.scaled(inj_scale);
+                let app_uops = app_rate[Feature::UopsRetired];
+                // The injector's code runs inline on the vCPU, so the app
+                // timeshares: it loses exactly the cycle fraction the
+                // injected gadget stacks occupy (plus a capacity clamp for
+                // extreme injection rates). This is where the defense's
+                // latency overhead comes from.
+                let timeshare = (1.0 - inj_uops / cap).max(0.0);
+                let remaining = (cap - inj_uops).max(0.0);
+                let cap_scale = if app_uops > 0.0 && app_uops > remaining {
+                    remaining / app_uops
+                } else {
+                    1.0
+                };
+                let app_scale = timeshare.min(cap_scale);
+                let app_exec = app_rate.scaled(app_scale);
+
+                if !inj_exec.is_zero() {
+                    core.run_mix(&inj_exec, TICK_NS, Origin::Guest(vm_id.0));
+                }
+                if !app_exec.is_zero() {
+                    core.run_mix(&app_exec, TICK_NS, Origin::Guest(vm_id.0));
+                }
+
+                let tick_us = TICK_NS as f64 / 1_000.0;
+                vcpu.stats.injected_uops += inj_exec[Feature::UopsRetired] * tick_us;
+                vcpu.stats.app_uops += app_exec[Feature::UopsRetired] * tick_us;
+
+                if let Some(inj) = vcpu.injector.as_mut() {
+                    inj.advance((TICK_NS as f64 * inj_scale) as u64);
+                }
+                if let Some(app) = vcpu.app.as_mut() {
+                    app.advance((TICK_NS as f64 * app_scale) as u64);
+                    if app.demand().is_none() && vcpu.stats.app_done_at_ns.is_none() {
+                        vcpu.stats.app_done_at_ns = Some(self.clock_ns + TICK_NS);
+                    }
+                }
+            }
+            observer(core_idx, core, TICK_NS);
+        }
+        self.clock_ns += TICK_NS;
+    }
+
+    /// Runs the host for `duration_ns` (rounded down to whole ticks).
+    pub fn run<F: FnMut(usize, &mut Core, u64)>(&mut self, duration_ns: u64, mut observer: F) {
+        for _ in 0..duration_ns / TICK_NS {
+            self.tick(&mut observer);
+        }
+    }
+
+    /// Runs until a vCPU's app completes or `timeout_ns` elapses; returns
+    /// the wall time the app took, if it finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn run_until_app_done(
+        &mut self,
+        vm: VmId,
+        vcpu: usize,
+        timeout_ns: u64,
+    ) -> Result<Option<u64>, HostError> {
+        let start = self.clock_ns;
+        while self.clock_ns - start < timeout_ns {
+            if self.app_finished(vm, vcpu)? {
+                let stats = self.vcpu_stats(vm, vcpu)?;
+                return Ok(stats.app_done_at_ns.map(|t| t - start));
+            }
+            self.tick(|_, _, _| {});
+        }
+        Ok(None)
+    }
+
+    /// Records an HPC trace on one physical core while the host runs —
+    /// the malicious hypervisor's attack acquisition, or the profiler's
+    /// measurement pass, depending on `filter`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PerfError`] from opening the monitor.
+    pub fn record_trace(
+        &mut self,
+        core_idx: usize,
+        events: Vec<EventId>,
+        filter: OriginFilter,
+        interval_ns: u64,
+        duration_ns: u64,
+    ) -> Result<Trace, PerfError> {
+        let mut rec = TraceRecorder::open(&mut self.cores[core_idx], events, filter, interval_ns)?;
+        for _ in 0..duration_ns / TICK_NS {
+            self.tick(|idx, core, dur| {
+                if idx == core_idx {
+                    rec.on_executed(core, dur);
+                }
+            });
+        }
+        Ok(rec.finish(&mut self.cores[core_idx]))
+    }
+}
+
+impl fmt::Debug for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Host")
+            .field("arch", &self.arch)
+            .field("n_cores", &self.cores.len())
+            .field("n_vms", &self.vms.len())
+            .field("clock_ns", &self.clock_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::PlanSource;
+    use aegis_microarch::named;
+    use aegis_workloads::{MixSpec, Segment, WorkloadPlan};
+
+    fn steady_plan(uops_per_us: f64, dur_ns: u64) -> WorkloadPlan {
+        let mut spec = MixSpec::idle();
+        spec.uops_per_us = uops_per_us;
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(dur_ns, spec.build()));
+        p
+    }
+
+    fn host_with_vm() -> (Host, VmId) {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 8, 3);
+        let vm = host.launch_vm(4, SevMode::SevSnp).unwrap();
+        (host, vm)
+    }
+
+    #[test]
+    fn launch_assigns_distinct_cores() {
+        let (host, vm) = host_with_vm();
+        let cores: Vec<usize> = (0..4).map(|v| host.core_of(vm, v).unwrap()).collect();
+        let mut sorted = cores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+        assert_eq!(host.launch_vm(3, SevMode::Sev), Err(HostError::NoFreeCores));
+    }
+
+    #[test]
+    fn sev_blocks_memory_but_not_hpcs() {
+        let (mut host, vm) = host_with_vm();
+        assert_eq!(
+            host.read_guest_memory(vm),
+            Err(SevViolation::MemoryEncrypted)
+        );
+        assert_eq!(
+            host.read_guest_registers(vm),
+            Err(SevViolation::RegistersEncrypted)
+        );
+        // But the host can happily monitor HPCs of the guest's core.
+        let core = host.core_of(vm, 0).unwrap();
+        let ev = host
+            .core(core)
+            .catalog()
+            .lookup(named::RETIRED_UOPS)
+            .unwrap();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(500.0, 10_000_000))),
+        )
+        .unwrap();
+        let trace = host
+            .record_trace(core, vec![ev], OriginFilter::Any, 1_000_000, 5_000_000)
+            .unwrap();
+        assert!(trace.totals()[0] > 1_000_000.0, "{:?}", trace.totals());
+    }
+
+    #[test]
+    fn unencrypted_vm_is_fully_readable() {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+        let vm = host.launch_vm(1, SevMode::Unencrypted).unwrap();
+        assert!(host.read_guest_memory(vm).is_ok());
+        assert!(host.read_guest_registers(vm).is_ok());
+    }
+
+    #[test]
+    fn app_completes_in_nominal_time_without_contention() {
+        let (mut host, vm) = host_with_vm();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(500.0, 100_000_000))),
+        )
+        .unwrap();
+        let took = host
+            .run_until_app_done(vm, 0, 1_000_000_000)
+            .unwrap()
+            .expect("app finishes");
+        // 100 ms plan at 500/4000 capacity → finishes in ~100 ms.
+        assert!(
+            (took as i64 - 100_000_000).unsigned_abs() <= 2 * TICK_NS,
+            "{took}"
+        );
+    }
+
+    #[test]
+    fn injection_slows_a_saturating_app() {
+        // App demanding the full core: any injection extends its runtime.
+        let (mut host, vm) = host_with_vm();
+        let cap = host.arch().uops_capacity_per_us();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(cap, 100_000_000))),
+        )
+        .unwrap();
+        // Injector consuming 20% of capacity forever.
+        let mut inj_spec = MixSpec::idle();
+        inj_spec.uops_per_us = cap * 0.2;
+        let mut inj_plan = WorkloadPlan::new();
+        inj_plan.push(Segment::new(u64::MAX / 2, inj_spec.build()));
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(inj_plan)))
+            .unwrap();
+        let took = host
+            .run_until_app_done(vm, 0, 2_000_000_000)
+            .unwrap()
+            .expect("app finishes");
+        let slowdown = took as f64 / 100_000_000.0;
+        assert!((1.2..1.35).contains(&slowdown), "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn cpu_usage_reflects_injection() {
+        let (mut host, vm) = host_with_vm();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(400.0, 1_000_000_000))),
+        )
+        .unwrap();
+        host.reset_vm_stats(vm).unwrap();
+        host.run(200_000_000, |_, _, _| {});
+        let base = host.vm_cpu_usage(vm).unwrap();
+        // Now add an injector at 400 uops/us on the same vCPU.
+        let mut inj_spec = MixSpec::idle();
+        inj_spec.uops_per_us = 400.0;
+        let mut inj_plan = WorkloadPlan::new();
+        inj_plan.push(Segment::new(u64::MAX / 2, inj_spec.build()));
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(inj_plan)))
+            .unwrap();
+        host.reset_vm_stats(vm).unwrap();
+        host.run(200_000_000, |_, _, _| {});
+        let with_inj = host.vm_cpu_usage(vm).unwrap();
+        assert!(
+            (with_inj - 2.0 * base).abs() / base < 0.3,
+            "base {base} with_inj {with_inj}"
+        );
+    }
+
+    #[test]
+    fn stats_track_app_and_injection_separately() {
+        let (mut host, vm) = host_with_vm();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(100.0, 50_000_000))),
+        )
+        .unwrap();
+        host.run(50_000_000, |_, _, _| {});
+        let s = host.vcpu_stats(vm, 0).unwrap();
+        assert!(s.app_uops > 4_000_000.0, "{}", s.app_uops);
+        assert_eq!(s.injected_uops, 0.0);
+    }
+
+    #[test]
+    fn clock_advances_by_ticks() {
+        let (mut host, _) = host_with_vm();
+        host.run(1_000_000, |_, _, _| {});
+        assert_eq!(host.clock_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let (mut host, vm) = host_with_vm();
+        assert!(matches!(
+            host.core_of(VmId(99), 0),
+            Err(HostError::UnknownVm(_))
+        ));
+        assert!(matches!(
+            host.attach_app(vm, 17, Box::new(PlanSource::new(WorkloadPlan::new()))),
+            Err(HostError::UnknownVcpu(_, 17))
+        ));
+    }
+}

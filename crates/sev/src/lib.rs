@@ -1,0 +1,29 @@
+//! # aegis-sev
+//!
+//! A discrete-time simulator of an SEV-protected cloud host: physical
+//! cores (from [`aegis_microarch`]), confidential guest VMs with vCPUs
+//! pinned 1:1 to cores, and an honest-but-curious hypervisor.
+//!
+//! The simulator enforces exactly the confidentiality boundary of the
+//! paper's threat model:
+//!
+//! * guest memory and (for SEV-ES+) register state are unreadable by the
+//!   host ([`SevViolation`]);
+//! * per-core HPC registers are *always* readable by the host — the side
+//!   channel Aegis defends against;
+//! * the protected application and the Event Obfuscator's injector run as
+//!   activity sources on the same vCPU, indistinguishable to the host.
+//!
+//! Latency and CPU-usage overheads of injected noise fall out of the vCPU
+//! capacity model: injected µops consume core throughput, slowing the app
+//! plan and raising the VM's busy fraction.
+
+mod attestation;
+mod host;
+mod policy;
+mod source;
+
+pub use attestation::{verify_attestation, AttestationError, AttestationReport};
+pub use host::{Host, HostError, VcpuStats, VmId, TICK_NS};
+pub use policy::{SevMode, SevViolation};
+pub use source::{ActivitySource, PlanSource};

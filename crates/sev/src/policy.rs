@@ -1,0 +1,100 @@
+//! SEV protection levels and the confidentiality errors they raise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory/register protection level of a guest VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SevMode {
+    /// Plain virtualization — the host can read everything.
+    Unencrypted,
+    /// SEV: guest memory encrypted with a per-VM key.
+    Sev,
+    /// SEV-ES: additionally encrypts register state on world switches.
+    SevEs,
+    /// SEV-SNP: adds memory-integrity protection (the paper's baseline).
+    SevSnp,
+}
+
+impl SevMode {
+    /// Whether the host can read guest memory pages.
+    pub fn memory_readable_by_host(self) -> bool {
+        self == SevMode::Unencrypted
+    }
+
+    /// Whether the host can read guest register state.
+    pub fn registers_readable_by_host(self) -> bool {
+        matches!(self, SevMode::Unencrypted | SevMode::Sev)
+    }
+
+    /// Whether the host can observe per-core HPC values mapping to guest
+    /// execution. True for every SEV generation — the gap this paper (and
+    /// Aegis) addresses; Intel TDX isolates guest HPCs instead.
+    pub fn hpcs_readable_by_host(self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for SevMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SevMode::Unencrypted => "unencrypted",
+            SevMode::Sev => "SEV",
+            SevMode::SevEs => "SEV-ES",
+            SevMode::SevSnp => "SEV-SNP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when the host attempts to breach a guest's
+/// confidentiality boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SevViolation {
+    /// Guest memory is encrypted.
+    MemoryEncrypted,
+    /// Guest register state is encrypted (SEV-ES+).
+    RegistersEncrypted,
+}
+
+impl fmt::Display for SevViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SevViolation::MemoryEncrypted => f.write_str("guest memory is encrypted"),
+            SevViolation::RegistersEncrypted => f.write_str("guest register state is encrypted"),
+        }
+    }
+}
+
+impl std::error::Error for SevViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_strengthens_with_generation() {
+        assert!(SevMode::Unencrypted.memory_readable_by_host());
+        assert!(!SevMode::Sev.memory_readable_by_host());
+        assert!(SevMode::Sev.registers_readable_by_host());
+        assert!(!SevMode::SevEs.registers_readable_by_host());
+        assert!(!SevMode::SevSnp.registers_readable_by_host());
+    }
+
+    #[test]
+    fn hpcs_leak_on_every_generation() {
+        for m in [
+            SevMode::Unencrypted,
+            SevMode::Sev,
+            SevMode::SevEs,
+            SevMode::SevSnp,
+        ] {
+            assert!(m.hpcs_readable_by_host(), "{m}");
+        }
+    }
+
+    #[test]
+    fn modes_are_ordered() {
+        assert!(SevMode::Sev < SevMode::SevSnp);
+    }
+}

@@ -1,0 +1,158 @@
+//! Activity sources: what a guest vCPU executes, tick by tick.
+
+use aegis_microarch::ActivityVector;
+use aegis_workloads::WorkloadPlan;
+
+/// A producer of guest activity, consumed by the vCPU scheduler.
+///
+/// Two kinds of source exist in an Aegis deployment: the protected
+/// application (a [`PlanSource`] over a [`WorkloadPlan`]) and the Event
+/// Obfuscator's noise injector. Both run on the *same* vCPU, so the
+/// malicious hypervisor cannot schedule them apart or tell their counter
+/// contributions apart.
+pub trait ActivitySource {
+    /// The activity rate (per microsecond) the source wants to execute
+    /// right now, or `None` if it has finished.
+    fn demand(&mut self) -> Option<ActivityVector>;
+
+    /// Advances the source's own plan by `plan_ns` nanoseconds. Under CPU
+    /// contention the scheduler grants less plan time than wall time —
+    /// that slowdown *is* the defense's latency overhead.
+    fn advance(&mut self, plan_ns: u64);
+
+    /// Called by the scheduler on *injector* sources before [`demand`],
+    /// with the activity rate the co-scheduled application will execute
+    /// this tick. This models what the Event Obfuscator's kernel module
+    /// observes by reading the vCPU's counters with RDPMC (the real HPC
+    /// values `x[t]` the d* mechanism needs). Default: ignored.
+    ///
+    /// [`demand`]: ActivitySource::demand
+    fn observe_coscheduled(&mut self, _app_rate: &ActivityVector, _tick_ns: u64) {}
+}
+
+impl<T: ActivitySource + ?Sized> ActivitySource for Box<T> {
+    fn demand(&mut self) -> Option<ActivityVector> {
+        (**self).demand()
+    }
+
+    fn advance(&mut self, plan_ns: u64) {
+        (**self).advance(plan_ns)
+    }
+
+    fn observe_coscheduled(&mut self, app_rate: &ActivityVector, tick_ns: u64) {
+        (**self).observe_coscheduled(app_rate, tick_ns)
+    }
+}
+
+/// An [`ActivitySource`] that plays a [`WorkloadPlan`] from start to end.
+#[derive(Debug, Clone)]
+pub struct PlanSource {
+    plan: WorkloadPlan,
+    segment: usize,
+    offset_ns: u64,
+}
+
+impl PlanSource {
+    /// Wraps a plan.
+    pub fn new(plan: WorkloadPlan) -> Self {
+        PlanSource {
+            plan,
+            segment: 0,
+            offset_ns: 0,
+        }
+    }
+
+    /// Whether the plan has been fully executed.
+    pub fn finished(&self) -> bool {
+        self.segment >= self.plan.segments.len()
+    }
+
+    /// Plan time executed so far, nanoseconds.
+    pub fn executed_ns(&self) -> u64 {
+        let done: u64 = self.plan.segments[..self.segment]
+            .iter()
+            .map(|s| s.duration_ns)
+            .sum();
+        done + self.offset_ns
+    }
+}
+
+impl ActivitySource for PlanSource {
+    fn demand(&mut self) -> Option<ActivityVector> {
+        self.plan.segments.get(self.segment).map(|s| s.rate)
+    }
+
+    fn advance(&mut self, mut plan_ns: u64) {
+        while plan_ns > 0 {
+            let Some(seg) = self.plan.segments.get(self.segment) else {
+                return;
+            };
+            let left = seg.duration_ns - self.offset_ns;
+            if plan_ns < left {
+                self.offset_ns += plan_ns;
+                return;
+            }
+            plan_ns -= left;
+            self.segment += 1;
+            self.offset_ns = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::Feature;
+    use aegis_workloads::Segment;
+
+    fn plan() -> WorkloadPlan {
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(
+            1_000_000,
+            ActivityVector::from_pairs(&[(Feature::UopsRetired, 100.0)]),
+        ));
+        p.push(Segment::new(
+            2_000_000,
+            ActivityVector::from_pairs(&[(Feature::UopsRetired, 50.0)]),
+        ));
+        p
+    }
+
+    #[test]
+    fn demand_follows_segments() {
+        let mut s = PlanSource::new(plan());
+        assert_eq!(s.demand().unwrap()[Feature::UopsRetired], 100.0);
+        s.advance(1_000_000);
+        assert_eq!(s.demand().unwrap()[Feature::UopsRetired], 50.0);
+        s.advance(2_000_000);
+        assert!(s.demand().is_none());
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn advance_spans_segment_boundaries() {
+        let mut s = PlanSource::new(plan());
+        s.advance(2_500_000);
+        assert_eq!(s.executed_ns(), 2_500_000);
+        assert_eq!(s.demand().unwrap()[Feature::UopsRetired], 50.0);
+    }
+
+    #[test]
+    fn advance_past_end_is_harmless() {
+        let mut s = PlanSource::new(plan());
+        s.advance(10_000_000);
+        assert!(s.finished());
+        assert_eq!(s.executed_ns(), 3_000_000);
+        s.advance(1);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn partial_advance_tracks_offset() {
+        let mut s = PlanSource::new(plan());
+        s.advance(400_000);
+        s.advance(400_000);
+        assert_eq!(s.executed_ns(), 800_000);
+        assert!(!s.finished());
+    }
+}

@@ -1,0 +1,63 @@
+//! The [`SecretApp`] abstraction: an application executing one of a set of
+//! customer-specified secrets.
+
+use crate::plan::WorkloadPlan;
+use rand::rngs::StdRng;
+
+/// An application parameterized by a secret, as in the paper's attack
+/// abstraction: the victim runs the app with secret `y ∈ Y`, and the HPC
+/// leakage trace `x ∈ X` is what the attacker observes.
+///
+/// Implemented by the three case studies: [`WebsiteCatalog`] (45 sites),
+/// [`KeystrokeApp`] (0–9 keystrokes), and [`DnnZoo`] (30 models).
+///
+/// [`WebsiteCatalog`]: crate::WebsiteCatalog
+/// [`KeystrokeApp`]: crate::KeystrokeApp
+/// [`DnnZoo`]: crate::DnnZoo
+pub trait SecretApp {
+    /// Human-readable application name.
+    fn name(&self) -> &str;
+
+    /// Number of distinct secrets.
+    fn n_secrets(&self) -> usize;
+
+    /// Human-readable name of one secret.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `idx >= self.n_secrets()`.
+    fn secret_name(&self, idx: usize) -> String;
+
+    /// Length of one monitored execution window (3 s in the paper).
+    fn window_ns(&self) -> u64;
+
+    /// Samples one execution of the app with the given secret. Every call
+    /// draws fresh within-class jitter from `rng`; plans span exactly
+    /// [`SecretApp::window_ns`].
+    fn sample_plan(&self, secret: usize, rng: &mut StdRng) -> WorkloadPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DnnZoo, KeystrokeApp, WebsiteCatalog};
+    use rand::SeedableRng;
+
+    fn check_app(app: &dyn SecretApp) {
+        assert!(app.n_secrets() > 1);
+        assert!(!app.name().is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in [0, app.n_secrets() - 1] {
+            let plan = app.sample_plan(s, &mut rng);
+            assert_eq!(plan.duration_ns(), app.window_ns(), "{} s={s}", app.name());
+            assert!(!app.secret_name(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn all_three_case_studies_satisfy_the_contract() {
+        check_app(&WebsiteCatalog::new(7));
+        check_app(&KeystrokeApp::new());
+        check_app(&DnnZoo::new(7));
+    }
+}

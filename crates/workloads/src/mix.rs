@@ -1,0 +1,170 @@
+//! Consistent activity-mix construction.
+//!
+//! [`MixSpec`] describes an execution phase in high-level terms (µop rate,
+//! memory intensity, miss rates, branchiness, SIMD share, kernel
+//! interaction) and expands it into an internally consistent
+//! [`ActivityVector`]: cache hits + misses equal accesses, cycles cover
+//! µops plus miss penalties, and so on. Workload profiles are built from
+//! these specs so that every HPC event in the catalog sees plausible,
+//! correlated values.
+
+use aegis_microarch::{ActivityVector, Feature};
+use serde::{Deserialize, Serialize};
+
+/// High-level description of an execution phase, expanded to a consistent
+/// per-microsecond [`ActivityVector`] by [`MixSpec::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// µops retired per microsecond (phase intensity).
+    pub uops_per_us: f64,
+    /// Fraction of µops that are loads.
+    pub load_frac: f64,
+    /// Fraction of µops that are stores.
+    pub store_frac: f64,
+    /// L1D miss rate over data accesses.
+    pub l1_miss_rate: f64,
+    /// Of L1D misses, fraction that also miss L2.
+    pub l2_miss_rate: f64,
+    /// Of L2 misses, fraction that miss LLC (refill from system).
+    pub llc_miss_rate: f64,
+    /// Fraction of µops that are branches.
+    pub branch_frac: f64,
+    /// Misprediction rate over branches.
+    pub branch_miss_rate: f64,
+    /// Fraction of µops that are packed SIMD.
+    pub simd_frac: f64,
+    /// Fraction of µops that are scalar FP.
+    pub fp_frac: f64,
+    /// System calls per microsecond.
+    pub syscalls_per_us: f64,
+    /// Page faults per microsecond.
+    pub page_faults_per_us: f64,
+}
+
+impl MixSpec {
+    /// A near-idle VM: background daemons only.
+    pub fn idle() -> Self {
+        MixSpec {
+            uops_per_us: 2.0,
+            load_frac: 0.2,
+            store_frac: 0.1,
+            l1_miss_rate: 0.05,
+            l2_miss_rate: 0.3,
+            llc_miss_rate: 0.3,
+            branch_frac: 0.15,
+            branch_miss_rate: 0.05,
+            simd_frac: 0.0,
+            fp_frac: 0.0,
+            syscalls_per_us: 0.001,
+            page_faults_per_us: 0.0001,
+        }
+    }
+
+    /// Expands the spec into an activity rate per microsecond.
+    pub fn build(&self) -> ActivityVector {
+        let uops = self.uops_per_us.max(0.0);
+        let instr = uops / 1.25; // average µops per instruction
+        let loads = uops * self.load_frac.clamp(0.0, 1.0);
+        let stores = uops * self.store_frac.clamp(0.0, 1.0);
+        let accesses = loads + stores;
+        let l1_miss = accesses * self.l1_miss_rate.clamp(0.0, 1.0);
+        let l1_hit = accesses - l1_miss;
+        let l2_miss = l1_miss * self.l2_miss_rate.clamp(0.0, 1.0);
+        let llc_miss = l2_miss * self.llc_miss_rate.clamp(0.0, 1.0);
+        let dtlb_miss = accesses * 0.002 + llc_miss * 0.05;
+        let branches = uops * self.branch_frac.clamp(0.0, 1.0);
+        let branch_misses = branches * self.branch_miss_rate.clamp(0.0, 1.0);
+        let simd = uops * self.simd_frac.clamp(0.0, 1.0);
+        let fp = uops * self.fp_frac.clamp(0.0, 1.0);
+        // Cycle model: ~1 µop/cycle base IPC plus miss and misprediction
+        // penalties; stall cycles are everything beyond retirement slots.
+        let cycles =
+            uops / 2.5 + l1_miss * 10.0 + l2_miss * 30.0 + llc_miss * 120.0 + branch_misses * 15.0;
+        let stalls = (cycles - uops / 4.0).max(0.0);
+        ActivityVector::from_pairs(&[
+            (Feature::UopsRetired, uops),
+            (Feature::InstrRetired, instr),
+            (Feature::Loads, loads),
+            (Feature::Stores, stores),
+            (Feature::L1dAccess, accesses),
+            (Feature::L1dHit, l1_hit),
+            (Feature::L1dMiss, l1_miss),
+            (Feature::L2Miss, l2_miss),
+            (Feature::LlcMiss, llc_miss),
+            (Feature::DtlbMiss, dtlb_miss),
+            (Feature::Branches, branches),
+            (Feature::BranchMisses, branch_misses),
+            (Feature::SimdOps, simd),
+            (Feature::FpOps, fp),
+            (Feature::StallCycles, stalls),
+            (Feature::Cycles, cycles),
+            (Feature::Syscalls, self.syscalls_per_us.max(0.0)),
+            (Feature::PageFaults, self.page_faults_per_us.max(0.0)),
+        ])
+    }
+}
+
+/// The canonical idle activity rate, used to pad plans to the monitoring
+/// window.
+pub fn idle_rate() -> ActivityVector {
+    MixSpec::idle().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_mix_is_internally_consistent() {
+        let spec = MixSpec {
+            uops_per_us: 1000.0,
+            load_frac: 0.3,
+            store_frac: 0.1,
+            l1_miss_rate: 0.1,
+            l2_miss_rate: 0.5,
+            llc_miss_rate: 0.4,
+            branch_frac: 0.2,
+            branch_miss_rate: 0.1,
+            simd_frac: 0.2,
+            fp_frac: 0.05,
+            syscalls_per_us: 0.01,
+            page_faults_per_us: 0.001,
+        };
+        let v = spec.build();
+        let access = v[Feature::L1dAccess];
+        assert!((v[Feature::Loads] + v[Feature::Stores] - access).abs() < 1e-9);
+        assert!((v[Feature::L1dHit] + v[Feature::L1dMiss] - access).abs() < 1e-9);
+        assert!(v[Feature::L2Miss] <= v[Feature::L1dMiss]);
+        assert!(v[Feature::LlcMiss] <= v[Feature::L2Miss]);
+        assert!(v[Feature::BranchMisses] <= v[Feature::Branches]);
+        assert!(v[Feature::Cycles] > 0.0);
+    }
+
+    #[test]
+    fn idle_is_light() {
+        let v = idle_rate();
+        assert!(v[Feature::UopsRetired] < 10.0);
+        assert!(v[Feature::LlcMiss] < 1.0);
+    }
+
+    #[test]
+    fn rates_clamped_to_valid_ranges() {
+        let mut spec = MixSpec::idle();
+        spec.load_frac = 2.0;
+        spec.l1_miss_rate = -1.0;
+        let v = spec.build();
+        assert!(v[Feature::Loads] <= v[Feature::UopsRetired]);
+        assert_eq!(v[Feature::L1dMiss], 0.0);
+    }
+
+    #[test]
+    fn intensity_scales_linearly() {
+        let mut a = MixSpec::idle();
+        a.uops_per_us = 100.0;
+        let mut b = a;
+        b.uops_per_us = 200.0;
+        let va = a.build();
+        let vb = b.build();
+        assert!((vb[Feature::Loads] / va[Feature::Loads] - 2.0).abs() < 1e-9);
+    }
+}

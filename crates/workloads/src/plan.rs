@@ -1,0 +1,129 @@
+//! Workload plans: timed sequences of activity-rate segments.
+
+use aegis_microarch::{ActivityVector, Feature};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a workload: an activity rate sustained for a duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Nominal duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Activity produced per microsecond while the segment runs.
+    pub rate: ActivityVector,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(duration_ns: u64, rate: ActivityVector) -> Self {
+        Segment { duration_ns, rate }
+    }
+
+    /// Total µops the segment demands at its nominal duration.
+    pub fn total_uops(&self) -> f64 {
+        self.rate[Feature::UopsRetired] * (self.duration_ns as f64 / 1_000.0)
+    }
+}
+
+/// A complete single-run execution plan of an application: what the guest
+/// vCPU will execute for one secret (one website access, one 3-second
+/// keystroke window, one DNN inference).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkloadPlan {
+    /// Ordered execution phases.
+    pub segments: Vec<Segment>,
+}
+
+impl WorkloadPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, segment: Segment) {
+        self.segments.push(segment);
+    }
+
+    /// Nominal total duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.duration_ns).sum()
+    }
+
+    /// Total µops demanded at nominal duration.
+    pub fn total_uops(&self) -> f64 {
+        self.segments.iter().map(Segment::total_uops).sum()
+    }
+
+    /// Pads the plan with an idle-rate segment so it spans at least
+    /// `duration_ns` (used to fill the attacker's 3-second window).
+    pub fn pad_to(&mut self, duration_ns: u64, idle_rate: ActivityVector) {
+        let current = self.duration_ns();
+        if current < duration_ns {
+            self.push(Segment::new(duration_ns - current, idle_rate));
+        }
+    }
+
+    /// Truncates the plan to at most `duration_ns`, splitting the final
+    /// segment if needed.
+    pub fn truncate_to(&mut self, duration_ns: u64) {
+        let mut acc = 0u64;
+        for (i, seg) in self.segments.iter_mut().enumerate() {
+            if acc + seg.duration_ns > duration_ns {
+                seg.duration_ns = duration_ns - acc;
+                let keep = if seg.duration_ns == 0 { i } else { i + 1 };
+                self.segments.truncate(keep);
+                return;
+            }
+            acc += seg.duration_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(uops: f64) -> ActivityVector {
+        ActivityVector::from_pairs(&[(Feature::UopsRetired, uops)])
+    }
+
+    #[test]
+    fn duration_and_uops_sum() {
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(1_000_000, rate(100.0)));
+        p.push(Segment::new(2_000_000, rate(50.0)));
+        assert_eq!(p.duration_ns(), 3_000_000);
+        assert_eq!(p.total_uops(), 100.0 * 1_000.0 + 50.0 * 2_000.0);
+    }
+
+    #[test]
+    fn pad_extends_short_plans_only() {
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(1_000_000, rate(100.0)));
+        p.pad_to(3_000_000, rate(1.0));
+        assert_eq!(p.duration_ns(), 3_000_000);
+        let before = p.segments.len();
+        p.pad_to(2_000_000, rate(1.0));
+        assert_eq!(p.segments.len(), before);
+    }
+
+    #[test]
+    fn truncate_splits_segment() {
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(2_000_000, rate(100.0)));
+        p.push(Segment::new(2_000_000, rate(50.0)));
+        p.truncate_to(3_000_000);
+        assert_eq!(p.duration_ns(), 3_000_000);
+        assert_eq!(p.segments.len(), 2);
+        assert_eq!(p.segments[1].duration_ns, 1_000_000);
+    }
+
+    #[test]
+    fn truncate_drops_zero_length_tail() {
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(2_000_000, rate(100.0)));
+        p.push(Segment::new(2_000_000, rate(50.0)));
+        p.truncate_to(2_000_000);
+        assert_eq!(p.segments.len(), 1);
+    }
+}

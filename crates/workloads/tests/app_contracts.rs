@@ -1,0 +1,115 @@
+//! Cross-application contract tests: every case study satisfies the
+//! [`SecretApp`] interface uniformly, and the workload statistics the
+//! attacks depend on are stable properties, not accidents of one seed.
+
+use aegis_microarch::Feature;
+use aegis_workloads::{
+    CryptoApp, DnnZoo, KeystrokeApp, SecretApp, WebsiteCatalog, N_MODELS, N_SITES,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn apps() -> Vec<Box<dyn SecretApp>> {
+    vec![
+        Box::new(WebsiteCatalog::new(7)),
+        Box::new(KeystrokeApp::with_window(400_000_000)),
+        Box::new(DnnZoo::new(7)),
+        Box::new(CryptoApp::with_window(4, 400_000_000)),
+    ]
+}
+
+#[test]
+fn every_app_satisfies_the_secret_app_contract() {
+    for app in apps() {
+        assert!(!app.name().is_empty());
+        assert!(app.n_secrets() >= 2, "{}", app.name());
+        let mut rng = StdRng::seed_from_u64(3);
+        for secret in [0, app.n_secrets() / 2, app.n_secrets() - 1] {
+            let plan = app.sample_plan(secret, &mut rng);
+            assert_eq!(
+                plan.duration_ns(),
+                app.window_ns(),
+                "{} secret {secret}",
+                app.name()
+            );
+            assert!(plan.total_uops() > 0.0);
+            for seg in &plan.segments {
+                assert!(seg.duration_ns > 0);
+                for (_, v) in seg.rate.iter_nonzero() {
+                    assert!(v >= 0.0, "negative rate in {}", app.name());
+                }
+            }
+            assert!(!app.secret_name(secret).is_empty());
+        }
+    }
+}
+
+#[test]
+fn app_names_are_distinct() {
+    let names: Vec<String> = apps().iter().map(|a| a.name().to_string()).collect();
+    let mut unique = names.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len());
+}
+
+#[test]
+fn within_class_variance_is_smaller_than_between_class() {
+    // The learning problem the attacks solve requires this ordering.
+    let app = WebsiteCatalog::new(7);
+    let mut rng = StdRng::seed_from_u64(5);
+    let totals = |secret: usize, rng: &mut StdRng| -> Vec<f64> {
+        (0..8)
+            .map(|_| app.sample_plan(secret, rng).total_uops())
+            .collect()
+    };
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let sd = |xs: &[f64]| {
+        let m = mean(xs);
+        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+    };
+    let per_class: Vec<Vec<f64>> = (0..10).map(|s| totals(s, &mut rng)).collect();
+    let within: f64 = per_class.iter().map(|c| sd(c)).sum::<f64>() / 10.0;
+    let class_means: Vec<f64> = per_class.iter().map(|c| mean(c)).collect();
+    let between = sd(&class_means);
+    assert!(
+        between > 2.0 * within,
+        "between-class sd {between} vs within-class {within}"
+    );
+}
+
+#[test]
+fn plan_sampling_never_exceeds_core_capacity() {
+    // No workload may demand more than a vCPU can execute, or the
+    // latency model would throttle clean runs and distort baselines.
+    let cap = aegis_microarch::MicroArch::AmdEpyc7252.uops_capacity_per_us();
+    let mut rng = StdRng::seed_from_u64(9);
+    for app in apps() {
+        for secret in 0..app.n_secrets().min(8) {
+            let plan = app.sample_plan(secret, &mut rng);
+            for seg in &plan.segments {
+                let demand = seg.rate[Feature::UopsRetired];
+                assert!(
+                    demand < cap,
+                    "{} demands {demand} µops/µs (cap {cap})",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn catalog_size_constants_match_apps() {
+    assert_eq!(WebsiteCatalog::new(1).n_secrets(), N_SITES);
+    assert_eq!(DnnZoo::new(1).n_secrets(), N_MODELS);
+}
+
+#[test]
+fn different_seeds_give_different_site_profiles() {
+    let a = WebsiteCatalog::new(1);
+    let b = WebsiteCatalog::new(2);
+    let mut r1 = StdRng::seed_from_u64(3);
+    let mut r2 = StdRng::seed_from_u64(3);
+    assert_ne!(a.sample_plan(0, &mut r1), b.sample_plan(0, &mut r2));
+}

