@@ -1,0 +1,112 @@
+//! Scaling of the deterministic parallel execution layer: the same
+//! workload at 1 / 2 / 4 / 8 workers. On a multi-core machine the wide
+//! configurations approach linear speedup; on a single hardware thread
+//! they cost only the scheduling overhead — and in every case the results
+//! are bit-identical, which `tests/parallel_determinism.rs` enforces.
+//!
+//! Besides the textual report, the binary writes a machine-readable
+//! summary to `BENCH_parallel.json` for tracking across commits.
+
+use aegis::fuzzer::{EventFuzzer, FuzzerConfig};
+use aegis::microarch::{named, Core, InterferenceConfig, MicroArch};
+use aegis::par::{set_threads, ArtifactCache};
+use aegis::sev::{Host, SevMode};
+use aegis::workloads::WebsiteCatalog;
+use aegis::{collect_dataset, CollectConfig};
+use aegis_isa::{IsaCatalog, Vendor};
+use criterion::{black_box, Criterion};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_collect(c: &mut Criterion) {
+    let cfg = CollectConfig {
+        traces_per_secret: 2,
+        window_ns: 60_000_000,
+        interval_ns: 2_000_000,
+        pool: 20,
+        seed: 11,
+        per_secret_noise: false,
+    };
+    let mut g = c.benchmark_group("collect_dataset");
+    g.sample_size(3);
+    for workers in WORKERS {
+        g.bench_function(&format!("workers-{workers}"), |b| {
+            set_threads(workers);
+            b.iter(|| {
+                let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 5);
+                let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+                let core = host.core_of(vm, 0).unwrap();
+                let app = WebsiteCatalog::new(3);
+                let events = host.core(core).catalog().attack_events();
+                black_box(
+                    collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None)
+                        .unwrap()
+                        .samples
+                        .len(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fuzz(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_fuzzing");
+    g.sample_size(3);
+    for workers in WORKERS {
+        g.bench_function(&format!("workers-{workers}"), |b| {
+            set_threads(workers);
+            b.iter(|| {
+                let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+                let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+                core.set_interference(InterferenceConfig::isolated());
+                let events = [
+                    core.catalog().lookup(named::RETIRED_UOPS).unwrap(),
+                    core.catalog()
+                        .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+                        .unwrap(),
+                ];
+                let fuzzer = EventFuzzer::with_cache(
+                    FuzzerConfig {
+                        candidates_per_event: 60,
+                        confirm_reps: 10,
+                        ..FuzzerConfig::default()
+                    },
+                    ArtifactCache::disabled(),
+                );
+                black_box(fuzzer.run(&catalog, &mut core, &events).report.gadgets_tested)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_collect(&mut criterion);
+    bench_fuzz(&mut criterion);
+    set_threads(1);
+
+    // Persist the summary for cross-commit tracking.
+    let rows: Vec<serde_json::Value> = criterion
+        .results()
+        .iter()
+        .map(|s| {
+            let mut row = serde_json::Map::new();
+            let ok = "bench fields always serialize";
+            row.insert("id".to_string(), serde_json::to_value(&s.id).expect(ok));
+            row.insert(
+                "median_ns".to_string(),
+                serde_json::to_value(s.median_ns).expect(ok),
+            );
+            row.insert("min_ns".to_string(), serde_json::to_value(s.min_ns).expect(ok));
+            row.insert("max_ns".to_string(), serde_json::to_value(s.max_ns).expect(ok));
+            serde_json::Value::Object(row)
+        })
+        .collect();
+    let json = serde_json::to_string_pretty(&rows).expect("bench rows always serialize");
+    match std::fs::write("BENCH_parallel.json", json) {
+        Ok(()) => eprintln!("[wrote BENCH_parallel.json]"),
+        Err(e) => eprintln!("warning: cannot write BENCH_parallel.json: {e}"),
+    }
+}

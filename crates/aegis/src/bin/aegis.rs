@@ -35,6 +35,11 @@ USAGE:
 
 APP:   website | keystroke | dnn | crypto
 MECH:  laplace | dstar | random | constant
+
+Every command also accepts --threads N (worker threads for parallel
+collection and fuzzing; default: available parallelism, or the
+AEGIS_THREADS environment variable). Results are bit-identical for any
+thread count.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +59,15 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let opts = parse_flags(&args[1..])?;
+    if let Some(n) = opts.get("threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad --threads {n:?} (want a positive integer)"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        aegis::par::set_threads(n);
+    }
     match command.as_str() {
         "offline" => offline(&opts),
         "inspect" => inspect(&opts),

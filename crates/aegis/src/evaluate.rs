@@ -8,11 +8,19 @@ use aegis_attack::{
     Standardizer, TrainConfig, TrainingCurve,
 };
 use aegis_microarch::{EventId, OriginFilter};
+use aegis_par::{derive_seed, Executor};
 use aegis_sev::{Host, HostError, PlanSource, VmId};
 use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Stream tags separating the independent RNG consumers of one
+/// collection seed (see [`derive_seed`]).
+const STREAM_PLAN: u64 = 0x01;
+const STREAM_NOISE: u64 = 0x02;
+const STREAM_MEA_PLAN: u64 = 0x03;
+const STREAM_MEA_NOISE: u64 = 0x04;
 
 /// Trace-collection settings for attack datasets.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +61,12 @@ impl Default for CollectConfig {
 ///
 /// With `defense` set, a fresh obfuscator is deployed per trace.
 ///
+/// The (secret, rep) units are independent measurements, so they are
+/// sharded across the configured worker pool: each unit replays against
+/// a pristine fork of `host` with plan and noise RNGs derived from
+/// `(cfg.seed, unit index)`. The dataset is therefore bit-identical for
+/// any worker count, including 1.
+///
 /// # Errors
 ///
 /// Returns [`HostError`] for invalid ids.
@@ -66,36 +80,56 @@ pub fn collect_dataset(
     defense: Option<&DefenseDeployment>,
 ) -> Result<Dataset, HostError> {
     let core_idx = host.core_of(vm, vcpu)?;
-    let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc011_ec70);
-    for secret in 0..app.n_secrets() {
-        for rep in 0..cfg.traces_per_secret {
+    // Detach any leftover injector up front: forks must start pristine,
+    // and id errors must surface before workers spawn.
+    host.detach_injector(vm, vcpu)?;
+    let units: Vec<(usize, usize)> = (0..app.n_secrets())
+        .flat_map(|s| (0..cfg.traces_per_secret).map(move |r| (s, r)))
+        .collect();
+    let snapshot: &Host = host;
+    let rows = Executor::from_config().map_with(
+        units,
+        |_worker| snapshot.fork_detached(),
+        |pristine, unit, (secret, _rep)| {
+            // A fresh fork per unit: leftover clock/cache/PMU state from
+            // a previous unit on this worker must not leak in, or results
+            // would depend on the work distribution.
+            let mut replica = pristine.fork_detached();
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_PLAN, unit as u64));
             let plan = app.sample_plan(secret, &mut rng);
-            host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
-            match defense {
-                Some(d) => {
-                    let seed = if cfg.per_secret_noise {
-                        cfg.seed ^ (secret as u64) << 20
-                    } else {
-                        cfg.seed ^ (secret as u64) << 20 ^ rep as u64
-                    };
-                    d.deploy(host, vm, vcpu, seed)?;
-                }
-                None => host.detach_injector(vm, vcpu)?,
+            replica
+                .attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))
+                .expect("ids were validated on the original host");
+            if let Some(d) = defense {
+                let noise_unit = if cfg.per_secret_noise {
+                    secret as u64
+                } else {
+                    unit as u64
+                };
+                d.deploy(
+                    &mut replica,
+                    vm,
+                    vcpu,
+                    derive_seed(cfg.seed, STREAM_NOISE, noise_unit),
+                )
+                .expect("ids were validated on the original host");
             }
-            let trace = host
+            let trace = replica
                 .record_trace(
                     core_idx,
-                    events.to_vec(),
+                    events,
                     OriginFilter::Any,
                     cfg.interval_ns,
                     cfg.window_ns.min(app.window_ns()),
                 )
                 .expect("attack events exist in the catalog");
-            ds.push(trace_features(&trace, cfg.pool), secret);
-        }
+            (trace_features(&trace, cfg.pool), secret)
+        },
+    );
+    let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
+    for (features, secret) in rows {
+        ds.push(features, secret);
     }
-    host.detach_injector(vm, vcpu)?;
     Ok(ds)
 }
 
@@ -185,6 +219,10 @@ impl Default for MeaConfig {
 /// Collects model-extraction runs: each run is one padded inference pass
 /// of one zoo model with per-slice layer labels.
 ///
+/// Like [`collect_dataset`], the (model, rep) units shard across the
+/// configured worker pool with per-unit derived seeds and pristine host
+/// forks — output is independent of the worker count.
+///
 /// # Errors
 ///
 /// Returns [`HostError`] for invalid ids.
@@ -198,10 +236,18 @@ pub fn collect_mea_runs(
     defense: Option<&DefenseDeployment>,
 ) -> Result<Vec<(usize, MeaRun)>, HostError> {
     let core_idx = host.core_of(vm, vcpu)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0e4a_0001);
-    let mut runs = Vec::new();
-    for model in 0..zoo.n_secrets() {
-        for rep in 0..cfg.runs_per_model {
+    host.detach_injector(vm, vcpu)?;
+    let units: Vec<(usize, usize)> = (0..zoo.n_secrets())
+        .flat_map(|m| (0..cfg.runs_per_model).map(move |r| (m, r)))
+        .collect();
+    let snapshot: &Host = host;
+    let runs = Executor::from_config().map_with(
+        units,
+        |_worker| snapshot.fork_detached(),
+        |pristine, unit, (model, _rep)| {
+            let mut replica = pristine.fork_detached();
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_MEA_PLAN, unit as u64));
             let (pass, spans) = zoo.sample_inference(model, &mut rng);
             // Pad the inference with idle so the attacker must segment it.
             let mut plan = WorkloadPlan::new();
@@ -212,18 +258,22 @@ pub fn collect_mea_runs(
             plan.push(Segment::new(cfg.pad_ns, aegis_workloads::idle_rate()));
             let total_ns = plan.duration_ns();
 
-            host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
-            match defense {
-                Some(d) => {
-                    let seed = cfg.seed ^ (model as u64) << 24 ^ rep as u64;
-                    d.deploy(host, vm, vcpu, seed)?;
-                }
-                None => host.detach_injector(vm, vcpu)?,
+            replica
+                .attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))
+                .expect("ids were validated on the original host");
+            if let Some(d) = defense {
+                d.deploy(
+                    &mut replica,
+                    vm,
+                    vcpu,
+                    derive_seed(cfg.seed, STREAM_MEA_NOISE, unit as u64),
+                )
+                .expect("ids were validated on the original host");
             }
-            let trace = host
+            let trace = replica
                 .record_trace(
                     core_idx,
-                    events.to_vec(),
+                    events,
                     OriginFilter::Any,
                     cfg.interval_ns,
                     total_ns,
@@ -264,17 +314,16 @@ pub fn collect_mea_runs(
                 .iter()
                 .map(|k| k.index())
                 .collect();
-            runs.push((
+            (
                 model,
                 MeaRun {
                     slices,
                     slice_labels,
                     truth,
                 },
-            ));
-        }
-    }
-    host.detach_injector(vm, vcpu)?;
+            )
+        },
+    );
     Ok(runs)
 }
 

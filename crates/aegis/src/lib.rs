@@ -56,6 +56,7 @@ pub use aegis_fuzzer as fuzzer;
 pub use aegis_isa as isa;
 pub use aegis_microarch as microarch;
 pub use aegis_obfuscator as obfuscator;
+pub use aegis_par as par;
 pub use aegis_perf as perf;
 pub use aegis_profiler as profiler;
 pub use aegis_sev as sev;

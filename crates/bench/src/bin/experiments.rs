@@ -6,7 +6,32 @@ use aegis_bench::ExpConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("error: --threads needs a positive integer");
+                std::process::exit(2);
+            });
+        aegis::par::set_threads(n);
+    }
+    let mut skip_value = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_value {
+                skip_value = false;
+                return false;
+            }
+            if *a == "--threads" {
+                skip_value = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
     let cfg = if quick {
         ExpConfig::quick()
     } else {
@@ -14,12 +39,15 @@ fn main() {
     };
 
     if ids.is_empty() || ids[0] == "list" {
-        println!("Usage: experiments <id ...|all> [--quick]\n\nExperiments:");
+        println!(
+            "Usage: experiments <id ...|all> [--quick] [--threads N]\n\nExperiments:"
+        );
         for (id, desc) in experiments::EXPERIMENTS {
             println!("  {id:<10} {desc}");
         }
         return;
     }
+    eprintln!("[worker threads: {}]", aegis::par::get_threads());
     let started = std::time::Instant::now();
     if ids[0] == "all" {
         experiments::run_all(&cfg);

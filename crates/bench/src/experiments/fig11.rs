@@ -117,7 +117,7 @@ fn peak_norm(
         let trace = host
             .record_trace(
                 core,
-                events.to_vec(),
+                events,
                 aegis::microarch::OriginFilter::Any,
                 collect.interval_ns,
                 collect.window_ns,

@@ -38,7 +38,7 @@ pub fn run(cfg: &ExpConfig) {
             let trace = host
                 .record_trace(
                     core,
-                    vec![event],
+                    &[event],
                     OriginFilter::GuestOnly(vm.0),
                     5_000_000,
                     window_ns,

@@ -9,9 +9,13 @@
 //!   noised traces collapses as ε shrinks, bounding any learner.
 
 use crate::output::{pct, print_header, print_kv, Table};
-use crate::scenarios::{deployment_for, ksa_app, mea_zoo, new_host, wfa_app, ExpConfig};
+use crate::scenarios::{
+    clean_dataset_cached, deployment_for, ksa_app, mea_zoo, new_host, plan_for, wfa_app, ExpConfig,
+};
 use aegis::attack::{mutual_information_hist, TrainConfig};
 use aegis::dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
+use aegis::par::Executor;
+use aegis::sev::Host;
 use aegis::workloads::SecretApp;
 use aegis::{collect_dataset, collect_mea_runs, ClassifierAttack, MeaAttack, MechanismChoice};
 
@@ -57,7 +61,8 @@ fn classification_sweep(
     let clean_attacker = if robust {
         None
     } else {
-        let clean = collect_dataset(&mut host, vm, 0, app, &events, &collect, None).unwrap();
+        let clean =
+            clean_dataset_cached(cfg.seed + seed_off, &mut host, vm, 0, app, &events, &collect);
         Some(ClassifierAttack::train(
             &clean,
             TrainConfig::default(),
@@ -65,53 +70,74 @@ fn classification_sweep(
         ))
     };
 
+    // ε grid points are independent once the plan cache is warm, so they
+    // shard across the worker pool, each on its own host fork. The warm-up
+    // call keeps the expensive offline pipeline out of the workers.
+    let _ = plan_for(cfg, app);
+    let snapshot: &Host = &host;
+    let rows = Executor::from_config().map_with(
+        eps_grid.to_vec(),
+        |_worker| snapshot.fork_detached(),
+        |pristine, _unit, eps| {
+            let mut cells = vec![format!("2^{:+.0}", eps.log2())];
+            for (_, mech) in mech_pair(eps) {
+                let deployment = deployment_for(cfg, app, mech);
+                let mut replica = pristine.fork_detached();
+                let acc = if let Some(attacker) = &clean_attacker {
+                    // Exploitation on the defended victim.
+                    let mut victim_cfg = collect;
+                    victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
+                    victim_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
+                    let victim = collect_dataset(
+                        &mut replica,
+                        vm,
+                        0,
+                        app,
+                        &events,
+                        &victim_cfg,
+                        Some(&deployment),
+                    )
+                    .unwrap();
+                    attacker.accuracy(&victim)
+                } else {
+                    // Robust attacker: trains AND tests on defended traces.
+                    let mut train_cfg = collect;
+                    train_cfg.traces_per_secret = (collect.traces_per_secret * 2 / 3).max(4);
+                    train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
+                    let noisy = collect_dataset(
+                        &mut replica,
+                        vm,
+                        0,
+                        app,
+                        &events,
+                        &train_cfg,
+                        Some(&deployment),
+                    )
+                    .unwrap();
+                    let attacker =
+                        ClassifierAttack::train(&noisy, TrainConfig::default(), cfg.seed);
+                    let mut test_cfg = collect;
+                    test_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
+                    test_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits().rotate_left(7);
+                    let victim = collect_dataset(
+                        &mut replica,
+                        vm,
+                        0,
+                        app,
+                        &events,
+                        &test_cfg,
+                        Some(&deployment),
+                    )
+                    .unwrap();
+                    attacker.accuracy(&victim)
+                };
+                cells.push(pct(acc));
+            }
+            cells
+        },
+    );
     let mut t = Table::new(&["eps", "laplace acc", "dstar acc"]);
-    for &eps in eps_grid {
-        let mut cells = vec![format!("2^{:+.0}", eps.log2())];
-        for (_, mech) in mech_pair(eps) {
-            let deployment = deployment_for(cfg, app, mech);
-            let acc = if let Some(attacker) = &clean_attacker {
-                // Exploitation on the defended victim.
-                let mut victim_cfg = collect;
-                victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
-                victim_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-                let victim = collect_dataset(
-                    &mut host,
-                    vm,
-                    0,
-                    app,
-                    &events,
-                    &victim_cfg,
-                    Some(&deployment),
-                )
-                .unwrap();
-                attacker.accuracy(&victim)
-            } else {
-                // Robust attacker: trains AND tests on defended traces.
-                let mut train_cfg = collect;
-                train_cfg.traces_per_secret = (collect.traces_per_secret * 2 / 3).max(4);
-                train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
-                let noisy = collect_dataset(
-                    &mut host,
-                    vm,
-                    0,
-                    app,
-                    &events,
-                    &train_cfg,
-                    Some(&deployment),
-                )
-                .unwrap();
-                let attacker = ClassifierAttack::train(&noisy, TrainConfig::default(), cfg.seed);
-                let mut test_cfg = collect;
-                test_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-                test_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits().rotate_left(7);
-                let victim =
-                    collect_dataset(&mut host, vm, 0, app, &events, &test_cfg, Some(&deployment))
-                        .unwrap();
-                attacker.accuracy(&victim)
-            };
-            cells.push(pct(acc));
-        }
+    for cells in rows {
         t.row_strings(cells);
     }
     println!("  [{label}] (random guess = {})", pct(chance));
@@ -137,45 +163,55 @@ fn mea_sweep(cfg: &ExpConfig, eps_grid: &[f64], robust: bool) {
         Some(MeaAttack::train(&runs, TrainConfig::default(), cfg.seed))
     };
 
+    let _ = plan_for(cfg, &zoo);
+    let snapshot: &Host = &host;
+    let rows = Executor::from_config().map_with(
+        eps_grid.to_vec(),
+        |_worker| snapshot.fork_detached(),
+        |pristine, _unit, eps| {
+            let mut cells = vec![format!("2^{:+.0}", eps.log2())];
+            for (_, mech) in mech_pair(eps) {
+                let deployment = deployment_for(cfg, &zoo, mech);
+                let mut replica = pristine.fork_detached();
+                let mut victim_cfg = collect;
+                victim_cfg.runs_per_model = 2;
+                victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
+                let victim = collect_mea_runs(
+                    &mut replica,
+                    vm,
+                    0,
+                    &zoo,
+                    &events,
+                    &victim_cfg,
+                    Some(&deployment),
+                )
+                .unwrap();
+                let acc = match &clean_attacker {
+                    Some(a) => a.sequence_accuracy(&victim),
+                    None => {
+                        let mut train_cfg = collect;
+                        train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
+                        let noisy = collect_mea_runs(
+                            &mut replica,
+                            vm,
+                            0,
+                            &zoo,
+                            &events,
+                            &train_cfg,
+                            Some(&deployment),
+                        )
+                        .unwrap();
+                        let a = MeaAttack::train(&noisy, TrainConfig::default(), cfg.seed);
+                        a.sequence_accuracy(&victim)
+                    }
+                };
+                cells.push(pct(acc));
+            }
+            cells
+        },
+    );
     let mut t = Table::new(&["eps", "laplace acc", "dstar acc"]);
-    for &eps in eps_grid {
-        let mut cells = vec![format!("2^{:+.0}", eps.log2())];
-        for (_, mech) in mech_pair(eps) {
-            let deployment = deployment_for(cfg, &zoo, mech);
-            let mut victim_cfg = collect;
-            victim_cfg.runs_per_model = 2;
-            victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
-            let victim = collect_mea_runs(
-                &mut host,
-                vm,
-                0,
-                &zoo,
-                &events,
-                &victim_cfg,
-                Some(&deployment),
-            )
-            .unwrap();
-            let acc = match &clean_attacker {
-                Some(a) => a.sequence_accuracy(&victim),
-                None => {
-                    let mut train_cfg = collect;
-                    train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
-                    let noisy = collect_mea_runs(
-                        &mut host,
-                        vm,
-                        0,
-                        &zoo,
-                        &events,
-                        &train_cfg,
-                        Some(&deployment),
-                    )
-                    .unwrap();
-                    let a = MeaAttack::train(&noisy, TrainConfig::default(), cfg.seed);
-                    a.sequence_accuracy(&victim)
-                }
-            };
-            cells.push(pct(acc));
-        }
+    for cells in rows {
         t.row_strings(cells);
     }
     println!("  [MEA] (layer-sequence match accuracy)");
@@ -195,7 +231,7 @@ pub fn fig9c(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let mut collect = cfg.wfa_collect();
     collect.traces_per_secret = if cfg.quick { 4 } else { 8 };
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = clean_dataset_cached(cfg.seed + 3, &mut host, vm, 0, &app, &events, &collect);
 
     // Scalar feature per trace: its first pooled RETIRED_UOPS value
     // stream, normalized to the obfuscator's unit scale.

@@ -97,9 +97,12 @@ pub fn run(id: &str, cfg: &ExpConfig) {
     }
 }
 
-/// Runs every experiment in registry order.
+/// Runs every experiment in registry order, reporting per-experiment
+/// wall time on stderr.
 pub fn run_all(cfg: &ExpConfig) {
     for (id, _) in EXPERIMENTS {
+        let started = std::time::Instant::now();
         run(id, cfg);
+        eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());
     }
 }

@@ -124,12 +124,47 @@ pub fn mea_zoo(cfg: &ExpConfig) -> DnnZoo {
     DnnZoo::new(cfg.seed)
 }
 
+use aegis::attack::Dataset;
+use aegis::collect_dataset;
 use aegis::fuzzer::FuzzerConfig;
+use aegis::microarch::EventId;
+use aegis::par::{fingerprint, ArtifactCache};
 use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::workloads::SecretApp;
 use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, DefensePlan, MechanismChoice};
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// Collects (or reloads) a *clean* dataset, memoized on disk under
+/// `results/cache/`. Clean collection is a pure function of the host
+/// seed, the app, the event list, and the collection settings — exactly
+/// the tuple fingerprinted here — so a hit is bit-identical to a fresh
+/// collection. Disable with `AEGIS_NO_CACHE=1`.
+pub fn clean_dataset_cached(
+    host_seed: u64,
+    host: &mut aegis::sev::Host,
+    vm: VmId,
+    vcpu: usize,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    collect: &CollectConfig,
+) -> Dataset {
+    let cache = ArtifactCache::default_location();
+    let key = fingerprint(&(
+        host_seed,
+        app.name().to_string(),
+        app.n_secrets() as u64,
+        events.to_vec(),
+        *collect,
+    ));
+    if let Some(hit) = cache.get::<Dataset>("clean-dataset", key) {
+        return hit;
+    }
+    let ds = collect_dataset(host, vm, vcpu, app, events, collect, None)
+        .expect("clean collection uses validated ids");
+    let _ = cache.put("clean-dataset", key, &ds);
+    ds
+}
 
 static PLAN_CACHE: Mutex<Option<HashMap<String, DefensePlan>>> = Mutex::new(None);
 

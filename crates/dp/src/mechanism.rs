@@ -32,7 +32,7 @@ pub fn laplace<R: Rng + ?Sized>(rng: &mut R, b: f64) -> f64 {
 /// `r` such that the obfuscated observation is `x̃[t] = x[t] + r`. Some
 /// mechanisms (d*) are stateful across `t`; call [`NoiseMechanism::reset`]
 /// between independent traces.
-pub trait NoiseMechanism {
+pub trait NoiseMechanism: Send + Sync {
     /// Mechanism name for reports (`"laplace"`, `"dstar"`, ...).
     fn name(&self) -> &'static str;
 

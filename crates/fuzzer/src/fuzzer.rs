@@ -6,11 +6,15 @@ use crate::harness::{measure_median, measure_repeated, program_event};
 use crate::report::FuzzReport;
 use aegis_isa::IsaCatalog;
 use aegis_microarch::{Core, EventId};
+use aegis_par::{derive_seed, ArtifactCache, Executor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Seed-derivation stream tag for per-event fuzzing RNGs.
+const STREAM_FUZZ: u64 = 0x10;
 
 /// Fuzzer configuration (defaults follow the paper where it states them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,6 +72,16 @@ impl EventGadgets {
     }
 }
 
+/// Per-event fuzzing result with its timing attribution (internal: the
+/// parallel run loop folds these into the [`FuzzReport`]).
+#[derive(Debug, Clone, Default)]
+struct FuzzedEvent {
+    confirmed: Vec<ConfirmedGadget>,
+    tested: usize,
+    generation_seconds: f64,
+    confirmation_seconds: f64,
+}
+
 /// Full fuzzing outcome across events.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FuzzOutcome {
@@ -82,12 +96,21 @@ pub struct FuzzOutcome {
 #[derive(Debug, Clone)]
 pub struct EventFuzzer {
     config: FuzzerConfig,
+    cache: ArtifactCache,
 }
 
 impl EventFuzzer {
-    /// Creates a fuzzer with the given configuration.
+    /// Creates a fuzzer with the given configuration, memoizing the
+    /// instruction-cleanup step under `results/cache/` (disable with
+    /// `AEGIS_NO_CACHE=1`).
     pub fn new(config: FuzzerConfig) -> Self {
-        EventFuzzer { config }
+        EventFuzzer::with_cache(config, ArtifactCache::default_location())
+    }
+
+    /// Creates a fuzzer with an explicit artifact cache (use
+    /// [`ArtifactCache::disabled`] to always recompute cleanup).
+    pub fn with_cache(config: FuzzerConfig, cache: ArtifactCache) -> Self {
+        EventFuzzer { config, cache }
     }
 
     /// The configuration in use.
@@ -95,31 +118,72 @@ impl EventFuzzer {
         &self.config
     }
 
+    /// Runs instruction cleanup, reusing a cached result when the same
+    /// (catalog, core model) combination was cleaned before. Cleanup is
+    /// deterministic in those inputs, so a hit is exact — only the stored
+    /// wall time refers to the original computation.
+    fn cleanup(&self, catalog: &IsaCatalog, core: &mut Core) -> CleanupResult {
+        let key = aegis_par::fingerprint(&(
+            format!("{:?}", catalog.vendor()),
+            catalog.seed(),
+            catalog.len(),
+            format!("{:?}", core.arch()),
+        ));
+        if let Some(hit) = self.cache.get::<CleanupResult>("cleanup", key) {
+            return hit;
+        }
+        let result = run_cleanup(catalog, core);
+        let _ = self.cache.put("cleanup", key, &result);
+        result
+    }
+
     /// Runs the full pipeline — cleanup, generation + execution,
     /// confirmation, and per-event effect ordering — against `events`.
+    ///
+    /// Events fuzz independently across the configured worker pool: each
+    /// event gets a pristine clone of the post-cleanup core and an RNG
+    /// seeded by `derive_seed(seed, STREAM_FUZZ, event_index)`, so the
+    /// outcome is bit-identical regardless of the worker count.
     pub fn run(&self, catalog: &IsaCatalog, core: &mut Core, events: &[EventId]) -> FuzzOutcome {
         let mut report = FuzzReport::default();
 
-        let cleanup = run_cleanup(catalog, core);
+        let cleanup = self.cleanup(catalog, core);
         report.cleanup_seconds = cleanup.stats.wall_seconds;
         report.usable_instructions = cleanup.usable.len();
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xf022_0001);
+        let baseline: &Core = core;
+        let cleanup_ref = &cleanup;
+        let units: Vec<(usize, EventId)> = events.iter().copied().enumerate().collect();
+        let results = Executor::from_config().map_with(
+            units,
+            |_worker| baseline.clone(),
+            |pristine, _unit, (idx, event)| {
+                let mut ev_core = pristine.clone();
+                let mut rng = StdRng::seed_from_u64(derive_seed(
+                    self.config.seed,
+                    STREAM_FUZZ,
+                    idx as u64,
+                ));
+                let timed =
+                    self.fuzz_event(catalog, &mut ev_core, cleanup_ref, event, &mut rng);
+                (event, timed)
+            },
+        );
         let mut per_event = Vec::with_capacity(events.len());
-        for &event in events {
-            let (gadgets, tested) = self.fuzz_event(catalog, core, &cleanup, event, &mut rng);
-            report.gadgets_tested += tested;
+        for (event, timed) in results {
+            report.gadgets_tested += timed.tested;
+            report.generation_seconds += timed.generation_seconds;
+            report.confirmation_seconds += timed.confirmation_seconds;
             per_event.push(EventGadgets {
                 event,
-                confirmed: gadgets,
+                confirmed: timed.confirmed,
             });
         }
-        report.finish();
         FuzzOutcome { per_event, report }
     }
 
-    /// Fuzzes one event; returns confirmed gadgets (strongest first) and
-    /// the number of candidates tested.
+    /// Fuzzes one event; returns confirmed gadgets (strongest first),
+    /// the number of candidates tested, and the step timings.
     fn fuzz_event(
         &self,
         catalog: &IsaCatalog,
@@ -127,10 +191,10 @@ impl EventFuzzer {
         cleanup: &CleanupResult,
         event: EventId,
         rng: &mut StdRng,
-    ) -> (Vec<ConfirmedGadget>, usize) {
+    ) -> FuzzedEvent {
         let usable = &cleanup.usable;
         if usable.is_empty() {
-            return (Vec::new(), 0);
+            return FuzzedEvent::default();
         }
         program_event(core, event);
 
@@ -188,15 +252,15 @@ impl EventFuzzer {
             .collect();
         result.sort_by(|a, b| b.effect.total_cmp(&a.effect));
 
-        // Attribute wall time: generation+execution vs confirmation.
-        let confirm_elapsed = confirm_start.elapsed().as_secs_f64();
-        // (report fields are accumulated by the caller via these markers)
-        REPORT_SCRATCH.with(|s| {
-            let mut s = s.borrow_mut();
-            s.0 += gen_elapsed;
-            s.1 += confirm_elapsed;
-        });
-        (result, budget)
+        // Attribute wall time: generation+execution vs confirmation. The
+        // timings return explicitly so worker threads can report them —
+        // a thread-local accumulator would strand them on the worker.
+        FuzzedEvent {
+            confirmed: result,
+            tested: budget,
+            generation_seconds: gen_elapsed,
+            confirmation_seconds: confirm_start.elapsed().as_secs_f64(),
+        }
     }
 
     /// The repeated-triggers check: runs the cold path (reset only) and
@@ -274,7 +338,7 @@ impl EventFuzzer {
         seq_len: usize,
     ) -> Vec<ConfirmedSeqGadget> {
         assert!(seq_len >= 1, "sequences need at least one instruction");
-        let cleanup = run_cleanup(catalog, core);
+        let cleanup = self.cleanup(catalog, core);
         let usable = &cleanup.usable;
         if usable.is_empty() {
             return Vec::new();
@@ -325,18 +389,6 @@ pub struct ConfirmedSeqGadget {
     pub gadget: SeqGadget,
     /// Median hot-path counter change per execution.
     pub effect: f64,
-}
-
-thread_local! {
-    /// (generation_seconds, confirmation_seconds) accumulated per thread.
-    static REPORT_SCRATCH: std::cell::RefCell<(f64, f64)> =
-        const { std::cell::RefCell::new((0.0, 0.0)) };
-}
-
-/// Drains the per-thread generation/confirmation timing accumulators
-/// (used by [`EventFuzzer::run`] via [`FuzzReport::finish`]).
-pub(crate) fn take_timing_scratch() -> (f64, f64) {
-    REPORT_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
 }
 
 #[cfg(test)]

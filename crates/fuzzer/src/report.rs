@@ -21,14 +21,6 @@ pub struct FuzzReport {
 }
 
 impl FuzzReport {
-    /// Pulls the accumulated generation/confirmation timings from the
-    /// fuzzing loop.
-    pub(crate) fn finish(&mut self) {
-        let (gen, confirm) = crate::fuzzer::take_timing_scratch();
-        self.generation_seconds = gen;
-        self.confirmation_seconds = confirm;
-    }
-
     /// Total wall time across all steps, seconds.
     pub fn total_seconds(&self) -> f64 {
         self.cleanup_seconds

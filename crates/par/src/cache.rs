@@ -1,0 +1,136 @@
+//! A keyed on-disk artifact cache for expensive seeded computations.
+//!
+//! Cleanup fuzzing and clean-trace dataset collection are pure functions
+//! of `(configuration, seed)` — the whole point of the determinism
+//! contract — which makes their outputs safely memoizable. Artifacts are
+//! JSON files under a cache directory (`results/cache/` by convention),
+//! named `<kind>-<key>.json` where the key is a fingerprint of the
+//! producing configuration.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Fingerprints any serializable configuration as a cache key: FNV-1a
+/// over its compact JSON encoding. Stable across processes (no
+/// `DefaultHasher` randomization) and sensitive to every field.
+pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("serialization is infallible here");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of memoized JSON artifacts.
+#[derive(Clone, Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at `dir` (created lazily on first `put`).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache {
+            dir: dir.into(),
+            enabled: std::env::var_os("AEGIS_NO_CACHE").is_none(),
+        }
+    }
+
+    /// The conventional workspace cache location, `results/cache/`.
+    pub fn default_location() -> Self {
+        ArtifactCache::new(Path::new("results").join("cache"))
+    }
+
+    /// A cache that never hits and never writes (for `--no-cache`).
+    pub fn disabled() -> Self {
+        ArtifactCache {
+            dir: PathBuf::new(),
+            enabled: false,
+        }
+    }
+
+    /// The file that would hold artifact `kind` under `key`.
+    pub fn path_for(&self, kind: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{kind}-{key:016x}.json"))
+    }
+
+    /// Loads a cached artifact, or `None` on miss (absent, unreadable,
+    /// or no longer parseable — a stale-format file is just a miss).
+    pub fn get<T: Deserialize>(&self, kind: &str, key: u64) -> Option<T> {
+        if !self.enabled {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.path_for(kind, key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Stores an artifact, creating the cache directory if needed. The
+    /// write is atomic (temp file + rename) so a crashed run can never
+    /// leave a half-written artifact that later reads as a hit.
+    pub fn put<T: Serialize>(&self, kind: &str, key: u64, value: &T) -> io::Result<PathBuf> {
+        if !self.enabled {
+            return Ok(PathBuf::new());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(kind, key);
+        let tmp = self.dir.join(format!(
+            ".{kind}-{key:016x}.{}.tmp",
+            std::process::id()
+        ));
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aegis-par-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let cache = ArtifactCache::new(temp_dir("roundtrip"));
+        let value = vec![(1u64, 0.5f64), (2, 0.25)];
+        assert!(cache.get::<Vec<(u64, f64)>>("demo", 7).is_none());
+        cache.put("demo", 7, &value).unwrap();
+        assert_eq!(cache.get::<Vec<(u64, f64)>>("demo", 7), Some(value));
+        // A different key or kind still misses.
+        assert!(cache.get::<Vec<(u64, f64)>>("demo", 8).is_none());
+        assert!(cache.get::<Vec<(u64, f64)>>("other", 7).is_none());
+    }
+
+    #[test]
+    fn corrupt_artifacts_read_as_misses() {
+        let cache = ArtifactCache::new(temp_dir("corrupt"));
+        cache.put("demo", 1, &vec![1u64]).unwrap();
+        std::fs::write(cache.path_for("demo", 1), "{not json").unwrap();
+        assert!(cache.get::<Vec<u64>>("demo", 1).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = fingerprint(&(42u64, "laplace", 0.5f64));
+        assert_eq!(a, fingerprint(&(42u64, "laplace", 0.5f64)));
+        assert_ne!(a, fingerprint(&(43u64, "laplace", 0.5f64)));
+        assert_ne!(a, fingerprint(&(42u64, "laplace", 0.6f64)));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ArtifactCache::disabled();
+        cache.put("demo", 1, &vec![1u64]).unwrap();
+        assert!(cache.get::<Vec<u64>>("demo", 1).is_none());
+    }
+}

@@ -25,16 +25,16 @@ impl TraceRecorder {
     /// Propagates [`PerfError`] from opening the monitor.
     pub fn open(
         core: &mut Core,
-        events: Vec<EventId>,
+        events: &[EventId],
         filter: OriginFilter,
         interval_ns: u64,
     ) -> Result<Self, PerfError> {
-        let monitor = PerfMonitor::open(core, events.clone(), filter)?;
+        let monitor = PerfMonitor::open(core, events.to_vec(), filter)?;
         Ok(TraceRecorder {
             monitor,
             interval_ns: interval_ns.max(1),
             elapsed_in_interval_ns: 0,
-            trace: Trace::new(events, interval_ns),
+            trace: Trace::new(events.to_vec(), interval_ns),
         })
     }
 
@@ -79,7 +79,7 @@ mod tests {
         core.set_interference(InterferenceConfig::isolated());
         let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
         let mut rec =
-            TraceRecorder::open(&mut core, vec![ev], OriginFilter::Any, 1_000_000).unwrap();
+            TraceRecorder::open(&mut core, &[ev], OriginFilter::Any, 1_000_000).unwrap();
         let rate = ActivityVector::from_pairs(&[(Feature::UopsRetired, 10.0)]);
         // 30 ticks of 100 µs = 3 ms → 3 slices of 1 ms.
         for _ in 0..30 {
@@ -99,7 +99,7 @@ mod tests {
         let mut core = Core::new(MicroArch::AmdEpyc7252, 3);
         let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
         let mut rec =
-            TraceRecorder::open(&mut core, vec![ev], OriginFilter::Any, 1_000_000).unwrap();
+            TraceRecorder::open(&mut core, &[ev], OriginFilter::Any, 1_000_000).unwrap();
         rec.on_executed(&mut core, 900_000);
         assert!(rec.is_empty());
         rec.on_executed(&mut core, 100_000);

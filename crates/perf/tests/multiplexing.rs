@@ -72,7 +72,7 @@ fn unmultiplexed_counts_are_exact_up_to_noise() {
 fn recorder_slices_partition_the_total() {
     let mut c = core();
     let ids = n_events(&c, 1);
-    let mut rec = TraceRecorder::open(&mut c, ids, OriginFilter::Any, 1_000_000).unwrap();
+    let mut rec = TraceRecorder::open(&mut c, &ids, OriginFilter::Any, 1_000_000).unwrap();
     for _ in 0..100 {
         c.run_mix(&steady(150.0), 100_000, Origin::Host);
         rec.on_executed(&mut c, 100_000);

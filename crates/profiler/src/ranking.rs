@@ -132,7 +132,7 @@ pub fn rank_events(
                 let trace = host
                     .record_trace(
                         core_idx,
-                        group.to_vec(),
+                        group,
                         OriginFilter::GuestOnly(vm.0),
                         cfg.interval_ns,
                         cfg.window_ns.min(app.window_ns()),

@@ -111,7 +111,7 @@ pub fn warmup_profile(
         let idle = host
             .record_trace(
                 core_idx,
-                group.to_vec(),
+                group,
                 OriginFilter::GuestOnly(vm.0),
                 cfg.probe_ns,
                 cfg.probe_ns,
@@ -132,7 +132,7 @@ pub fn warmup_profile(
             let active = host
                 .record_trace(
                     core_idx,
-                    group.to_vec(),
+                    group,
                     OriginFilter::GuestOnly(vm.0),
                     cfg.probe_ns,
                     cfg.probe_ns,

@@ -243,6 +243,46 @@ impl Host {
         Ok(())
     }
 
+    /// Replicates this host's full microarchitectural state — cores
+    /// (including their PMU, cache, and RNG state), VM topology, vCPU
+    /// statistics, and the clock — *without* the attached activity
+    /// sources. Apps and injectors are process-unique
+    /// `Box<dyn ActivitySource>` values (some hold live channels) and are
+    /// left detached in the fork; callers re-attach per-measurement
+    /// sources, which is what every collection loop does anyway.
+    ///
+    /// This is the replication primitive behind parallel trace
+    /// collection: each worker forks the prepared host once and replays
+    /// its assigned (secret, rep) units against the pristine replica.
+    pub fn fork_detached(&self) -> Host {
+        Host {
+            arch: self.arch,
+            cores: self.cores.clone(),
+            assignment: self.assignment.clone(),
+            vms: self
+                .vms
+                .iter()
+                .map(|vm| Vm {
+                    id: vm.id,
+                    mode: vm.mode,
+                    vcpus: vm
+                        .vcpus
+                        .iter()
+                        .map(|vc| Vcpu {
+                            core: vc.core,
+                            app: None,
+                            injector: None,
+                            stats: vc.stats,
+                        })
+                        .collect(),
+                    launched_at_ns: vm.launched_at_ns,
+                })
+                .collect(),
+            clock_ns: self.clock_ns,
+            host_bg: self.host_bg.clone(),
+        }
+    }
+
     /// Installs the Event Obfuscator's noise injector on the *same* vCPU
     /// as the protected application (the paper pins both together so the
     /// hypervisor cannot separate them).
@@ -492,7 +532,7 @@ impl Host {
     pub fn record_trace(
         &mut self,
         core_idx: usize,
-        events: Vec<EventId>,
+        events: &[EventId],
         filter: OriginFilter,
         interval_ns: u64,
         duration_ns: u64,
@@ -582,7 +622,7 @@ mod tests {
         )
         .unwrap();
         let trace = host
-            .record_trace(core, vec![ev], OriginFilter::Any, 1_000_000, 5_000_000)
+            .record_trace(core, &[ev], OriginFilter::Any, 1_000_000, 5_000_000)
             .unwrap();
         assert!(trace.totals()[0] > 1_000_000.0, "{:?}", trace.totals());
     }

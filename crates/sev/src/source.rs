@@ -10,7 +10,7 @@ use aegis_workloads::WorkloadPlan;
 /// Obfuscator's noise injector. Both run on the *same* vCPU, so the
 /// malicious hypervisor cannot schedule them apart or tell their counter
 /// contributions apart.
-pub trait ActivitySource {
+pub trait ActivitySource: Send + Sync {
     /// The activity rate (per microsecond) the source wants to execute
     /// right now, or `None` if it has finished.
     fn demand(&mut self) -> Option<ActivityVector>;

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 /// [`WebsiteCatalog`]: crate::WebsiteCatalog
 /// [`KeystrokeApp`]: crate::KeystrokeApp
 /// [`DnnZoo`]: crate::DnnZoo
-pub trait SecretApp {
+pub trait SecretApp: Send + Sync {
     /// Human-readable application name.
     fn name(&self) -> &str;
 

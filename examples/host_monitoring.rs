@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(3);
     let plan = app.sample_plan(2, &mut rng); // facebook.com
     host.attach_app(vm, 0, Box::new(PlanSource::new(plan)))?;
-    let trace = host.record_trace(core, events, OriginFilter::Any, 50_000_000, 500_000_000)?;
+    let trace = host.record_trace(core, &events, OriginFilter::Any, 50_000_000, 500_000_000)?;
 
     println!(
         "\nHPC trace while the guest loads {} (50 ms samples):",
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     host.attach_app(vm, 0, Box::new(PlanSource::new(Default::default())))?;
     let idle = host.record_trace(
         core,
-        catalog.attack_events().to_vec(),
+        &catalog.attack_events(),
         OriginFilter::Any,
         50_000_000,
         200_000_000,

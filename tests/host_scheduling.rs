@@ -37,10 +37,10 @@ fn per_core_counters_isolate_coresident_vms() {
         .lookup(named::RETIRED_UOPS)
         .unwrap();
     let trace_a = host
-        .record_trace(core_a, vec![ev], OriginFilter::Any, 10_000_000, 100_000_000)
+        .record_trace(core_a, &[ev], OriginFilter::Any, 10_000_000, 100_000_000)
         .unwrap();
     let trace_b = host
-        .record_trace(core_b, vec![ev], OriginFilter::Any, 10_000_000, 100_000_000)
+        .record_trace(core_b, &[ev], OriginFilter::Any, 10_000_000, 100_000_000)
         .unwrap();
     // Core A sees only host background (~1 µop/µs); core B sees the load.
     assert!(

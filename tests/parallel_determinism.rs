@@ -1,0 +1,206 @@
+//! The determinism contract of the parallel execution layer: results are
+//! bit-identical regardless of the worker count, and memoized artifacts
+//! are exact.
+//!
+//! All tests that touch the process-wide thread configuration serialize
+//! through [`THREAD_KNOB`] — the contract itself guarantees every *other*
+//! test is insensitive to the knob.
+
+use aegis::fuzzer::{EventFuzzer, FuzzerConfig};
+use aegis::microarch::{named, InterferenceConfig, MicroArch, Core};
+use aegis::par::{derive_seed, set_threads, ArtifactCache};
+use aegis::sev::{Host, PlanSource, SevMode};
+use aegis::workloads::{SecretApp, WebsiteCatalog};
+use aegis::{collect_dataset, CollectConfig};
+use aegis_isa::{IsaCatalog, Vendor};
+use std::sync::Mutex;
+
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+fn small_collect() -> CollectConfig {
+    CollectConfig {
+        traces_per_secret: 3,
+        window_ns: 120_000_000,
+        interval_ns: 2_000_000,
+        pool: 20,
+        seed: 11,
+        per_secret_noise: false,
+    }
+}
+
+fn collect_with_threads(n: usize) -> aegis::attack::Dataset {
+    set_threads(n);
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 5);
+    let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+    let core = host.core_of(vm, 0).unwrap();
+    let app = WebsiteCatalog::new(3);
+    let events = host.core(core).catalog().attack_events();
+    collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap()
+}
+
+#[test]
+fn collect_dataset_is_bit_identical_for_1_and_8_workers() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let serial = collect_with_threads(1);
+    let wide = collect_with_threads(8);
+    assert!(!serial.samples.is_empty());
+    assert_eq!(serial, wide, "worker count leaked into the dataset");
+}
+
+#[test]
+fn fuzzing_is_bit_identical_for_1_and_8_workers() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let fuzz = |threads: usize| {
+        set_threads(threads);
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        let events = [
+            core.catalog().lookup(named::RETIRED_UOPS).unwrap(),
+            core.catalog()
+                .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+                .unwrap(),
+        ];
+        let fuzzer = EventFuzzer::with_cache(
+            FuzzerConfig {
+                candidates_per_event: 80,
+                confirm_reps: 10,
+                ..FuzzerConfig::default()
+            },
+            ArtifactCache::disabled(),
+        );
+        fuzzer.run(&catalog, &mut core, &events)
+    };
+    let serial = fuzz(1);
+    let wide = fuzz(8);
+    // Wall-clock timings in the report legitimately differ; the findings
+    // must not.
+    assert_eq!(serial.per_event, wide.per_event);
+    assert_eq!(
+        serial.report.gadgets_tested,
+        wide.report.gadgets_tested
+    );
+}
+
+#[test]
+fn cleanup_cache_hit_is_exact() {
+    let dir = std::env::temp_dir().join(format!(
+        "aegis-cleanup-cache-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run_once = || {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        let fuzzer = EventFuzzer::with_cache(
+            FuzzerConfig {
+                candidates_per_event: 40,
+                confirm_reps: 10,
+                ..FuzzerConfig::default()
+            },
+            ArtifactCache::new(&dir),
+        );
+        fuzzer.run(&catalog, &mut core, &[ev])
+    };
+    let miss = run_once();
+    // The second run must hit the cache: the stored cleanup (including
+    // its recorded wall time) is returned verbatim, which an actual
+    // recomputation would virtually never reproduce bit-for-bit.
+    let hit = run_once();
+    assert_eq!(miss.report.cleanup_seconds, hit.report.cleanup_seconds);
+    assert_eq!(miss.report.usable_instructions, hit.report.usable_instructions);
+    assert_eq!(miss.per_event, hit.per_event);
+    let cached: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir was created")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("cleanup-")
+        })
+        .collect();
+    assert_eq!(cached.len(), 1, "exactly one cleanup artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_trace_forks_leave_the_original_host_pristine() {
+    // collect_dataset must not leak replica state (clock, apps, PMU)
+    // back into the caller's host: two consecutive collections with the
+    // same config are identical.
+    let _guard = THREAD_KNOB.lock().unwrap();
+    set_threads(2);
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 5);
+    let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+    let core = host.core_of(vm, 0).unwrap();
+    let app = WebsiteCatalog::new(3);
+    let events = host.core(core).catalog().attack_events();
+    let first = collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap();
+    let second = collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn fork_detached_drops_attachments_but_keeps_the_testbed() {
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 5);
+    let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+    let core = host.core_of(vm, 0).unwrap();
+    let app = WebsiteCatalog::new(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    host.attach_app(
+        vm,
+        0,
+        Box::new(PlanSource::new(app.sample_plan(0, &mut rng))),
+    )
+    .unwrap();
+    let fork = host.fork_detached();
+    // The fork sees the same topology and can record immediately...
+    assert_eq!(fork.core_of(vm, 0).unwrap(), core);
+    // ...but carries no attached activity from the original.
+    let events = host.core(core).catalog().attack_events();
+    let mut fork2 = fork.fork_detached();
+    let trace = fork2
+        .record_trace(
+            core,
+            &events,
+            aegis::microarch::OriginFilter::GuestOnly(vm.0),
+            10_000_000,
+            50_000_000,
+        )
+        .unwrap();
+    assert!(
+        trace.totals().iter().all(|&t| t == 0.0),
+        "detached fork still runs guest activity: {:?}",
+        trace.totals()
+    );
+}
+
+use rand::SeedableRng;
+
+mod seed_collisions {
+    use super::derive_seed;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn derived_seeds_never_collide_within_a_batch(
+            base in 0u64..=u64::MAX,
+            units in 2usize..512,
+        ) {
+            // Two streams sharing one base seed: every (stream, unit)
+            // pair must map to a distinct RNG seed, or parallel units
+            // would silently sample correlated noise.
+            let mut seen = std::collections::HashSet::new();
+            for stream in [0x01u64, 0x02, 0x03, 0x04, 0x10] {
+                for unit in 0..units as u64 {
+                    prop_assert!(
+                        seen.insert(derive_seed(base, stream, unit)),
+                        "collision at stream {stream:#x} unit {unit}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -55,9 +55,9 @@ fn host_observes_guest_hpcs_despite_snp() {
         Box::new(PlanSource::new(app.sample_plan(0, &mut rng))),
     )
     .unwrap();
-    let events = host.core(core).catalog().attack_events().to_vec();
+    let events = host.core(core).catalog().attack_events();
     let trace = host
-        .record_trace(core, events, OriginFilter::Any, 10_000_000, 200_000_000)
+        .record_trace(core, &events, OriginFilter::Any, 10_000_000, 200_000_000)
         .unwrap();
     assert!(
         trace.totals()[0] > 1e6,
@@ -93,7 +93,7 @@ fn software_events_never_reflect_guest_activity() {
     let trace = host
         .record_trace(
             core,
-            sw_events,
+            &sw_events,
             OriginFilter::GuestOnly(vm.0),
             10_000_000,
             200_000_000,
@@ -140,7 +140,7 @@ fn injector_and_app_are_indistinguishable_to_the_host() {
                 .unwrap();
         }
         let trace = host
-            .record_trace(core, vec![ev], OriginFilter::Any, 10_000_000, 100_000_000)
+            .record_trace(core, &[ev], OriginFilter::Any, 10_000_000, 100_000_000)
             .unwrap();
         trace.totals()[0]
     };
@@ -165,8 +165,8 @@ fn trace_recording_is_deterministic_per_seed() {
             Box::new(PlanSource::new(app.sample_plan(3, &mut rng))),
         )
         .unwrap();
-        let events = host.core(core).catalog().attack_events().to_vec();
-        host.record_trace(core, events, OriginFilter::Any, 10_000_000, 100_000_000)
+        let events = host.core(core).catalog().attack_events();
+        host.record_trace(core, &events, OriginFilter::Any, 10_000_000, 100_000_000)
             .unwrap()
     };
     assert_eq!(collect(9), collect(9));

@@ -1,0 +1,306 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the `criterion` API shape used by this workspace's benches
+//! (`benchmark_group`, `throughput`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`, `criterion_main!`)
+//! but measures with plain wall-clock sampling: per bench function it
+//! calibrates an iteration count, takes `sample_size` samples, and prints
+//! median / min / max ns per iteration plus derived throughput. No
+//! statistical regression analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from the standard library.
+pub use std::hint::black_box;
+
+/// Units processed per iteration, used to derive a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// One timing result, exposed so bench binaries can persist summaries.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock time for one sample during calibration.
+    sample_target: Duration,
+    /// Substring filter from the CLI (cargo bench passes extra args).
+    filter: Option<String>,
+    results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            sample_target: Duration::from_millis(10),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: the first non-flag argument is a substring
+    /// filter on benchmark ids (flags like `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Overrides how many samples each bench function takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related bench functions.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), None, None, f);
+        self
+    }
+
+    /// All results measured so far (for bench binaries that persist a
+    /// JSON summary next to the textual report).
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = sample_size.unwrap_or(self.sample_size);
+
+        // Calibrate: grow the iteration count until one sample takes
+        // roughly `sample_target`.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.sample_target || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                (self.sample_target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64) * grow).ceil() as u64;
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("{:>14}/s", human(n as f64 * 1e9 / median, "elem")),
+            Throughput::Bytes(n) => format!("{:>14}/s", human(n as f64 * 1e9 / median, "B")),
+        });
+        println!(
+            "{id:<48} time: [{} {} {}]{}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            rate.map(|r| format!("  thrpt: {r}")).unwrap_or_default(),
+        );
+        self.results.push(Sampled {
+            id,
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+}
+
+/// A named group sharing throughput / sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used to derive a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for functions in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benches one function under this group's settings.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Declares a group runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records_results() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        c.sample_target = Duration::from_micros(200);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        let s = &c.results()[0];
+        assert_eq!(s.id, "g/sum");
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("g/sum", |b| b.iter(|| 1 + 1));
+        assert!(c.results().is_empty());
+    }
+}

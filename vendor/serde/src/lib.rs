@@ -1,0 +1,426 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The upstream serde data model (serializer/deserializer visitors) is
+//! far larger than this workspace needs: every consumer serializes to
+//! and from JSON. So this vendored version collapses the model to a
+//! single in-memory [`Value`] tree: [`Serialize`] converts a type *to*
+//! a `Value`, [`Deserialize`] reconstructs it *from* one, and the
+//! sibling `serde_json` crate handles text. The `#[derive(Serialize,
+//! Deserialize)]` macro in `serde_derive` generates the same shapes
+//! upstream `serde_json` would: structs as objects, newtypes
+//! transparently, unit enum variants as strings, and data-carrying
+//! variants as single-key objects.
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a message plus a breadcrumb
+/// path of the fields that led to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Wraps `inner` with a field/variant breadcrumb.
+    pub fn context(at: &str, inner: Error) -> Self {
+        Error(format!("{at}: {}", inner.0))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion of a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // JSON has no NaN/Infinity; mirror serde_json's null.
+                if self.is_finite() {
+                    Value::Number(Number::F(*self as f64))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => v
+                        .as_f64()
+                        .map(|f| f as $t)
+                        .ok_or_else(|| Error::custom(format!("expected number, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected single char, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == [$($i),+].len() => {
+                        Ok(($($t::from_value(&items[$i])
+                            .map_err(|e| Error::context(concat!("tuple.", $i), e))?,)+))
+                    }
+                    other => Err(Error::custom(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for Map<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for Map<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        // An integral float deserializes as integer and vice versa.
+        assert_eq!(u64::from_value(&Value::Number(Number::F(3.0))).unwrap(), 3);
+        assert_eq!(f64::from_value(&Value::Number(Number::U(3))).unwrap(), 3.0);
+        assert!(u64::from_value(&Value::Number(Number::F(3.5))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::I(-1))).is_err());
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Some(5u32).to_value(), Value::Number(Number::U(5)));
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_back() {
+        let v = f64::NAN.to_value();
+        assert_eq!(v, Value::Null);
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn vectors_and_tuples_roundtrip() {
+        let xs = vec![(1u32, 2.5f64), (3, 4.5)];
+        let v = xs.to_value();
+        let back: Vec<(u32, f64)> = Vec::from_value(&v).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = <[f64; 3]>::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+        assert!(<[f64; 4]>::from_value(&a.to_value()).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde. The input grammar is parsed by hand from the raw token stream
+//! (no `syn`/`quote` available offline); only the shapes this workspace
+//! actually derives are supported: non-generic structs (named, tuple,
+//! unit) and non-generic enums with unit, tuple, and struct variants.
+//!
+//! Generated shapes mirror upstream `serde_json` defaults so existing
+//! JSON artifacts and round-trip tests keep their format:
+//! named struct → object; newtype struct → the inner value; tuple
+//! struct → array; unit variant → `"Variant"`; data variant →
+//! `{"Variant": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// The field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type {name}"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(body) {
+                let mut j = 0usize;
+                skip_attrs_and_vis(&chunk, &mut j);
+                if j >= chunk.len() {
+                    continue; // trailing comma
+                }
+                let vname = match &chunk[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                j += 1;
+                let fields = match chunk.get(j) {
+                    None => Fields::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    other => return Err(format!("unsupported variant body: {other:?}")),
+                };
+                variants.push((vname, fields));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+/// Advances `i` past outer attributes (`#[...]`) and a visibility
+/// modifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at commas that sit outside any `<...>` nesting
+/// (parens/brackets/braces are opaque groups already).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field group, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level_commas(stream) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&chunk, &mut j);
+        if j >= chunk.len() {
+            continue;
+        }
+        match &chunk[j] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Number of fields in a tuple-struct/-variant parenthesis group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => ser_named_object(names, "self.", ""),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String(String::from(\"{vname}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from(\"{vname}\"), {inner});\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }},",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let inner = ser_named_object(names, "", "");
+                        format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                                 let __inner = {inner};\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert(String::from(\"{vname}\"), __inner);\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }},",
+                            names.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `{ let mut m = Map::new(); m.insert("f", to_value(&<prefix>f)); ... }`
+fn ser_named_object(names: &[String], prefix: &str, _suffix: &str) -> String {
+    let mut body = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in names {
+        body.push_str(&format!(
+            "__m.insert(String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}));\n"
+        ));
+    }
+    body.push_str("::serde::Value::Object(__m) }");
+    body
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                de_named_fields(name, names, &format!("{name} {{"), "}", "__v")
+            }
+            Fields::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Fields::Tuple(n) => de_tuple_fields(name, &format!("{name}("), ")", *n, "__v"),
+            Fields::Unit => format!("::core::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_checks = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_checks.push_str(&format!(
+                        "if let Some(__inner) = __obj.get(\"{vname}\") {{\n\
+                             return ::core::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)\
+                                 .map_err(|e| ::serde::Error::context(\"{name}::{vname}\", e))?));\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inner =
+                            de_tuple_fields(name, &format!("{name}::{vname}("), ")", *n, "__inner");
+                        data_checks.push_str(&format!(
+                            "if let Some(__inner) = __obj.get(\"{vname}\") {{\n\
+                                 return {{ {inner} }};\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inner = de_named_fields(
+                            name,
+                            names,
+                            &format!("{name}::{vname} {{"),
+                            "}",
+                            "__inner",
+                        );
+                        data_checks.push_str(&format!(
+                            "if let Some(__inner) = __obj.get(\"{vname}\") {{\n\
+                                 return {{ {inner} }};\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                     match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => return ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected object for enum {name}\"))?;\n\
+                 {data_checks}\
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                     \"unrecognized variant object for {name}\"))"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `Ok(Ctor { f: from_value(obj.get("f"))?, ... })` — missing keys read
+/// as `Null` so `Option` fields tolerate absent entries.
+fn de_named_fields(
+    type_name: &str,
+    names: &[String],
+    open: &str,
+    close: &str,
+    var: &str,
+) -> String {
+    let mut body = format!(
+        "let __obj = {var}.as_object().ok_or_else(|| ::serde::Error::custom(\
+             \"expected object for {type_name}\"))?;\n\
+         ::core::result::Result::Ok({open}\n"
+    );
+    for f in names {
+        body.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\
+                 __obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::Error::context(\"{type_name}.{f}\", e))?,\n"
+        ));
+    }
+    body.push_str(close);
+    body.push(')');
+    body
+}
+
+/// `Ok(Ctor(from_value(&arr[0])?, ...))` from an array value.
+fn de_tuple_fields(type_name: &str, open: &str, close: &str, n: usize, var: &str) -> String {
+    let mut body = format!(
+        "let __arr = {var}.as_array().ok_or_else(|| ::serde::Error::custom(\
+             \"expected array for {type_name}\"))?;\n\
+         if __arr.len() != {n} {{\n\
+             return ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {type_name}, got {{}}\", __arr.len())));\n\
+         }}\n\
+         ::core::result::Result::Ok({open}\n"
+    );
+    for i in 0..n {
+        body.push_str(&format!(
+            "::serde::Deserialize::from_value(&__arr[{i}])\
+                 .map_err(|e| ::serde::Error::context(\"{type_name}.{i}\", e))?,\n"
+        ));
+    }
+    body.push_str(close);
+    body.push(')');
+    body
+}
