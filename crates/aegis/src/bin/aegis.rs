@@ -68,16 +68,31 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         aegis::par::set_threads(n);
     }
-    match command.as_str() {
+    let result = match command.as_str() {
         "offline" => offline(&opts),
         "inspect" => inspect(&opts),
         "evaluate" => evaluate(&opts),
         "overhead" => overhead(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            return Ok(());
         }
         other => Err(format!("unknown command {other:?}")),
+    };
+    print_obs_summary();
+    result
+}
+
+/// Renders the end-of-run observability summary on stderr. Lines carry an
+/// `[obs] ` prefix so tooling that diffs stdout/stderr can filter them.
+fn print_obs_summary() {
+    if !aegis::obs::enabled() {
+        return;
+    }
+    aegis::obs::flush();
+    let summary = aegis::obs::render_summary(&aegis::obs::snapshot());
+    for line in summary.lines() {
+        eprintln!("[obs] {line}");
     }
 }
 
@@ -155,8 +170,7 @@ fn template(arch: MicroArch, seed: u64) -> Result<(Host, VmId), String> {
 
 fn load_plan(opts: &HashMap<String, String>) -> Result<DefensePlan, String> {
     let path = opts.get("plan").ok_or("missing --plan")?;
-    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+    DefensePlan::load(path).map_err(|e| e.to_string())
 }
 
 fn collect_cfg(app: &dyn SecretApp, s: u64) -> CollectConfig {
@@ -179,31 +193,31 @@ fn offline(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let (mut host, vm) = template(arch, s)?;
     eprintln!("profiling {} on {} ...", app.name(), arch);
-    let cfg = AegisConfig {
-        warmup: WarmupConfig {
+    let cfg = AegisConfig::builder()
+        .warmup(WarmupConfig {
             probe_ns: if thorough { 8_000_000 } else { 3_000_000 },
             passes: if thorough { 5 } else { 3 },
             ..WarmupConfig::default()
-        },
-        rank: RankConfig {
+        })
+        .rank(RankConfig {
             reps_per_secret: if thorough { 4 } else { 2 },
             window_ns: 80_000_000,
             interval_ns: 10_000_000,
             seed: s,
-        },
-        fuzzer: FuzzerConfig {
+        })
+        .fuzzer(FuzzerConfig {
             candidates_per_event: if thorough { 400 } else { 150 },
             confirm_reps: 10,
             seed: s,
             ..FuzzerConfig::default()
-        },
-        fuzz_top_events: if thorough { 24 } else { 10 },
-        isa_seed: s,
-    };
+        })
+        .fuzz_top_events(if thorough { 24 } else { 10 })
+        .isa_seed(s)
+        .build()
+        .map_err(|e| e.to_string())?;
     let plan =
         AegisPipeline::offline(&mut host, vm, 0, app.as_ref(), &cfg).map_err(|e| e.to_string())?;
-    let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    plan.save(out).map_err(|e| e.to_string())?;
     println!(
         "plan written to {out}: {} vulnerable events, {} covering gadgets",
         plan.vulnerable_events.len(),

@@ -1,0 +1,126 @@
+//! The facade's typed error: everything the public `aegis` API can fail
+//! with, in one enum.
+
+use aegis_sev::HostError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors returned by the `aegis` facade (`AegisPipeline::offline`,
+/// `DefenseDeployment::deploy*`, `collect_dataset`, plan load/save).
+///
+/// Marked `#[non_exhaustive]` so future failure classes can be added
+/// without a breaking change; match with a `_` arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AegisError {
+    /// A simulated-host operation failed (invalid vm/vcpu ids,
+    /// over-committed cores).
+    Host(HostError),
+    /// A configuration value failed validation (builder `build()`).
+    Config {
+        /// The offending field, e.g. `"epsilon"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// An I/O operation failed (plan files, result directories).
+    Io {
+        /// What was being done, e.g. `"writing plan results/plan.json"`.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Serialization or deserialization failed.
+    Serde {
+        /// What was being encoded/decoded.
+        context: String,
+        /// The codec's message.
+        message: String,
+    },
+    /// A cache artifact could not be used.
+    Cache {
+        /// The artifact's path.
+        path: PathBuf,
+        /// Why it was rejected.
+        message: String,
+    },
+}
+
+impl AegisError {
+    /// Convenience constructor for config-validation failures.
+    pub fn config(field: &'static str, message: impl Into<String>) -> Self {
+        AegisError::Config {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an I/O error with its operation context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        AegisError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Wraps a codec error with its operation context.
+    pub fn serde(context: impl Into<String>, err: impl fmt::Display) -> Self {
+        AegisError::Serde {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AegisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AegisError::Host(e) => write!(f, "host error: {e}"),
+            AegisError::Config { field, message } => {
+                write!(f, "invalid configuration: {field}: {message}")
+            }
+            AegisError::Io { context, source } => write!(f, "i/o error {context}: {source}"),
+            AegisError::Serde { context, message } => {
+                write!(f, "encoding error {context}: {message}")
+            }
+            AegisError::Cache { path, message } => {
+                write!(f, "cache artifact {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AegisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AegisError::Host(e) => Some(e),
+            AegisError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<HostError> for AegisError {
+    fn from(e: HostError) -> Self {
+        AegisError::Host(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = AegisError::from(HostError::NoFreeCores);
+        assert!(e.to_string().contains("host error"));
+        let e = AegisError::config("epsilon", "must be positive, got -1");
+        assert!(e.to_string().contains("epsilon"));
+        let e = AegisError::io(
+            "reading plan.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("reading plan.json"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -2,12 +2,14 @@
 //! paper's case studies (Section III) and defense evaluation (Section
 //! VIII). Used by the examples and the experiment harness.
 
+use crate::error::AegisError;
 use crate::pipeline::DefenseDeployment;
 use aegis_attack::{
     ctc_collapse, layer_match_accuracy, trace_features, Dataset, EpochStats, GaussianNb,
     Standardizer, TrainConfig, TrainingCurve,
 };
 use aegis_microarch::{EventId, OriginFilter};
+use aegis_obs as obs;
 use aegis_par::{derive_seed, Executor};
 use aegis_sev::{Host, HostError, PlanSource, VmId};
 use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
@@ -69,7 +71,7 @@ impl Default for CollectConfig {
 ///
 /// # Errors
 ///
-/// Returns [`HostError`] for invalid ids.
+/// Returns [`AegisError::Host`] for invalid ids.
 pub fn collect_dataset(
     host: &mut Host,
     vm: VmId,
@@ -78,7 +80,8 @@ pub fn collect_dataset(
     events: &[EventId],
     cfg: &CollectConfig,
     defense: Option<&DefenseDeployment>,
-) -> Result<Dataset, HostError> {
+) -> Result<Dataset, AegisError> {
+    let mut span = obs::span("collect.dataset");
     let core_idx = host.core_of(vm, vcpu)?;
     // Detach any leftover injector up front: forks must start pristine,
     // and id errors must surface before workers spawn.
@@ -86,6 +89,9 @@ pub fn collect_dataset(
     let units: Vec<(usize, usize)> = (0..app.n_secrets())
         .flat_map(|s| (0..cfg.traces_per_secret).map(move |r| (s, r)))
         .collect();
+    // Attribute the simulated time this call replays alongside its wall
+    // time (each unit replays one monitoring window).
+    span.set_sim_ns(cfg.window_ns.min(app.window_ns()) * units.len() as u64);
     let snapshot: &Host = host;
     let rows = Executor::from_config().map_with(
         units,
@@ -225,7 +231,7 @@ impl Default for MeaConfig {
 ///
 /// # Errors
 ///
-/// Returns [`HostError`] for invalid ids.
+/// Returns [`AegisError::Host`] for invalid ids.
 pub fn collect_mea_runs(
     host: &mut Host,
     vm: VmId,
@@ -234,7 +240,8 @@ pub fn collect_mea_runs(
     events: &[EventId],
     cfg: &MeaConfig,
     defense: Option<&DefenseDeployment>,
-) -> Result<Vec<(usize, MeaRun)>, HostError> {
+) -> Result<Vec<(usize, MeaRun)>, AegisError> {
+    let _span = obs::span("collect.mea");
     let core_idx = host.core_of(vm, vcpu)?;
     host.detach_injector(vm, vcpu)?;
     let units: Vec<(usize, usize)> = (0..zoo.n_secrets())
@@ -471,8 +478,8 @@ pub struct RunMeasurement {
 ///
 /// # Errors
 ///
-/// Returns [`HostError`] for invalid ids, or if the app fails to finish
-/// within 10× its nominal duration.
+/// Returns [`AegisError::Host`] for invalid ids, or if the app fails to
+/// finish within 10× its nominal duration.
 pub fn measure_app_run(
     host: &mut Host,
     vm: VmId,
@@ -480,7 +487,8 @@ pub fn measure_app_run(
     plan: WorkloadPlan,
     defense: Option<&DefenseDeployment>,
     seed: u64,
-) -> Result<RunMeasurement, HostError> {
+) -> Result<RunMeasurement, AegisError> {
+    let mut span = obs::span("measure.app_run");
     let nominal = plan.duration_ns();
     host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
     match defense {
@@ -493,6 +501,7 @@ pub fn measure_app_run(
         .ok_or(HostError::UnknownVcpu(vm, vcpu))?;
     let cpu = host.vm_cpu_usage(vm)?;
     host.detach_injector(vm, vcpu)?;
+    span.set_sim_ns(latency);
     Ok(RunMeasurement {
         latency_ns: latency,
         cpu_usage: cpu,

@@ -19,35 +19,53 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, MechanismChoice};
+//! use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, ObsLevel};
 //! use aegis::sev::{Host, SevMode};
 //! use aegis::microarch::MicroArch;
 //! use aegis::workloads::KeystrokeApp;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), aegis::AegisError> {
+//! // Validated configuration: ε = 1 Laplace noise, 4 worker threads,
+//! // in-memory observability. `apply_runtime` installs the thread and
+//! // observability settings process-wide.
+//! let cfg = AegisConfig::builder()
+//!     .epsilon(1.0)
+//!     .threads(4)
+//!     .obs(ObsLevel::Summary)
+//!     .build()?;
+//! cfg.apply_runtime();
+//!
 //! // Offline: profile + fuzz on a template host you control.
 //! let mut template = Host::new(MicroArch::AmdEpyc7252, 2, 3);
 //! let vm = template.launch_vm(1, SevMode::SevSnp)?;
 //! let app = KeystrokeApp::new();
-//! let plan = AegisPipeline::offline(&mut template, vm, 0, &app, &AegisConfig::default())?;
+//! let plan = AegisPipeline::offline(&mut template, vm, 0, &app, &cfg)?;
 //!
 //! // Online: deploy the obfuscator inside the production VM.
-//! let deployment = DefenseDeployment::new(&plan, MechanismChoice::Laplace { epsilon: 1.0 });
+//! let deployment = DefenseDeployment::new(&plan, cfg.mechanism);
 //! deployment.deploy(&mut template, vm, 0, 42)?;
 //! # Ok(())
 //! # }
 //! ```
 
+mod error;
 mod evaluate;
 mod pipeline;
 mod plan;
 
+pub use error::AegisError;
 pub use evaluate::{
     collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, MeaAttack,
     MeaConfig, MeaRun, RunMeasurement, BLANK,
 };
-pub use pipeline::{AegisConfig, AegisPipeline, DefenseDeployment, MechanismChoice};
+pub use pipeline::{
+    AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, MechanismChoice,
+};
 pub use plan::DefensePlan;
+
+// Observability: re-export the level type for builder callers, and the
+// whole crate for spans/metrics/summary rendering.
+pub use aegis_obs::ObsLevel;
 
 // Substrate re-exports, namespaced for downstream convenience.
 pub use aegis_attack as attack;
@@ -56,6 +74,7 @@ pub use aegis_fuzzer as fuzzer;
 pub use aegis_isa as isa;
 pub use aegis_microarch as microarch;
 pub use aegis_obfuscator as obfuscator;
+pub use aegis_obs as obs;
 pub use aegis_par as par;
 pub use aegis_perf as perf;
 pub use aegis_profiler as profiler;

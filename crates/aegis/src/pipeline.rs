@@ -1,5 +1,6 @@
 //! The unified Aegis pipeline: offline analysis and online deployment.
 
+use crate::error::AegisError;
 use crate::plan::DefensePlan;
 use aegis_dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
 use aegis_fuzzer::{cluster_gadgets, covering_set, EventFuzzer, FuzzerConfig, GadgetStats};
@@ -9,12 +10,19 @@ use aegis_obfuscator::{
     ConstantOutput, GadgetStack, Obfuscator, ObfuscatorConfig, SecretConstantNoise,
     UniformRandomNoise,
 };
+use aegis_obs::{self as obs, ObsLevel};
 use aegis_profiler::{rank_events, warmup_profile, RankConfig, WarmupConfig};
 use aegis_sev::{Host, HostError, VmId};
 use aegis_workloads::SecretApp;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the full offline pipeline.
+///
+/// Construct with [`AegisConfig::builder`] for validated settings, with
+/// `AegisConfig::default()`, or with a struct literal plus functional
+/// update (`AegisConfig { fuzz_top_events: 8, ..Default::default() }`) —
+/// new fields may be added over time, so exhaustive literals are not
+/// forward-compatible.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AegisConfig {
     /// Warm-up profiling settings.
@@ -28,6 +36,17 @@ pub struct AegisConfig {
     pub fuzz_top_events: usize,
     /// ISA-specification seed.
     pub isa_seed: u64,
+    /// The mechanism deployed by default ([`AegisConfigBuilder::epsilon`]
+    /// adjusts its privacy budget).
+    pub mechanism: MechanismChoice,
+    /// Worker threads for the parallel stages; `0` means auto
+    /// (`AEGIS_THREADS` env, then hardware parallelism). Takes effect via
+    /// [`AegisConfig::apply_runtime`].
+    pub threads: usize,
+    /// Observability level; `None` defers to the `AEGIS_OBS` environment
+    /// variable (then `summary`). Takes effect via
+    /// [`AegisConfig::apply_runtime`].
+    pub obs: Option<ObsLevel>,
 }
 
 impl Default for AegisConfig {
@@ -38,7 +57,143 @@ impl Default for AegisConfig {
             fuzzer: FuzzerConfig::default(),
             fuzz_top_events: 24,
             isa_seed: 7,
+            mechanism: MechanismChoice::Laplace { epsilon: 1.0 },
+            threads: 0,
+            obs: None,
         }
+    }
+}
+
+impl AegisConfig {
+    /// Starts a validated builder from the defaults.
+    pub fn builder() -> AegisConfigBuilder {
+        AegisConfigBuilder::default()
+    }
+
+    /// Applies the runtime-affecting settings to the process: the worker
+    /// pool size ([`aegis_par::set_threads`]) and the observability level
+    /// ([`aegis_obs::set_level`]). Kept separate from
+    /// [`AegisConfigBuilder::build`] so constructing a config has no side
+    /// effects; binaries call this once after argument parsing.
+    pub fn apply_runtime(&self) {
+        aegis_par::set_threads(self.threads);
+        obs::set_level(self.obs);
+    }
+}
+
+/// Builder for [`AegisConfig`] with validation at [`build`
+/// time](AegisConfigBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct AegisConfigBuilder {
+    cfg: AegisConfig,
+    epsilon: Option<f64>,
+    threads: Option<usize>,
+}
+
+impl AegisConfigBuilder {
+    /// Sets the privacy budget ε of the configured mechanism. Fails at
+    /// build time if ε ≤ 0 or the mechanism takes no budget.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Selects the deployed mechanism.
+    pub fn mechanism(mut self, mechanism: MechanismChoice) -> Self {
+        self.cfg.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the worker-thread count (≥ 1; omit for auto-detection).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the observability level.
+    pub fn obs(mut self, level: ObsLevel) -> Self {
+        self.cfg.obs = Some(level);
+        self
+    }
+
+    /// Replaces the warm-up profiling settings.
+    pub fn warmup(mut self, warmup: WarmupConfig) -> Self {
+        self.cfg.warmup = warmup;
+        self
+    }
+
+    /// Replaces the event-ranking settings.
+    pub fn rank(mut self, rank: RankConfig) -> Self {
+        self.cfg.rank = rank;
+        self
+    }
+
+    /// Replaces the Event Fuzzer settings.
+    pub fn fuzzer(mut self, fuzzer: FuzzerConfig) -> Self {
+        self.cfg.fuzzer = fuzzer;
+        self
+    }
+
+    /// Sets how many top-ranked events the fuzzer targets.
+    pub fn fuzz_top_events(mut self, n: usize) -> Self {
+        self.cfg.fuzz_top_events = n;
+        self
+    }
+
+    /// Sets the ISA-specification seed.
+    pub fn isa_seed(mut self, seed: u64) -> Self {
+        self.cfg.isa_seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Config`] when ε ≤ 0 (or is set on a
+    /// mechanism without a privacy budget), or an explicit thread count
+    /// is 0.
+    pub fn build(self) -> Result<AegisConfig, AegisError> {
+        let mut cfg = self.cfg;
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(AegisError::config(
+                    "threads",
+                    "must be at least 1 (omit the call for auto-detection)",
+                ));
+            }
+            cfg.threads = threads;
+        }
+        if let Some(eps) = self.epsilon {
+            if !(eps > 0.0 && eps.is_finite()) {
+                return Err(AegisError::config(
+                    "epsilon",
+                    format!("privacy budget must be a positive finite number, got {eps}"),
+                ));
+            }
+            cfg.mechanism = match cfg.mechanism {
+                MechanismChoice::Laplace { .. } => MechanismChoice::Laplace { epsilon: eps },
+                MechanismChoice::DStar { .. } => MechanismChoice::DStar { epsilon: eps },
+                other => {
+                    return Err(AegisError::config(
+                        "epsilon",
+                        format!("mechanism {} takes no privacy budget", other.label()),
+                    ))
+                }
+            };
+        }
+        match cfg.mechanism {
+            MechanismChoice::Laplace { epsilon } | MechanismChoice::DStar { epsilon }
+                if !(epsilon > 0.0 && epsilon.is_finite()) =>
+            {
+                return Err(AegisError::config(
+                    "mechanism",
+                    format!("privacy budget must be a positive finite number, got {epsilon}"),
+                ));
+            }
+            _ => {}
+        }
+        Ok(cfg)
     }
 }
 
@@ -138,15 +293,16 @@ impl DefenseDeployment {
     ///
     /// # Errors
     ///
-    /// Returns [`HostError`] for invalid ids.
+    /// Returns [`AegisError::Host`] for invalid ids.
     pub fn deploy(
         &self,
         host: &mut Host,
         vm: VmId,
         vcpu: usize,
         seed: u64,
-    ) -> Result<(), HostError> {
-        host.attach_injector(vm, vcpu, Box::new(self.make_obfuscator(seed)))
+    ) -> Result<(), AegisError> {
+        host.attach_injector(vm, vcpu, Box::new(self.make_obfuscator(seed)))?;
+        Ok(())
     }
 
     /// Installs an independent obfuscator on *every* vCPU of the VM — the
@@ -156,8 +312,8 @@ impl DefenseDeployment {
     ///
     /// # Errors
     ///
-    /// Returns [`HostError`] for an unknown VM.
-    pub fn deploy_all(&self, host: &mut Host, vm: VmId, seed: u64) -> Result<(), HostError> {
+    /// Returns [`AegisError::Host`] for an unknown VM.
+    pub fn deploy_all(&self, host: &mut Host, vm: VmId, seed: u64) -> Result<(), AegisError> {
         let mut vcpu = 0;
         loop {
             match host.attach_injector(
@@ -167,7 +323,7 @@ impl DefenseDeployment {
             ) {
                 Ok(()) => vcpu += 1,
                 Err(HostError::UnknownVcpu(..)) if vcpu > 0 => return Ok(()),
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -185,19 +341,27 @@ impl AegisPipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`HostError`] for invalid vm/vcpu ids.
+    /// Returns [`AegisError::Host`] for invalid vm/vcpu ids.
     pub fn offline(
         template: &mut Host,
         vm: VmId,
         vcpu: usize,
         app: &dyn SecretApp,
         cfg: &AegisConfig,
-    ) -> Result<DefensePlan, HostError> {
+    ) -> Result<DefensePlan, AegisError> {
+        let _pipeline = obs::span("pipeline.offline");
+
         // Module 1a: warm-up profiling.
-        let warmup = warmup_profile(template, vm, vcpu, app, &cfg.warmup)?;
+        let warmup = {
+            let _s = obs::span("profile.warmup");
+            warmup_profile(template, vm, vcpu, app, &cfg.warmup)?
+        };
 
         // Module 1b: vulnerability ranking by mutual information.
-        let rankings = rank_events(template, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?;
+        let rankings = {
+            let _s = obs::span("profile.rank");
+            rank_events(template, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?
+        };
 
         // Module 2: fuzz the most vulnerable events on an isolated core of
         // the same microarchitecture.
@@ -216,11 +380,17 @@ impl AegisPipeline {
         // Module 2 filtering + covering set.
         let gadget_stats = GadgetStats::from_events(&outcome.per_event);
         cluster_gadgets(&mut outcome);
-        let covering = covering_set(&outcome.per_event);
+        let covering = {
+            let _s = obs::span("plan.cover");
+            covering_set(&outcome.per_event)
+        };
 
         // Calibrate the injection unit.
-        fuzz_core.reset_cache();
-        let stack = GadgetStack::from_covering(&isa, &mut fuzz_core, &covering);
+        let stack = {
+            let _s = obs::span("plan.calibrate");
+            fuzz_core.reset_cache();
+            GadgetStack::from_covering(&isa, &mut fuzz_core, &covering)
+        };
 
         Ok(DefensePlan {
             template_arch: arch,
@@ -260,7 +430,7 @@ mod tests {
                 ..FuzzerConfig::default()
             },
             fuzz_top_events: 6,
-            isa_seed: 7,
+            ..AegisConfig::default()
         }
     }
 
@@ -297,6 +467,69 @@ mod tests {
         host.run(50_000_000, |_, _, _| {});
         let stats = host.vcpu_stats(vm, 0).unwrap();
         assert!(stats.injected_uops > 0.0, "{stats:?}");
+    }
+
+    #[test]
+    fn builder_validates_epsilon_and_threads() {
+        let cfg = AegisConfig::builder()
+            .epsilon(0.5)
+            .threads(4)
+            .obs(ObsLevel::Off)
+            .fuzz_top_events(3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.mechanism, MechanismChoice::Laplace { epsilon: 0.5 });
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.obs, Some(ObsLevel::Off));
+        assert_eq!(cfg.fuzz_top_events, 3);
+
+        // ε must be positive and finite.
+        assert!(matches!(
+            AegisConfig::builder().epsilon(0.0).build(),
+            Err(AegisError::Config { field: "epsilon", .. })
+        ));
+        assert!(AegisConfig::builder().epsilon(f64::NAN).build().is_err());
+        // ε on a budget-less mechanism is a contradiction.
+        assert!(AegisConfig::builder()
+            .mechanism(MechanismChoice::ConstantOutput { peak: 6.0 })
+            .epsilon(1.0)
+            .build()
+            .is_err());
+        // But ε routes to d* when selected.
+        let cfg = AegisConfig::builder()
+            .mechanism(MechanismChoice::DStar { epsilon: 8.0 })
+            .epsilon(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.mechanism, MechanismChoice::DStar { epsilon: 2.0 });
+        // An explicit thread count of zero is rejected; the field default
+        // 0 (auto) is fine.
+        assert!(matches!(
+            AegisConfig::builder().threads(0).build(),
+            Err(AegisError::Config { field: "threads", .. })
+        ));
+        assert_eq!(AegisConfig::builder().build().unwrap().threads, 0);
+        // A bad budget smuggled in via .mechanism() is still caught.
+        assert!(AegisConfig::builder()
+            .mechanism(MechanismChoice::Laplace { epsilon: -1.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn default_config_builds_and_old_style_literals_update() {
+        // Functional-update literals keep compiling as fields are added.
+        let cfg = AegisConfig {
+            fuzz_top_events: 8,
+            ..AegisConfig::default()
+        };
+        assert_eq!(cfg.fuzz_top_events, 8);
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.obs.is_none());
+        assert_eq!(
+            AegisConfig::builder().build().unwrap(),
+            AegisConfig::default()
+        );
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The defense plan: everything the offline stage hands to the online
 //! Event Obfuscator.
 
+use crate::error::AegisError;
 use aegis_fuzzer::{CoveringGadget, FuzzReport, GadgetStats};
 use aegis_microarch::{EventId, MicroArch};
 use aegis_obfuscator::GadgetStack;
 use aegis_profiler::EventRanking;
 use aegis_sev::{verify_attestation, AttestationError, AttestationReport};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Output of Aegis's offline stage (Application Profiler + Event Fuzzer):
 /// the vulnerable events, their ranking, and the calibrated covering
@@ -54,6 +56,41 @@ impl DefensePlan {
     /// Returns [`AttestationError`] when the target is unsuitable.
     pub fn verify_target(&self, report: &AttestationReport) -> Result<(), AttestationError> {
         verify_attestation(report, self.template_arch)
+    }
+
+    /// Writes the plan as pretty-printed JSON, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Io`] on filesystem failures and
+    /// [`AegisError::Serde`] if the plan cannot be encoded.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), AegisError> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| AegisError::io(format!("creating {}", dir.display()), e))?;
+            }
+        }
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| AegisError::serde("encoding defense plan", e))?;
+        std::fs::write(path, json)
+            .map_err(|e| AegisError::io(format!("writing plan {}", path.display()), e))
+    }
+
+    /// Reads a plan previously written with [`DefensePlan::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Io`] if the file is unreadable and
+    /// [`AegisError::Serde`] if its contents do not parse as a plan.
+    pub fn load(path: impl AsRef<Path>) -> Result<DefensePlan, AegisError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| AegisError::io(format!("reading plan {}", path.display()), e))?;
+        serde_json::from_str(&text)
+            .map_err(|e| AegisError::serde(format!("decoding plan {}", path.display()), e))
     }
 }
 
@@ -108,5 +145,27 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: DefensePlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_with_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("aegis-plan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("plan.json");
+        let plan = tiny_plan();
+        plan.save(&path).unwrap();
+        assert_eq!(DefensePlan::load(&path).unwrap(), plan);
+
+        // A missing file is an Io error; garbage is a Serde error.
+        assert!(matches!(
+            DefensePlan::load(dir.join("absent.json")),
+            Err(AegisError::Io { .. })
+        ));
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            DefensePlan::load(&path),
+            Err(AegisError::Serde { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -60,4 +60,14 @@ fn main() {
         "\n[experiments completed in {:.1}s]",
         started.elapsed().as_secs_f64()
     );
+
+    // End-of-run observability summary: spans (including one per
+    // experiment id from run_all), counters, and histograms. The `[obs] `
+    // prefix keeps the lines filterable from stdout-determinism diffs.
+    if aegis::obs::enabled() {
+        aegis::obs::flush();
+        for line in aegis::obs::render_summary(&aegis::obs::snapshot()).lines() {
+            eprintln!("[obs] {line}");
+        }
+    }
 }

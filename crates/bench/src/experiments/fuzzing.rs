@@ -6,6 +6,7 @@ use crate::scenarios::ExpConfig;
 use aegis::fuzzer::{cluster_gadgets, covering_set, EventFuzzer, FuzzerConfig, GadgetStats};
 use aegis::isa::IsaCatalog;
 use aegis::microarch::{Core, EventCatalog, InterferenceConfig, MicroArch};
+use aegis::obs;
 
 fn fuzz_targets(catalog: &EventCatalog, n: usize) -> Vec<aegis::microarch::EventId> {
     // Fuzz the guest-visible events (what the profiler hands over).
@@ -42,15 +43,40 @@ pub fn table3(cfg: &ExpConfig) {
         let catalog = core.catalog();
         let targets = fuzz_targets(&catalog, n_events);
         let fuzzer = EventFuzzer::new(fuzzer_config(cfg));
+        // Step timings come from the aegis-obs span deltas recorded inside
+        // the fuzzer; the FuzzReport fields are only the fallback when
+        // observability is disabled (AEGIS_OBS=off).
+        let before = obs::snapshot();
         let mut outcome = fuzzer.run(&isa, &mut core, &targets);
         cluster_gadgets(&mut outcome);
+        let delta = obs::snapshot().since(&before);
         let r = &outcome.report;
         t.row_strings(vec![
             arch.name().to_string(),
-            format!("{:.3}", r.cleanup_seconds),
-            format!("{:.3}", r.generation_seconds),
-            format!("{:.3}", r.confirmation_seconds),
-            format!("{:.4}", r.filtering_seconds),
+            format!(
+                "{:.3}",
+                delta
+                    .span_seconds("fuzz.cleanup")
+                    .unwrap_or(r.cleanup_seconds)
+            ),
+            format!(
+                "{:.3}",
+                delta
+                    .span_seconds("fuzz.generate")
+                    .unwrap_or(r.generation_seconds)
+            ),
+            format!(
+                "{:.3}",
+                delta
+                    .span_seconds("fuzz.confirm")
+                    .unwrap_or(r.confirmation_seconds)
+            ),
+            format!(
+                "{:.4}",
+                delta
+                    .span_seconds("fuzz.filter")
+                    .unwrap_or(r.filtering_seconds)
+            ),
             format!("{:.0}", r.throughput_per_second()),
             r.usable_instructions.to_string(),
         ]);

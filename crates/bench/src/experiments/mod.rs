@@ -97,12 +97,13 @@ pub fn run(id: &str, cfg: &ExpConfig) {
     }
 }
 
-/// Runs every experiment in registry order, reporting per-experiment
-/// wall time on stderr.
+/// Runs every experiment in registry order. Per-experiment wall time is
+/// recorded as an `aegis-obs` span named after the experiment id; the
+/// binary's end-of-run summary reports the timings.
 pub fn run_all(cfg: &ExpConfig) {
     for (id, _) in EXPERIMENTS {
-        let started = std::time::Instant::now();
+        let span = aegis::obs::span(id);
         run(id, cfg);
-        eprintln!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());
+        span.finish();
     }
 }

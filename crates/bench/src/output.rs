@@ -52,7 +52,8 @@ impl Table {
     /// writes it under `results/<id>.json`, so downstream tooling can plot
     /// the regenerated figures without scraping stdout.
     ///
-    /// I/O failures are reported to stderr but never abort an experiment.
+    /// I/O failures are recorded as `output.save_error` observability
+    /// events but never abort an experiment.
     pub fn save(&self, id: &str) {
         let rows: Vec<serde_json::Value> = self
             .rows
@@ -69,17 +70,17 @@ impl Table {
             .collect();
         let dir = Path::new("results");
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create results dir: {e}");
+            save_error(id, &format!("cannot create results dir: {e}"));
             return;
         }
         let path = dir.join(format!("{id}.json"));
         match serde_json::to_string_pretty(&rows) {
             Ok(json) => {
                 if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
+                    save_error(id, &format!("cannot write {}: {e}", path.display()));
                 }
             }
-            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+            Err(e) => save_error(id, &format!("cannot serialize: {e}")),
         }
     }
 
@@ -105,6 +106,14 @@ impl Table {
             line(row);
         }
     }
+}
+
+/// Records a non-fatal artifact-persistence failure as an observability
+/// event (library code does not print; the binaries surface the
+/// `output.save_error` counter in their end-of-run summary).
+fn save_error(id: &str, message: &str) {
+    aegis::obs::counter_add("output.save_error", 1.0);
+    aegis::obs::event("output.save_error", &[("id", id), ("message", message)]);
 }
 
 /// Formats a float with 4 significant-ish digits for table cells.

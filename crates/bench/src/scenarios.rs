@@ -202,6 +202,7 @@ pub fn plan_for(cfg: &ExpConfig, app: &dyn SecretApp) -> DefensePlan {
         },
         fuzz_top_events: if cfg.quick { 8 } else { 16 },
         isa_seed: cfg.seed,
+        ..AegisConfig::default()
     };
     let plan = AegisPipeline::offline(&mut host, vm, 0, app, &pipeline_cfg)
         .expect("offline pipeline succeeds");

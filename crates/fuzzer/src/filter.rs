@@ -4,9 +4,9 @@
 use crate::fuzzer::{EventGadgets, FuzzOutcome};
 use crate::gadget::{ConfirmedGadget, Gadget, GadgetCluster};
 use aegis_microarch::EventId;
+use aegis_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 /// Summary statistics over confirmed gadgets per event (Section VIII-B:
 /// "the mean and median value of the gadgets for all events are 892 and
@@ -62,7 +62,7 @@ pub struct FilterStats {
 /// highest-effect gadget per event (which stays at index 0). Updates the
 /// outcome's filtering wall time.
 pub fn cluster_gadgets(outcome: &mut FuzzOutcome) -> FilterStats {
-    let start = Instant::now();
+    let span = obs::span("fuzz.filter");
     let mut before = 0;
     let mut after = 0;
     for eg in &mut outcome.per_event {
@@ -79,7 +79,7 @@ pub fn cluster_gadgets(outcome: &mut FuzzOutcome) -> FilterStats {
         after += reduced.len();
         eg.confirmed = reduced;
     }
-    outcome.report.filtering_seconds += start.elapsed().as_secs_f64();
+    outcome.report.filtering_seconds += span.finish();
     FilterStats { before, after }
 }
 

@@ -6,12 +6,12 @@ use crate::harness::{measure_median, measure_repeated, program_event};
 use crate::report::FuzzReport;
 use aegis_isa::IsaCatalog;
 use aegis_microarch::{Core, EventId};
+use aegis_obs as obs;
 use aegis_par::{derive_seed, ArtifactCache, Executor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Seed-derivation stream tag for per-event fuzzing RNGs.
 const STREAM_FUZZ: u64 = 0x10;
@@ -145,9 +145,15 @@ impl EventFuzzer {
     /// seeded by `derive_seed(seed, STREAM_FUZZ, event_index)`, so the
     /// outcome is bit-identical regardless of the worker count.
     pub fn run(&self, catalog: &IsaCatalog, core: &mut Core, events: &[EventId]) -> FuzzOutcome {
+        let run_span = obs::span("fuzz.run");
         let mut report = FuzzReport::default();
 
+        // The span times this run's cleanup wall clock (near zero on a
+        // cache hit); the report keeps the producing computation's wall
+        // time so Table III stays meaningful across cached reruns.
+        let cleanup_span = obs::span("fuzz.cleanup");
         let cleanup = self.cleanup(catalog, core);
+        cleanup_span.finish();
         report.cleanup_seconds = cleanup.stats.wall_seconds;
         report.usable_instructions = cleanup.usable.len();
 
@@ -179,6 +185,12 @@ impl EventFuzzer {
                 confirmed: timed.confirmed,
             });
         }
+        obs::counter_add("fuzz.gadgets_tested", report.gadgets_tested as f64);
+        obs::counter_add(
+            "fuzz.confirmed",
+            per_event.iter().map(|e| e.confirmed.len()).sum::<usize>() as f64,
+        );
+        run_span.finish();
         FuzzOutcome { per_event, report }
     }
 
@@ -200,7 +212,7 @@ impl EventFuzzer {
 
         // Generation + execution: sample candidate (reset, trigger) pairs
         // and keep those whose hot path moves the counter.
-        let gen_start = Instant::now();
+        let gen_span = obs::span("fuzz.generate");
         let mut candidates: Vec<(Gadget, f64)> = Vec::new();
         let budget = self.config.candidates_per_event;
         for _ in 0..budget {
@@ -212,10 +224,12 @@ impl EventFuzzer {
                 candidates.push((gadget, delta));
             }
         }
-        let gen_elapsed = gen_start.elapsed().as_secs_f64();
+        let gen_elapsed = gen_span.finish();
 
         // Confirmation: repeated triggers (cold vs hot path, Fig. 6).
-        let confirm_start = Instant::now();
+        // The span also covers the reordering cross-validation below —
+        // the same window the legacy report attributed to confirmation.
+        let confirm_span = obs::span("fuzz.confirm");
         let mut confirmed: Vec<ConfirmedGadget> = Vec::new();
         for (gadget, _) in &candidates {
             if let Some(effect) = self.confirm(catalog, core, *gadget) {
@@ -259,7 +273,7 @@ impl EventFuzzer {
             confirmed: result,
             tested: budget,
             generation_seconds: gen_elapsed,
-            confirmation_seconds: confirm_start.elapsed().as_secs_f64(),
+            confirmation_seconds: confirm_span.finish(),
         }
     }
 

@@ -237,6 +237,19 @@ fn build_lanes(stack: &GadgetStack) -> Vec<(ActivityVector, f64)> {
     }
 }
 
+impl Drop for Obfuscator {
+    fn drop(&mut self) {
+        // Metrics land once per obfuscator lifetime, not once per 200 µs
+        // interval: `close_interval` is on the simulation's hot path and
+        // must not take the registry lock there.
+        if self.t > 0 && aegis_obs::enabled() {
+            let registry = aegis_obs::global();
+            registry.counter_add("obfuscator.injected_counts", self.injected_counts);
+            registry.counter_add("obfuscator.intervals", self.t as f64);
+        }
+    }
+}
+
 impl std::fmt::Debug for Obfuscator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Obfuscator")

@@ -1,0 +1,313 @@
+//! The metrics registry: counters, gauges, and log2-bucketed histograms.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log2 buckets. Bucket `i` holds values `v` with
+/// `floor(log2(max(v, 1))) == i`; bucket 63 also absorbs anything larger.
+pub const N_BUCKETS: usize = 64;
+
+/// A histogram with fixed log2 buckets plus running sum/min/max.
+///
+/// Values are dimensionless `f64`s by convention recorded in nanoseconds
+/// for durations; the log2 bucketing makes one layout serve nanosecond
+/// spans and unit counts alike.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; N_BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for `value`: `floor(log2(value))` clamped to
+    /// `[0, 63]`; values below 1 (including negatives and NaN) land in
+    /// bucket 0.
+    pub fn bucket_index(value: f64) -> usize {
+        // NaN compares false, so it lands in bucket 0 with the sub-1 values.
+        if value < 1.0 || value.is_nan() {
+            return 0;
+        }
+        let truncated = if value >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            value as u64
+        };
+        (63 - truncated.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.to_vec(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`buckets[i]` = values in
+    /// `[2^i, 2^(i+1))`, with underflow in 0 and overflow in 63).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named-metric registry shared by every crate in the workspace.
+///
+/// All methods take `&self` and serialize internally; recording is safe
+/// from worker threads. The registry is write-only for the simulation —
+/// nothing here ever feeds back into simulated state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Adds `delta` to the named counter (created at 0 on first use).
+    pub fn counter_add(&self, name: &str, delta: f64) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// A consistent snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Removes every metric (tests and phase boundaries).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        *inner = Inner::default();
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// A point-in-time copy of the registry, diffable with
+/// [`Snapshot::since`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, f64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The named gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Total seconds attributed to the named span, or `None` if the span
+    /// never closed in this snapshot's window (callers fall back to
+    /// legacy timers when observability is off).
+    pub fn span_seconds(&self, span: &str) -> Option<f64> {
+        let calls = self.counter(&format!("span.{span}.calls"));
+        (calls > 0.0).then(|| self.counter(&format!("span.{span}.seconds")))
+    }
+
+    /// Number of times the named span closed.
+    pub fn span_calls(&self, span: &str) -> u64 {
+        self.counter(&format!("span.{span}.calls")) as u64
+    }
+
+    /// The difference `self − earlier`: counters and histogram buckets
+    /// subtract (clamped at zero for robustness against a `clear()` in
+    /// between); gauges keep `self`'s values.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), (v - earlier.counter(k)).max(0.0)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let base = earlier.histograms.get(k);
+                let buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        b.saturating_sub(base.map_or(0, |p| p.buckets.get(i).copied().unwrap_or(0)))
+                    })
+                    .collect();
+                let count = h.count.saturating_sub(base.map_or(0, |p| p.count));
+                let sum = (h.sum - base.map_or(0.0, |p| p.sum)).max(0.0);
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        buckets,
+                        count,
+                        sum,
+                        min: h.min,
+                        max: h.max,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucketing_is_exact_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(0.5), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 0);
+        assert_eq!(Histogram::bucket_index(1.99), 0);
+        assert_eq!(Histogram::bucket_index(2.0), 1);
+        assert_eq!(Histogram::bucket_index(3.0), 1);
+        assert_eq!(Histogram::bucket_index(4.0), 2);
+        assert_eq!(Histogram::bucket_index(1024.0), 10);
+        assert_eq!(Histogram::bucket_index(1_000_000_000.0), 29);
+        assert_eq!(Histogram::bucket_index(f64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 4.0, 1024.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1031.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1024.0);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert!((s.mean() - 257.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_snapshot_diff_isolates_a_region() {
+        let r = Registry::default();
+        r.counter_add("work.units", 5.0);
+        let before = r.snapshot();
+        r.counter_add("work.units", 3.0);
+        r.histogram_record("work.latency", 8.0);
+        r.gauge_set("work.gauge", 42.0);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("work.units"), 3.0);
+        assert_eq!(delta.histogram("work.latency").unwrap().count, 1);
+        assert_eq!(delta.gauge("work.gauge"), Some(42.0));
+        assert_eq!(delta.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The end-of-run summary table rendered by CLI and experiment binaries.
+
+use crate::metrics::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Renders a snapshot as a human-readable summary: one section for span
+/// timings (calls, total and mean wall seconds), one for plain counters,
+/// one for gauges, one for non-span histograms. Returns an empty string
+/// when the snapshot holds nothing, so callers can print
+/// unconditionally. Lines carry no prefix; binaries prepend their own
+/// (the workspace convention is `[obs] ` on stderr, which keeps the
+/// stdout of deterministic runs byte-comparable).
+pub fn render_summary(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+
+    // Span rows are reassembled from the `span.<name>.calls` /
+    // `span.<name>.seconds` counter pairs the span layer writes.
+    let mut spans: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for (key, value) in &snapshot.counters {
+        if let Some(name) = key
+            .strip_prefix("span.")
+            .and_then(|rest| rest.strip_suffix(".calls"))
+        {
+            spans.entry(name).or_default().0 = *value as u64;
+        } else if let Some(name) = key
+            .strip_prefix("span.")
+            .and_then(|rest| rest.strip_suffix(".seconds"))
+        {
+            spans.entry(name).or_default().1 = *value;
+        }
+    }
+    spans.retain(|_, (calls, _)| *calls > 0);
+    if !spans.is_empty() {
+        let name_w = spans
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}",
+            "span", "calls", "total (s)", "mean (s)"
+        );
+        for (name, (calls, seconds)) in &spans {
+            let mean = seconds / *calls as f64;
+            let _ = writeln!(
+                out,
+                "{name:<name_w$}  {calls:>8}  {seconds:>12.6}  {mean:>12.6}"
+            );
+        }
+    }
+
+    let plain: Vec<(&String, &f64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, v)| !k.starts_with("span.") && **v != 0.0)
+        .collect();
+    if !plain.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let name_w = plain
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("counter".len());
+        let _ = writeln!(out, "{:<name_w$}  {:>14}", "counter", "value");
+        for (name, value) in &plain {
+            let _ = writeln!(out, "{name:<name_w$}  {}", format_number(**value));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let name_w = snapshot
+            .gauges
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("gauge".len());
+        let _ = writeln!(out, "{:<name_w$}  {:>14}", "gauge", "value");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "{name:<name_w$}  {}", format_number(*value));
+        }
+    }
+
+    let hists: Vec<(&String, &crate::HistogramSnapshot)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(k, h)| !k.starts_with("span.") && h.count > 0)
+        .collect();
+    if !hists.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let name_w = hists
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
+            "histogram", "count", "mean", "min", "max"
+        );
+        for (name, h) in &hists {
+            let _ = writeln!(
+                out,
+                "{name:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                h.count,
+                format_number(h.mean()),
+                format_number(h.min),
+                format_number(h.max),
+            );
+        }
+    }
+
+    out
+}
+
+/// Integers print without a fractional part; everything else gets three
+/// decimals (enough for the unit conventions in this workspace).
+fn format_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{:>14}", v as i64)
+    } else {
+        format!("{v:>14.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        assert_eq!(render_summary(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn summary_has_span_counter_gauge_and_histogram_sections() {
+        let r = Registry::default();
+        r.counter_add("span.fuzz.generate.calls", 2.0);
+        r.counter_add("span.fuzz.generate.seconds", 0.5);
+        r.counter_add("cache.hit", 3.0);
+        r.gauge_set("par.workers", 4.0);
+        r.histogram_record("par.unit_ns", 1024.0);
+        let text = render_summary(&r.snapshot());
+        assert!(text.contains("fuzz.generate"));
+        assert!(text.contains("cache.hit"));
+        assert!(text.contains("par.workers"));
+        assert!(text.contains("par.unit_ns"));
+        // Span sums never leak into the counter section.
+        assert!(!text.contains("span.fuzz.generate.seconds"));
+        // Mean of the two calls is 0.25 s.
+        assert!(text.contains("0.250000"));
+    }
+
+    #[test]
+    fn zero_call_spans_are_dropped() {
+        let r = Registry::default();
+        r.counter_add("span.idle.calls", 0.0);
+        r.counter_add("span.idle.seconds", 0.0);
+        assert_eq!(render_summary(&r.snapshot()), "");
+    }
+}

@@ -7,6 +7,7 @@
 //! named `<kind>-<key>.json` where the key is a fingerprint of the
 //! producing configuration.
 
+use aegis_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -59,13 +60,45 @@ impl ArtifactCache {
     }
 
     /// Loads a cached artifact, or `None` on miss (absent, unreadable,
-    /// or no longer parseable — a stale-format file is just a miss).
+    /// or no longer parseable — a stale-format file is just a miss,
+    /// surfaced to observability as a `cache.corrupt` event rather than
+    /// an error).
     pub fn get<T: Deserialize>(&self, kind: &str, key: u64) -> Option<T> {
         if !self.enabled {
             return None;
         }
-        let text = std::fs::read_to_string(self.path_for(kind, key)).ok()?;
-        serde_json::from_str(&text).ok()
+        let path = self.path_for(kind, key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.note("cache.miss", kind, key, &path);
+            return None;
+        };
+        match serde_json::from_str(&text) {
+            Ok(value) => {
+                self.note("cache.hit", kind, key, &path);
+                Some(value)
+            }
+            Err(_) => {
+                self.note("cache.corrupt", kind, key, &path);
+                None
+            }
+        }
+    }
+
+    /// Counts a cache outcome and, at the `full` level, logs it with
+    /// enough context to find the artifact on disk.
+    fn note(&self, outcome: &str, kind: &str, key: u64, path: &Path) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add(outcome, 1.0);
+        obs::event(
+            outcome,
+            &[
+                ("cache_kind", kind),
+                ("key", &format!("{key:016x}")),
+                ("path", &path.display().to_string()),
+            ],
+        );
     }
 
     /// Stores an artifact, creating the cache directory if needed. The
@@ -85,6 +118,7 @@ impl ArtifactCache {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, &path)?;
+        obs::counter_add("cache.store", 1.0);
         Ok(path)
     }
 }

@@ -1,7 +1,10 @@
 //! A scoped worker pool with deterministic, index-ordered results.
 
+use aegis_obs as obs;
 use crossbeam::channel;
+use serde_json::Value;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Process-wide worker count: 0 means "not configured yet".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -96,15 +99,23 @@ impl Executor {
     {
         let n = items.len();
         let workers = self.threads.min(n.max(1));
+        let observe = obs::enabled();
+        if observe {
+            obs::gauge_set("par.workers", workers as f64);
+        }
 
         if workers <= 1 {
             // Sequential fast path: same code shape, no thread overhead.
             let mut ctx = make_ctx(0);
-            return items
+            let out: Vec<R> = items
                 .into_iter()
                 .enumerate()
                 .map(|(i, item)| work(&mut ctx, i, item))
                 .collect();
+            if observe && n > 0 {
+                record_worker_stats(0, n as u64, 0);
+            }
+            return out;
         }
 
         let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
@@ -126,12 +137,23 @@ impl Executor {
                 let work = &work;
                 scope.spawn(move || {
                     let mut ctx = make_ctx(worker);
-                    while let Ok((index, item)) = work_rx.recv() {
+                    let mut units = 0u64;
+                    let mut idle_ns = 0u128;
+                    loop {
+                        let wait = Instant::now();
+                        let Ok((index, item)) = work_rx.recv() else {
+                            break;
+                        };
+                        idle_ns += wait.elapsed().as_nanos();
                         let result = work(&mut ctx, index, item);
+                        units += 1;
                         done_tx
                             .send((index, result))
                             .ok()
                             .expect("collector alive until scope ends");
+                    }
+                    if observe {
+                        record_worker_stats(worker, units, idle_ns as u64);
                     }
                 });
             }
@@ -147,6 +169,26 @@ impl Executor {
             .map(|slot| slot.expect("every unit produced a result"))
             .collect()
     }
+}
+
+/// Records one worker's per-`map` utilization: how many units it
+/// processed and how long it sat blocked on the work queue. Write-only —
+/// scheduling never reads these back, so the determinism contract holds
+/// with observability at any level.
+fn record_worker_stats(worker: usize, units: u64, idle_ns: u64) {
+    let registry = obs::global();
+    registry.counter_add("par.units", units as f64);
+    registry.histogram_record("par.worker.units", units as f64);
+    registry.histogram_record("par.worker.idle_ns", idle_ns as f64);
+    obs::event_with(
+        "worker",
+        "par.worker",
+        &[
+            ("worker", Value::from(worker)),
+            ("units", Value::from(units)),
+            ("idle_ns", Value::from(idle_ns)),
+        ],
+    );
 }
 
 #[cfg(test)]

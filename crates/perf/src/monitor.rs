@@ -156,6 +156,7 @@ impl PerfMonitor {
     /// `count * enabled / running`, the perf multiplexing estimate.
     pub fn read_scaled(&mut self, core: &mut Core) -> Vec<f64> {
         self.collect_active(core);
+        let observe = self.is_multiplexed() && aegis_obs::enabled();
         self.accumulated
             .iter()
             .zip(&self.running_ns)
@@ -163,7 +164,11 @@ impl PerfMonitor {
                 if run == 0 {
                     0.0
                 } else {
-                    acc * self.enabled_ns as f64 / run as f64
+                    let scale = self.enabled_ns as f64 / run as f64;
+                    if observe {
+                        aegis_obs::histogram_record("perf.multiplex_scale", scale);
+                    }
+                    acc * scale
                 }
             })
             .collect()

@@ -279,7 +279,7 @@ impl Host {
                 })
                 .collect(),
             clock_ns: self.clock_ns,
-            host_bg: self.host_bg.clone(),
+            host_bg: self.host_bg,
         }
     }
 

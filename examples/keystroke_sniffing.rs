@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             fuzz_top_events: 10,
             isa_seed: 7,
+            ..AegisConfig::default()
         },
     )?;
 

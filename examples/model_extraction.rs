@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             fuzz_top_events: 10,
             isa_seed: 7,
+            ..AegisConfig::default()
         };
         AegisPipeline::offline(&mut host, vm, 0, &zoo, &cfg)?
     };

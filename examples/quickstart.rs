@@ -10,7 +10,7 @@ use aegis::microarch::MicroArch;
 use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::sev::{Host, SevMode};
 use aegis::workloads::KeystrokeApp;
-use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, MechanismChoice};
+use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, ObsLevel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Offline stage ───────────────────────────────────────────────────
@@ -26,25 +26,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app_name(&app),
         template.arch()
     );
-    let cfg = AegisConfig {
-        warmup: WarmupConfig {
+    // The builder validates as it goes: ε must be positive, thread counts
+    // at least 1. `apply_runtime` installs the thread-pool size and the
+    // observability level process-wide.
+    let cfg = AegisConfig::builder()
+        .epsilon(1.0)
+        .obs(ObsLevel::Summary)
+        .warmup(WarmupConfig {
             probe_ns: 2_000_000,
             passes: 2,
             ..WarmupConfig::default()
-        },
-        rank: RankConfig {
+        })
+        .rank(RankConfig {
             reps_per_secret: 2,
             window_ns: 60_000_000,
             ..RankConfig::default()
-        },
-        fuzzer: FuzzerConfig {
+        })
+        .fuzzer(FuzzerConfig {
             candidates_per_event: 120,
             confirm_reps: 10,
             ..FuzzerConfig::default()
-        },
-        fuzz_top_events: 8,
-        isa_seed: 7,
-    };
+        })
+        .fuzz_top_events(8)
+        .isa_seed(7)
+        .build()?;
+    cfg.apply_runtime();
     let plan = AegisPipeline::offline(&mut template, vm, 0, &app, &cfg)?;
 
     println!(
@@ -64,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Online stage ────────────────────────────────────────────────────
     // Ship the plan into the production VM and start the Event Obfuscator
     // with the Laplace mechanism at the paper's operating point ε = 2⁰.
-    let deployment = DefenseDeployment::new(&plan, MechanismChoice::Laplace { epsilon: 1.0 });
+    let deployment = DefenseDeployment::new(&plan, cfg.mechanism);
     deployment.deploy(&mut template, vm, 0, 42)?;
     println!(
         "[3/3] obfuscator deployed: {} at ε = 1",
@@ -80,6 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.injected_uops,
         stats.injected_uops / (template.arch().uops_capacity_per_us() * 100_000.0) * 100.0
     );
+
+    // End-of-run observability summary (spans, counters, histograms).
+    for line in aegis::obs::render_summary(&aegis::obs::snapshot()).lines() {
+        eprintln!("[obs] {line}");
+    }
     Ok(())
 }
 

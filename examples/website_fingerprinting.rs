@@ -77,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         fuzz_top_events: 10,
         isa_seed: 7,
+        ..AegisConfig::default()
     };
     let plan = AegisPipeline::offline(&mut host, vm, 0, &app, &cfg)?;
     println!(

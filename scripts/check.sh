@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification in one command: release build, full test suite,
+# and lint-clean clippy. Run from the repository root:
+#
+#   ./scripts/check.sh
+#
+# This is what the verify workflow runs; keep it fast and deterministic.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "check.sh: all green"

@@ -43,6 +43,7 @@ fn quick_pipeline() -> AegisConfig {
         },
         fuzz_top_events: 6,
         isa_seed: 7,
+        ..AegisConfig::default()
     }
 }
 

@@ -48,6 +48,32 @@ fn collect_dataset_is_bit_identical_for_1_and_8_workers() {
 }
 
 #[test]
+fn collect_dataset_is_bit_identical_with_full_observability() {
+    // The observability layer is write-only from the simulation's point
+    // of view: AEGIS_OBS=full (spans, metrics, JSONL sink) must not
+    // perturb parallel results.
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "aegis-par-obs-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("AEGIS_OBS_DIR", &dir);
+    aegis::obs::reset();
+
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Off));
+    let quiet = collect_with_threads(8);
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Full));
+    let observed = collect_with_threads(8);
+
+    aegis::obs::set_level(None);
+    aegis::obs::reset();
+    std::env::remove_var("AEGIS_OBS_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(quiet, observed, "observability leaked into the dataset");
+}
+
+#[test]
 fn fuzzing_is_bit_identical_for_1_and_8_workers() {
     let _guard = THREAD_KNOB.lock().unwrap();
     let fuzz = |threads: usize| {

@@ -260,6 +260,52 @@ impl Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(Number::U(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(Number::U(n as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        if n >= 0 {
+            Value::Number(Number::U(n as u64))
+        } else {
+            Value::Number(Number::I(n))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Number(Number::F(f))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
 impl Index<&str> for Value {
     type Output = Value;
 
