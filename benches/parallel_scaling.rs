@@ -57,7 +57,9 @@ fn bench_fuzz(c: &mut Criterion) {
         g.bench_function(&format!("workers-{workers}"), |b| {
             set_threads(workers);
             b.iter(|| {
-                let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+                // Process-shared catalogs: per-iteration (and per-worker)
+                // reconstruction is what used to flatline this group.
+                let catalog = IsaCatalog::shared(Vendor::Amd, 7);
                 let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
                 core.set_interference(InterferenceConfig::isolated());
                 let events = [
@@ -82,6 +84,29 @@ fn bench_fuzz(c: &mut Criterion) {
 }
 
 fn main() {
+    if std::env::var("AEGIS_BENCH_SMOKE").as_deref() == Ok("1") {
+        // One iteration per workload, no criterion sampling or JSON
+        // refresh: proves the bench compiles and runs in tier-1 CI.
+        set_threads(2);
+        let catalog = IsaCatalog::shared(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        let fuzzer = EventFuzzer::with_cache(
+            FuzzerConfig {
+                candidates_per_event: 30,
+                confirm_reps: 10,
+                ..FuzzerConfig::default()
+            },
+            ArtifactCache::disabled(),
+        );
+        let out = fuzzer.run(&catalog, &mut core, &[ev]);
+        set_threads(1);
+        assert_eq!(out.report.gadgets_tested, 30);
+        eprintln!("[parallel_scaling smoke OK]");
+        return;
+    }
+
     let mut criterion = Criterion::default().configure_from_args();
     bench_collect(&mut criterion);
     bench_fuzz(&mut criterion);

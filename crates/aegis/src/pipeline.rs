@@ -366,7 +366,7 @@ impl AegisPipeline {
         // Module 2: fuzz the most vulnerable events on an isolated core of
         // the same microarchitecture.
         let arch = template.arch();
-        let isa = IsaCatalog::synthetic(arch.vendor(), cfg.isa_seed);
+        let isa = IsaCatalog::shared(arch.vendor(), cfg.isa_seed);
         let mut fuzz_core = Core::new(arch, cfg.fuzzer.seed);
         fuzz_core.set_interference(InterferenceConfig::isolated());
         let targets: Vec<_> = rankings

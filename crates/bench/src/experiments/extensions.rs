@@ -73,7 +73,7 @@ pub fn ext_crypto(cfg: &ExpConfig) {
 /// instructions" — compare 1-, 2- and 3-instruction sequence gadgets.
 pub fn ext_multigadget(cfg: &ExpConfig) {
     print_header("Extension — multi-instruction noise gadgets (paper future work)");
-    let isa = IsaCatalog::synthetic(aegis::isa::Vendor::Amd, cfg.seed);
+    let isa = IsaCatalog::shared(aegis::isa::Vendor::Amd, cfg.seed);
     let mut core = Core::new(aegis::microarch::MicroArch::AmdEpyc7252, cfg.seed);
     core.set_interference(InterferenceConfig::isolated());
     // µop retirement: per-execution effect grows with trigger length.

@@ -14,8 +14,8 @@ pub fn table1(_cfg: &ExpConfig) {
     print_header("Table I — HPC event statistics per processor");
     let mut t = Table::new(&["processor", "# events", "# differing from family ref"]);
     for arch in MicroArch::ALL {
-        let cat = EventCatalog::for_arch(arch);
-        let reference = EventCatalog::for_arch(arch.family_reference());
+        let cat = EventCatalog::shared(arch);
+        let reference = EventCatalog::shared(arch.family_reference());
         let differing = if arch == arch.family_reference() {
             "/".to_string()
         } else {

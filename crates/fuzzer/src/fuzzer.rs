@@ -2,19 +2,27 @@
 
 use crate::cleanup::{run_cleanup, CleanupResult};
 use crate::gadget::{ConfirmedGadget, Gadget, GadgetCluster};
-use crate::harness::{measure_median, measure_repeated, program_event};
+use crate::harness::{
+    measure_median, measure_repeated, program_event, RecordedTrace, TraceEval, TraceRecorder,
+};
 use crate::report::FuzzReport;
 use aegis_isa::IsaCatalog;
-use aegis_microarch::{Core, EventId};
+use aegis_microarch::{noise_base_for_seed, Core, EventId};
 use aegis_obs as obs;
 use aegis_par::{derive_seed, ArtifactCache, Executor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Seed-derivation stream tag for per-event fuzzing RNGs.
+/// Seed-derivation stream tag for per-event fuzzing RNGs (scalar path).
 const STREAM_FUZZ: u64 = 0x10;
+/// Stream tag for the shared candidate-pool sampler (vectorized path).
+const STREAM_POOL: u64 = 0x11;
+/// Stream tag for per-candidate recording sessions (vectorized path).
+const STREAM_SESSION: u64 = 0x12;
 
 /// Fuzzer configuration (defaults follow the paper where it states them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -137,13 +145,21 @@ impl EventFuzzer {
         result
     }
 
-    /// Runs the full pipeline — cleanup, generation + execution,
-    /// confirmation, and per-event effect ordering — against `events`.
+    /// Runs the full pipeline — cleanup, gadget generation + execution,
+    /// confirmation, and per-event effect ordering — against `events`,
+    /// on the vectorized measurement plane.
     ///
-    /// Events fuzz independently across the configured worker pool: each
-    /// event gets a pristine clone of the post-cleanup core and an RNG
-    /// seeded by `derive_seed(seed, STREAM_FUZZ, event_index)`, so the
-    /// outcome is bit-identical regardless of the worker count.
+    /// The candidate pool is sampled once and shared by every event. Each
+    /// candidate's measurement session (generation windows, cold and hot
+    /// confirmation paths, reorder recheck) is then *recorded* exactly
+    /// once on a core reseeded by `derive_seed(seed, STREAM_SESSION,
+    /// candidate_index)`, and every event is evaluated against the
+    /// recorded traces through the dense [`aegis_microarch::ResponseMatrix`]
+    /// — collapsing O(events × candidates × reps) core simulations to
+    /// O(candidates × reps) plus cheap kernel evaluations. Per-event
+    /// measurement noise comes from per-(event, draw) streams, so the
+    /// outcome is bit-identical regardless of worker count or evaluation
+    /// order.
     pub fn run(&self, catalog: &IsaCatalog, core: &mut Core, events: &[EventId]) -> FuzzOutcome {
         let run_span = obs::span("fuzz.run");
         let mut report = FuzzReport::default();
@@ -151,6 +167,123 @@ impl EventFuzzer {
         // The span times this run's cleanup wall clock (near zero on a
         // cache hit); the report keeps the producing computation's wall
         // time so Table III stays meaningful across cached reruns.
+        let cleanup_span = obs::span("fuzz.cleanup");
+        let cleanup = self.cleanup(catalog, core);
+        cleanup_span.finish();
+        report.cleanup_seconds = cleanup.stats.wall_seconds;
+        report.usable_instructions = cleanup.usable.len();
+
+        // Candidate pool, sampled once for all events.
+        let usable = &cleanup.usable;
+        let budget = if usable.is_empty() {
+            0
+        } else {
+            self.config.candidates_per_event
+        };
+        let mut pool_rng =
+            StdRng::seed_from_u64(derive_seed(self.config.seed, STREAM_POOL, 0));
+        let pool: Vec<Gadget> = (0..budget)
+            .map(|_| {
+                let reset = usable[pool_rng.gen_range(0..usable.len())];
+                let trigger = usable[pool_rng.gen_range(0..usable.len())];
+                Gadget::new(reset, trigger)
+            })
+            .collect();
+
+        let reps = self.config.measure_reps.max(1);
+        let r = self.config.confirm_reps;
+
+        // Recording pass: one fenced session per candidate, independent
+        // of how many events will read it.
+        let record_span = obs::span("fuzz.record");
+        let baseline: &Core = core;
+        let record_units: Vec<(usize, Gadget)> = pool.iter().copied().enumerate().collect();
+        let traces: Vec<RecordedTrace> = Executor::from_config().map_with(
+            record_units,
+            |_worker| baseline.clone(),
+            |pristine, _unit, (idx, gadget)| {
+                let mut session = pristine.clone();
+                session.reseed(derive_seed(self.config.seed, STREAM_SESSION, idx as u64));
+                let full = [gadget.reset, gadget.trigger];
+                let reset_only = [gadget.reset];
+                let mut rec = TraceRecorder::begin(&mut session, catalog);
+                for _ in 0..reps {
+                    rec.window(&full); // generation + execution
+                }
+                for _ in 0..r {
+                    rec.window(&reset_only); // confirmation: cold path
+                }
+                for _ in 0..r {
+                    rec.window(&full); // confirmation: hot path
+                }
+                for _ in 0..reps {
+                    rec.window(&full); // reordering cross-validation
+                }
+                rec.finish()
+            },
+        );
+        let record_elapsed = record_span.finish();
+
+        // The shared recording cost enters the report exactly once, split
+        // between generation and confirmation in proportion to the window
+        // counts each phase contributed to the session — not once per
+        // event, which would overstate Table III by the event count.
+        let gen_windows = reps as f64;
+        let confirm_windows = (2 * r + reps) as f64;
+        let gen_share = gen_windows / (gen_windows + confirm_windows);
+        report.generation_seconds += record_elapsed * gen_share;
+        report.confirmation_seconds += record_elapsed * (1.0 - gen_share);
+
+        // Evaluation pass: dense-kernel walk of the shared traces, one
+        // unit per event.
+        let eval_span = obs::span("fuzz.evaluate");
+        let matrix = Arc::clone(core.pmu().matrix());
+        let pool_ref = &pool;
+        let traces_ref = &traces;
+        let units: Vec<(usize, EventId)> = events.iter().copied().enumerate().collect();
+        let results = Executor::from_config().map(units, |_index, (_idx, event)| {
+            let timed = self.evaluate_event(catalog, &matrix, pool_ref, traces_ref, event);
+            (event, timed)
+        });
+        eval_span.finish();
+
+        let mut per_event = Vec::with_capacity(events.len());
+        for (event, timed) in results {
+            report.gadgets_tested += timed.tested;
+            report.generation_seconds += timed.generation_seconds;
+            report.confirmation_seconds += timed.confirmation_seconds;
+            per_event.push(EventGadgets {
+                event,
+                confirmed: timed.confirmed,
+            });
+        }
+        obs::counter_add("fuzz.gadgets_tested", report.gadgets_tested as f64);
+        obs::counter_add(
+            "fuzz.confirmed",
+            per_event.iter().map(|e| e.confirmed.len()).sum::<usize>() as f64,
+        );
+        run_span.finish();
+        FuzzOutcome { per_event, report }
+    }
+
+    /// The pre-vectorization pipeline: every event re-simulates every
+    /// candidate through the core. Kept as the reference implementation —
+    /// the kernel benchmark measures the vectorized [`EventFuzzer::run`]
+    /// against it, and it documents the protocol the traces replay.
+    ///
+    /// Events fuzz independently across the configured worker pool: each
+    /// event gets a pristine clone of the post-cleanup core and an RNG
+    /// seeded by `derive_seed(seed, STREAM_FUZZ, event_index)`, so the
+    /// outcome is bit-identical regardless of the worker count.
+    pub fn run_scalar(
+        &self,
+        catalog: &IsaCatalog,
+        core: &mut Core,
+        events: &[EventId],
+    ) -> FuzzOutcome {
+        let run_span = obs::span("fuzz.run");
+        let mut report = FuzzReport::default();
+
         let cleanup_span = obs::span("fuzz.cleanup");
         let cleanup = self.cleanup(catalog, core);
         cleanup_span.finish();
@@ -192,6 +325,82 @@ impl EventFuzzer {
         );
         run_span.finish();
         FuzzOutcome { per_event, report }
+    }
+
+    /// Evaluates one event against the shared recorded traces. The walk
+    /// is lazy: candidates whose generation-phase median stays under
+    /// `min_effect` never pay for their confirmation windows.
+    fn evaluate_event(
+        &self,
+        catalog: &IsaCatalog,
+        matrix: &aegis_microarch::ResponseMatrix,
+        pool: &[Gadget],
+        traces: &[RecordedTrace],
+        event: EventId,
+    ) -> FuzzedEvent {
+        let reps = self.config.measure_reps.max(1);
+        let r = self.config.confirm_reps;
+        // One clock read for the whole event; the elapsed time is split
+        // between generation and confirmation by the window counts each
+        // phase consumed. A per-candidate `Instant` pair costs more than
+        // evaluating the windows it would time.
+        let start = Instant::now();
+        let mut gen_windows = 0usize;
+        let mut confirm_windows = 0usize;
+        let mut confirmed: Vec<ConfirmedGadget> = Vec::new();
+        let event_support = matrix.support(event);
+        let can_skip_disjoint = self.config.min_effect > 0.0;
+        for (idx, (gadget, trace)) in pool.iter().zip(traces).enumerate() {
+            // Disjoint feature support ⇒ every window of this candidate
+            // reads exactly zero for this event (zero response is
+            // noise-free by construction), so the generation median is
+            // zero and the gate rejects. Skipping here is an algebraic
+            // identity, not an approximation — and since each candidate
+            // gets a fresh evaluator, no draw-index bookkeeping survives
+            // the skip.
+            if can_skip_disjoint && event_support & trace.support() == 0 {
+                continue;
+            }
+            let noise_base =
+                noise_base_for_seed(derive_seed(self.config.seed, STREAM_SESSION, idx as u64));
+            let mut eval = TraceEval::new(trace, matrix, noise_base, event);
+
+            // Generation gate (the scalar path's measure_median).
+            let delta = eval.median_of(reps);
+            gen_windows += reps;
+            if delta < self.config.min_effect {
+                continue;
+            }
+
+            // Confirmation: repeated triggers (Fig. 6) + reorder recheck.
+            let cold = eval.take_windows(r);
+            let hot = eval.take_windows(r);
+            if let Some(effect) = self.confirm_samples(cold, hot) {
+                let redo = eval.median_of(reps);
+                let base = effect.max(1.0);
+                if (redo - effect).abs() / base <= self.config.reorder_tolerance {
+                    let reset = catalog.get(gadget.reset).expect("usable id");
+                    let trigger = catalog.get(gadget.trigger).expect("usable id");
+                    confirmed.push(ConfirmedGadget {
+                        gadget: *gadget,
+                        effect,
+                        cluster: GadgetCluster::of(reset, trigger),
+                    });
+                }
+            }
+            confirm_windows += eval.windows_consumed() - reps;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let windows = (gen_windows + confirm_windows).max(1) as f64;
+        let generation_seconds = elapsed * gen_windows as f64 / windows;
+        let confirmation_seconds = elapsed * confirm_windows as f64 / windows;
+        confirmed.sort_by(|a, b| b.effect.total_cmp(&a.effect));
+        FuzzedEvent {
+            confirmed,
+            tested: pool.len(),
+            generation_seconds,
+            confirmation_seconds,
+        }
     }
 
     /// Fuzzes one event; returns confirmed gadgets (strongest first),
@@ -302,8 +511,16 @@ impl EventFuzzer {
         full_seq: &[aegis_isa::InstrId],
     ) -> Option<f64> {
         let r = self.config.confirm_reps;
-        let mut cold = measure_repeated(core, catalog, reset_seq, r);
-        let mut hot = measure_repeated(core, catalog, full_seq, r);
+        let cold = measure_repeated(core, catalog, reset_seq, r);
+        let hot = measure_repeated(core, catalog, full_seq, r);
+        self.confirm_samples(cold, hot)
+    }
+
+    /// The λ-constraint arithmetic of the repeated-triggers check, shared
+    /// by the scalar path (live measurements) and the vectorized path
+    /// (windows read back from a recorded trace).
+    fn confirm_samples(&self, mut cold: Vec<f64>, mut hot: Vec<f64>) -> Option<f64> {
+        let r = cold.len();
         let v1_sum: f64 = cold.iter().sum();
         let v2_sum: f64 = hot.iter().sum();
         cold.sort_by(f64::total_cmp);
@@ -430,7 +647,12 @@ mod tests {
     fn finds_gadgets_for_uops_event() {
         let (catalog, mut core) = setup();
         let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
-        let fuzzer = EventFuzzer::new(quick_config());
+        // Paper-default candidate budget: the shared candidate pool makes
+        // the confirmation count a property of the pool seed, and 400
+        // candidates put the expectation well clear of the threshold.
+        let mut cfg = quick_config();
+        cfg.candidates_per_event = 400;
+        let fuzzer = EventFuzzer::new(cfg);
         let out = fuzzer.run(&catalog, &mut core, &[ev]);
         let gadgets = &out.per_event[0];
         // Every instruction retires µops, but the λ2 constraint demands a

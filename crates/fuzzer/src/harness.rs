@@ -9,21 +9,34 @@
 
 use aegis_attack_stats::median;
 use aegis_isa::{well_known, InstrId, IsaCatalog, WellKnown};
-use aegis_microarch::{Core, CounterConfig, EventId, Origin, OriginFilter};
+use aegis_microarch::{
+    read_counter, ActivityVector, Core, CounterConfig, EventId, Origin, OriginFilter,
+    ResponseMatrix,
+};
 
 /// Minimal median helper, private to the fuzzer (avoids a dependency on
 /// the attack crate for one function).
+///
+/// Selection instead of a full sort: the median of `reps` counter reads
+/// sits on the generation-gate hot path of every (event, candidate) pair,
+/// and `select_nth_unstable` is measurably cheaper than sorting ten
+/// elements with a comparator. Counter reads are non-negative finite
+/// (quantized `u64` values), so `f64::max` over the lower partition is
+/// exact and the result is value-identical to the sort-based median.
 mod aegis_attack_stats {
     pub fn median(xs: &mut [f64]) -> f64 {
-        if xs.is_empty() {
+        let n = xs.len();
+        if n == 0 {
             return 0.0;
         }
-        xs.sort_by(f64::total_cmp);
-        let n = xs.len();
+        let mid = n / 2;
+        let (below, at_mid, _) = xs.select_nth_unstable_by(mid, f64::total_cmp);
         if n % 2 == 1 {
-            xs[n / 2]
+            *at_mid
         } else {
-            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+            let hi = *at_mid;
+            let lo = below.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (lo + hi) / 2.0
         }
     }
 }
@@ -49,23 +62,25 @@ pub fn program_event(core: &mut Core, event: EventId) {
 }
 
 /// Executes one instruction sequence between serializing fences and
-/// returns the counter delta (one "measurement" in the paper's protocol).
+/// returns the counter delta (one "measurement" in the paper's protocol):
+/// serialize, zero the counter (WRMSR), run the sequence, read (RDPMC),
+/// serialize. One counter read — and therefore one measurement-noise
+/// draw — per window.
 ///
 /// Faulting instructions contribute nothing; the harness skips them the
 /// way the real prolog/epilog recovers from SIGILL.
 pub fn measure_once(core: &mut Core, catalog: &IsaCatalog, seq: &[InstrId]) -> f64 {
     let cpuid = well_known(WellKnown::Cpuid);
-    // Serialize, snapshot, run, snapshot, serialize.
     let _ = core.execute_instr(&cpuid, Origin::Host);
-    let before = core.pmu().rdpmc(SLOT).expect("slot programmed") as f64;
+    core.pmu_mut().reset_value(SLOT);
     for &id in seq {
         if let Some(spec) = catalog.get(id) {
             let _ = core.execute_instr(spec, Origin::Host);
         }
     }
-    let after = core.pmu().rdpmc(SLOT).expect("slot programmed") as f64;
+    let delta = core.pmu().rdpmc(SLOT).expect("slot programmed") as f64;
     let _ = core.execute_instr(&cpuid, Origin::Host);
-    after - before
+    delta
 }
 
 /// Repeats [`measure_once`] `reps` times and returns the median delta —
@@ -86,6 +101,256 @@ pub fn measure_repeated(
     r: usize,
 ) -> Vec<f64> {
     (0..r).map(|_| measure_once(core, catalog, seq)).collect()
+}
+
+/// One recorded measurement window: the activity accumulated between the
+/// counter reset and the RDPMC read, pre-summed in step order.
+///
+/// Two folds are kept because the SEV observability boundary partitions
+/// events into two accumulation behaviours: guest-visible counters fold
+/// every step, guest-invisible counters fold only host-origin steps. The
+/// folds use the same component-wise `+=` in the same step order as a
+/// live [`aegis_microarch::CounterLane`], so the sums are bit-identical to what a
+/// programmed counter would have accumulated.
+#[derive(Debug, Clone)]
+struct WindowSum {
+    all: ActivityVector,
+    host: ActivityVector,
+}
+
+/// A recorded measurement session: per-window activity sums at the
+/// fence-delimited positions where the scalar protocol resets and reads
+/// the counter.
+///
+/// Recording pays the core simulation once; any number of events can then
+/// be evaluated against the trace through the dense response kernel
+/// ([`TraceEval`]) — one matrix row dot and one noise draw per window,
+/// with results bit-identical to having run the scalar [`measure_once`]
+/// protocol with that event programmed.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    sums: Vec<WindowSum>,
+    steps: usize,
+    support: u32,
+}
+
+impl RecordedTrace {
+    /// Number of recorded measurement windows.
+    pub fn windows(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Number of activity steps the recording folded into window sums.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Union feature-support bitmask over every window sum (both the full
+    /// and host-only folds). An event whose
+    /// [`ResponseMatrix::support`] mask is disjoint from this one reads
+    /// exactly zero on every window of the trace — the noise-free zero
+    /// path of the read arithmetic — so evaluation can skip the candidate
+    /// outright without changing any result.
+    pub fn support(&self) -> u32 {
+        self.support
+    }
+}
+
+/// Records fenced measurement windows on a core — the write side of the
+/// single-pass trace protocol.
+#[derive(Debug)]
+pub struct TraceRecorder<'a> {
+    core: &'a mut Core,
+    catalog: &'a IsaCatalog,
+    marks: Vec<(usize, usize)>,
+}
+
+impl<'a> TraceRecorder<'a> {
+    /// Starts recording on the core (discarding any previous recording).
+    pub fn begin(core: &'a mut Core, catalog: &'a IsaCatalog) -> Self {
+        core.start_recording();
+        TraceRecorder {
+            core,
+            catalog,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Executes one fenced window exactly like [`measure_once`] —
+    /// serializing CPUID, the sequence with faulting instructions
+    /// skipped, CPUID — and marks the counter-reset and RDPMC positions
+    /// of the scalar protocol.
+    pub fn window(&mut self, seq: &[InstrId]) {
+        let cpuid = well_known(WellKnown::Cpuid);
+        let _ = self.core.execute_instr(&cpuid, Origin::Host);
+        let reset = self.core.recording_len();
+        for &id in seq {
+            if let Some(spec) = self.catalog.get(id) {
+                let _ = self.core.execute_instr(spec, Origin::Host);
+            }
+        }
+        let read = self.core.recording_len();
+        let _ = self.core.execute_instr(&cpuid, Origin::Host);
+        self.marks.push((reset, read));
+    }
+
+    /// Stops recording and folds the step log into per-window sums.
+    pub fn finish(self) -> RecordedTrace {
+        let steps = self.core.take_recording();
+        let sums = self
+            .marks
+            .iter()
+            .map(|&(reset, read)| {
+                // Same `+=` fold, same step order as a live lane.
+                let mut all = ActivityVector::ZERO;
+                let mut any_guest = false;
+                for (origin, delta) in &steps[reset..read] {
+                    all += *delta;
+                    any_guest |= origin.is_guest();
+                }
+                // With no guest steps the host-only fold is the same
+                // sequence of adds, so the full fold is reused verbatim —
+                // the common case for host-driven fuzzing windows.
+                let host = if any_guest {
+                    let mut host = ActivityVector::ZERO;
+                    for (origin, delta) in &steps[reset..read] {
+                        if !origin.is_guest() {
+                            host += *delta;
+                        }
+                    }
+                    host
+                } else {
+                    all
+                };
+                WindowSum { all, host }
+            })
+            .collect::<Vec<WindowSum>>();
+        let support = sums.iter().fold(0u32, |m, s| {
+            let nonzero = |v: &ActivityVector| {
+                v.0.iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x != 0.0)
+                    .fold(0u32, |m, (i, _)| m | 1 << i)
+            };
+            m | nonzero(&s.all) | nonzero(&s.host)
+        });
+        RecordedTrace {
+            sums,
+            steps: steps.len(),
+            support,
+        }
+    }
+}
+
+/// Evaluates one event's counter against a [`RecordedTrace`] — the read
+/// side of the single-pass trace protocol.
+///
+/// Each window costs one dense-row dot product and (for responding
+/// windows) one noise draw; there is no per-instruction work left at
+/// evaluation time. Windows are consumed lazily and in order, so an
+/// evaluation abandoned after the generation gate never pays for the
+/// confirmation windows.
+#[derive(Debug)]
+pub struct TraceEval<'a> {
+    trace: &'a RecordedTrace,
+    matrix: &'a ResponseMatrix,
+    noise_base: u64,
+    event: EventId,
+    /// Cached from the matrix so the per-window loop never re-indexes it.
+    guest_visible: bool,
+    /// Read index of the event's noise stream. A plain counter — unlike a
+    /// live [`aegis_microarch::CounterLane`] the evaluator is exclusively
+    /// owned, so it
+    /// needs no atomic; the arithmetic per read is the shared
+    /// [`aegis_microarch::read_counter`], identical to the lane's.
+    draws: u64,
+    window: usize,
+}
+
+impl<'a> TraceEval<'a> {
+    /// Prepares to evaluate `event` against `trace`. `noise_base` must be
+    /// the recording core's measurement-noise base (the evaluator then
+    /// draws the exact noise the scalar PMU would have drawn).
+    pub fn new(
+        trace: &'a RecordedTrace,
+        matrix: &'a ResponseMatrix,
+        noise_base: u64,
+        event: EventId,
+    ) -> Self {
+        TraceEval {
+            trace,
+            matrix,
+            noise_base,
+            event,
+            guest_visible: matrix.guest_visible(event),
+            draws: 0,
+            window: 0,
+        }
+    }
+
+    /// Number of windows consumed so far.
+    pub fn windows_consumed(&self) -> usize {
+        self.window
+    }
+
+    /// One counter read over a window sum — the exact arithmetic a live
+    /// lane would apply at this read index.
+    #[inline]
+    fn read_window(&mut self, sum: &WindowSum) -> f64 {
+        let acc = if self.guest_visible {
+            &sum.all
+        } else {
+            &sum.host
+        };
+        let draw = self.draws;
+        self.draws += 1;
+        read_counter(self.matrix, self.event, self.noise_base, draw, acc) as f64
+    }
+
+    /// Returns the next window's counter delta, bit-identical to what the
+    /// scalar [`measure_once`] would have read, or `None` when every
+    /// recorded window has been consumed.
+    pub fn next_window(&mut self) -> Option<f64> {
+        let sum = self.trace.sums.get(self.window)?;
+        self.window += 1;
+        Some(self.read_window(sum))
+    }
+
+    /// Consumes the next `n` windows and returns their median —
+    /// the batched counterpart of [`measure_median`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` windows remain.
+    pub fn median_of(&mut self, n: usize) -> f64 {
+        let n = n.max(1);
+        // The generation gate runs this for every (event, candidate)
+        // pair; a stack buffer keeps the common rep counts allocation-free.
+        let mut buf = [0.0f64; 32];
+        if n <= buf.len() {
+            for slot in &mut buf[..n] {
+                *slot = self.next_window().expect("trace window underflow");
+            }
+            median(&mut buf[..n])
+        } else {
+            let mut samples: Vec<f64> = (0..n)
+                .map(|_| self.next_window().expect("trace window underflow"))
+                .collect();
+            median(&mut samples)
+        }
+    }
+
+    /// Consumes the next `n` windows and returns the raw deltas — the
+    /// batched counterpart of [`measure_repeated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` windows remain.
+    pub fn take_windows(&mut self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| self.next_window().expect("trace window underflow"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +417,121 @@ mod tests {
         program_event(&mut core, ev);
         let v = measure_repeated(&mut core, &catalog, &[WellKnown::Add64.id()], 7);
         assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn trace_eval_bit_matches_scalar_measurement() {
+        // The batched path must reproduce the scalar protocol exactly:
+        // same-seeded cores, same window sequence → bit-identical deltas
+        // for every event, even though the recording core never programs
+        // a counter.
+        let seqs: [&[aegis_isa::InstrId]; 3] = [
+            &[WellKnown::Clflush.id(), WellKnown::Load64.id()],
+            &[WellKnown::Add64.id()],
+            &[WellKnown::Store64.id(), WellKnown::Load64.id(), WellKnown::Nop.id()],
+        ];
+        let reps = 10;
+
+        let (catalog, mut rec_core) = setup();
+        let matrix = std::sync::Arc::clone(rec_core.pmu().matrix());
+        let noise_base = rec_core.pmu().noise_base();
+        let mut rec = TraceRecorder::begin(&mut rec_core, &catalog);
+        for seq in seqs {
+            for _ in 0..reps {
+                rec.window(seq);
+            }
+        }
+        let trace = rec.finish();
+        assert_eq!(trace.windows(), 3 * reps);
+        assert!(trace.steps() > 0);
+
+        let events = [
+            named::RETIRED_UOPS,
+            named::DATA_CACHE_REFILLS_FROM_SYSTEM,
+            named::LS_DISPATCH,
+        ];
+        for name in events {
+            let (catalog2, mut scalar_core) = setup();
+            let ev = scalar_core.catalog().lookup(name).unwrap();
+            program_event(&mut scalar_core, ev);
+            let mut eval = TraceEval::new(&trace, &matrix, noise_base, ev);
+            for seq in seqs {
+                let scalar: Vec<f64> = (0..reps)
+                    .map(|_| measure_once(&mut scalar_core, &catalog2, seq))
+                    .collect();
+                let batched = eval.take_windows(reps);
+                for (s, b) in scalar.iter().zip(&batched) {
+                    assert_eq!(s.to_bits(), b.to_bits(), "event {name}: {s} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_eval_median_matches_measure_median() {
+        let (catalog, mut scalar_core) = setup();
+        let ev = scalar_core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        program_event(&mut scalar_core, ev);
+        let seq = [WellKnown::Clflush.id(), WellKnown::Load64.id()];
+        let scalar = measure_median(&mut scalar_core, &catalog, &seq, 10);
+
+        let (_, mut rec_core) = setup();
+        let matrix = std::sync::Arc::clone(rec_core.pmu().matrix());
+        let noise_base = rec_core.pmu().noise_base();
+        let mut rec = TraceRecorder::begin(&mut rec_core, &catalog);
+        for _ in 0..10 {
+            rec.window(&seq);
+        }
+        let trace = rec.finish();
+        let mut eval = TraceEval::new(&trace, &matrix, noise_base, ev);
+        assert_eq!(scalar.to_bits(), eval.median_of(10).to_bits());
+    }
+
+    #[test]
+    fn disjoint_support_reads_exactly_zero() {
+        // The fuzzer skips (event, candidate) pairs whose feature support
+        // is disjoint from the trace's. That is only sound if disjoint
+        // support really implies a bit-exact zero read on every window —
+        // pin the algebraic identity here.
+        let (catalog, mut core) = setup();
+        let matrix = std::sync::Arc::clone(core.pmu().matrix());
+        let noise_base = core.pmu().noise_base();
+        let mut rec = TraceRecorder::begin(&mut core, &catalog);
+        for _ in 0..6 {
+            rec.window(&[WellKnown::Nop.id()]);
+        }
+        let trace = rec.finish();
+        let mut disjoint = 0;
+        for e in 0..matrix.n_events() as u32 {
+            let ev = EventId(e);
+            if matrix.support(ev) & trace.support() != 0 {
+                continue;
+            }
+            disjoint += 1;
+            let mut eval = TraceEval::new(&trace, &matrix, noise_base, ev);
+            while let Some(v) = eval.next_window() {
+                assert_eq!(v.to_bits(), 0.0f64.to_bits(), "event {ev} read {v}");
+            }
+        }
+        assert!(disjoint > 0, "nop trace should leave some events disjoint");
+    }
+
+    #[test]
+    fn lazy_eval_stops_early_without_panicking() {
+        let (catalog, mut core) = setup();
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        let matrix = std::sync::Arc::clone(core.pmu().matrix());
+        let noise_base = core.pmu().noise_base();
+        let mut rec = TraceRecorder::begin(&mut core, &catalog);
+        for _ in 0..5 {
+            rec.window(&[WellKnown::Add64.id()]);
+        }
+        let trace = rec.finish();
+        let mut eval = TraceEval::new(&trace, &matrix, noise_base, ev);
+        assert!(eval.next_window().is_some());
+        drop(eval); // abandoning mid-trace is free
+        let mut eval2 = TraceEval::new(&trace, &matrix, noise_base, ev);
+        assert_eq!(eval2.take_windows(5).len(), 5);
+        assert!(eval2.next_window().is_none());
     }
 }

@@ -34,5 +34,8 @@ pub use fuzzer::{
     ConfirmedSeqGadget, EventFuzzer, EventGadgets, FuzzOutcome, FuzzerConfig, SeqGadget,
 };
 pub use gadget::{ConfirmedGadget, Gadget, GadgetCluster};
-pub use harness::{measure_median, measure_once, measure_repeated, program_event};
+pub use harness::{
+    measure_median, measure_once, measure_repeated, program_event, RecordedTrace, TraceEval,
+    TraceRecorder,
+};
 pub use report::FuzzReport;

@@ -119,6 +119,25 @@ impl IsaCatalog {
         }
     }
 
+    /// Process-wide memoized synthetic catalog for `(vendor, seed)`.
+    ///
+    /// Workers fuzzing or sweeping in parallel share one immutable
+    /// catalog behind an `Arc` instead of regenerating ~14k variants per
+    /// task — per-worker catalog construction is what flatlined the
+    /// fuzzing benchmark's parallel scaling.
+    pub fn shared(vendor: Vendor, seed: u64) -> std::sync::Arc<IsaCatalog> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        type Cache = Mutex<HashMap<(Vendor, u64), Arc<IsaCatalog>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("isa catalog cache poisoned");
+        Arc::clone(
+            map.entry((vendor, seed))
+                .or_insert_with(|| Arc::new(IsaCatalog::synthetic(vendor, seed))),
+        )
+    }
+
     /// The vendor family this catalog targets.
     pub fn vendor(&self) -> Vendor {
         self.vendor
@@ -337,6 +356,16 @@ fn memory_model(category: Category, rng: &mut StdRng) -> (u8, u8) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_catalogs_are_memoized_per_key() {
+        let a = IsaCatalog::shared(Vendor::Intel, 9);
+        let b = IsaCatalog::shared(Vendor::Intel, 9);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = IsaCatalog::shared(Vendor::Amd, 9);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(a.len(), IsaCatalog::synthetic(Vendor::Intel, 9).len());
+    }
 
     #[test]
     fn catalog_is_deterministic() {

@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of an HPC event within an [`EventCatalog`].
 #[derive(
@@ -92,10 +93,20 @@ pub struct EventDesc {
 
 impl EventDesc {
     /// Noise-free count increment for an activity delta.
+    ///
+    /// Accumulates canonically: the sparse weights are first collapsed
+    /// into a dense feature-indexed row (duplicates added in sparse
+    /// order), then dotted with the delta in feature-index order — the
+    /// exact arithmetic [`crate::ResponseMatrix`] performs, so the sparse
+    /// and dense paths are bit-identical for every input.
     pub fn respond(&self, delta: &ActivityVector) -> f64 {
-        let mut acc = 0.0;
+        let mut row = [0.0f64; Feature::COUNT];
         for &(f, w) in &self.response {
-            acc += w * delta[f];
+            row[f.index()] += w;
+        }
+        let mut acc = 0.0;
+        for (w, d) in row.iter().zip(&delta.0) {
+            acc += w * d;
         }
         acc.max(0.0)
     }
@@ -186,6 +197,22 @@ impl EventCatalog {
             events,
             by_name,
         }
+    }
+
+    /// The process-wide memoized catalog for a processor model.
+    ///
+    /// Catalogs are deterministic per model, so every construction site
+    /// (cores, hosts, experiment setup) can share one immutable instance;
+    /// the first caller pays the build and bumps the
+    /// `microarch.catalog_build` counter, proving the 6166-event Intel
+    /// catalog is built once per process rather than once per core.
+    pub fn shared(arch: MicroArch) -> Arc<EventCatalog> {
+        static SHARED: [OnceLock<Arc<EventCatalog>>; 4] =
+            [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()];
+        Arc::clone(SHARED[crate::response::arch_slot(arch)].get_or_init(|| {
+            aegis_obs::counter_add("microarch.catalog_build", 1.0);
+            Arc::new(EventCatalog::for_arch(arch))
+        }))
     }
 
     /// The processor model this catalog belongs to.
@@ -528,6 +555,34 @@ mod tests {
             let cat = EventCatalog::for_arch(arch);
             assert_eq!(cat.len(), arch.event_count(), "{arch}");
         }
+    }
+
+    #[test]
+    fn shared_catalogs_build_once_per_process() {
+        let before = aegis_obs::snapshot();
+        for arch in MicroArch::ALL {
+            let a = EventCatalog::shared(arch);
+            let b = EventCatalog::shared(arch);
+            assert!(Arc::ptr_eq(&a, &b), "{arch} catalog not memoized");
+            assert_eq!(a.arch(), arch);
+            assert_eq!(a.len(), arch.event_count());
+        }
+        // After the sweep above every model is initialized, so further
+        // lookups — from this test or any concurrently running one — must
+        // never rebuild: the build counter freezes for the process.
+        let mid = aegis_obs::snapshot();
+        for arch in MicroArch::ALL {
+            let _ = EventCatalog::shared(arch);
+            let _ = crate::ResponseMatrix::shared(arch);
+        }
+        let after = aegis_obs::snapshot();
+        assert_eq!(
+            after.counter("microarch.catalog_build"),
+            mid.counter("microarch.catalog_build"),
+            "catalog rebuilt despite memoization"
+        );
+        let built = mid.counter("microarch.catalog_build") - before.counter("microarch.catalog_build");
+        assert!(built <= 4.0, "more builds than models: {built}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod core;
 mod events;
 mod pmu;
 pub mod rand_util;
+mod response;
 
 pub use crate::core::{Core, ExecError, InterferenceConfig};
 pub use activity::{ActivityVector, Feature, Origin};
@@ -52,3 +53,6 @@ pub use arch::MicroArch;
 pub use cache::{CacheOutcome, DataPageCache, PAGE_LINES};
 pub use events::{named, EventCatalog, EventDesc, EventId, EventKind, KindStats};
 pub use pmu::{CounterConfig, OriginFilter, Pmu, PmuError, COUNTER_SLOTS};
+pub use response::{
+    measurement_noise, noise_base_for_seed, read_counter, CounterLane, ResponseMatrix,
+};

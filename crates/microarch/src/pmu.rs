@@ -2,8 +2,7 @@
 
 use crate::activity::{ActivityVector, Origin};
 use crate::events::{EventCatalog, EventId};
-use crate::rand_util::gauss;
-use rand::rngs::StdRng;
+use crate::response::{CounterLane, ResponseMatrix};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -49,7 +48,7 @@ pub struct CounterConfig {
 #[derive(Debug, Clone)]
 struct Counter {
     config: CounterConfig,
-    value: f64,
+    lane: CounterLane,
 }
 
 /// Error programming or reading the PMU.
@@ -75,19 +74,33 @@ impl fmt::Display for PmuError {
 
 impl std::error::Error for PmuError {}
 
-/// The per-core PMU: four programmable counters that accumulate noisy
-/// linear responses to executed activity.
+/// The per-core PMU: four programmable counters over executed activity.
+///
+/// Counters accumulate raw activity vectors; the event's linear response
+/// (one dense [`ResponseMatrix`] row), a measurement-noise draw, and
+/// RDPMC truncation are applied per *read*. Noise streams are keyed
+/// per (event, read index) from the core's noise base — never from the
+/// core's execution RNG — so counter values are independent of slot
+/// programming order and core execution is independent of which counters
+/// are programmed.
 #[derive(Debug, Clone)]
 pub struct Pmu {
     catalog: Arc<EventCatalog>,
+    matrix: Arc<ResponseMatrix>,
+    noise_base: u64,
     slots: [Option<Counter>; COUNTER_SLOTS],
 }
 
 impl Pmu {
     /// Creates a PMU over the given event catalog with all slots free.
-    pub fn new(catalog: Arc<EventCatalog>) -> Self {
+    /// `noise_base` keys the measurement-noise streams (derive it from
+    /// the core seed via [`crate::response::noise_base_for_seed`]).
+    pub fn new(catalog: Arc<EventCatalog>, noise_base: u64) -> Self {
+        let matrix = ResponseMatrix::shared(catalog.arch());
         Pmu {
             catalog,
+            matrix,
+            noise_base,
             slots: [None, None, None, None],
         }
     }
@@ -95,6 +108,22 @@ impl Pmu {
     /// The catalog this PMU resolves events against.
     pub fn catalog(&self) -> &Arc<EventCatalog> {
         &self.catalog
+    }
+
+    /// The shared dense response matrix backing accumulation.
+    pub fn matrix(&self) -> &Arc<ResponseMatrix> {
+        &self.matrix
+    }
+
+    /// The noise base keying this PMU's measurement-noise streams.
+    pub fn noise_base(&self) -> u64 {
+        self.noise_base
+    }
+
+    /// Re-keys the measurement-noise streams (used by `Core::reseed`).
+    /// Does not reset per-lane draw counters.
+    pub fn set_noise_base(&mut self, noise_base: u64) {
+        self.noise_base = noise_base;
     }
 
     /// Programs a counter slot, zeroing its value.
@@ -109,7 +138,10 @@ impl Pmu {
         if self.catalog.get(config.event).is_none() {
             return Err(PmuError::UnknownEvent(config.event));
         }
-        self.slots[slot] = Some(Counter { config, value: 0.0 });
+        self.slots[slot] = Some(Counter {
+            config,
+            lane: CounterLane::new(&self.matrix, config.event),
+        });
         Ok(())
     }
 
@@ -120,7 +152,8 @@ impl Pmu {
         }
     }
 
-    /// Reads a programmed counter (the `RDPMC` instruction).
+    /// Reads a programmed counter (the `RDPMC` instruction). Every read
+    /// consumes one draw of the event's measurement-noise stream.
     ///
     /// # Errors
     ///
@@ -132,13 +165,23 @@ impl Pmu {
             .ok_or(PmuError::BadSlot(slot))?
             .as_ref()
             .ok_or(PmuError::Unprogrammed(slot))?;
-        Ok(c.value.max(0.0) as u64)
+        Ok(c.lane.read(&self.matrix, self.noise_base))
+    }
+
+    /// Reads every programmed slot at once — the batched view a perf-style
+    /// monitor uses to collect a whole multiplex group per rotation.
+    pub fn read_group(&self) -> [Option<u64>; COUNTER_SLOTS] {
+        let mut out = [None; COUNTER_SLOTS];
+        for (slot, c) in self.slots.iter().enumerate() {
+            out[slot] = c.as_ref().map(|c| c.lane.read(&self.matrix, self.noise_base));
+        }
+        out
     }
 
     /// Zeroes the value of a programmed counter without reprogramming it.
     pub fn reset_value(&mut self, slot: usize) {
         if let Some(Some(c)) = self.slots.get_mut(slot).map(Option::as_mut) {
-            c.value = 0.0;
+            c.lane.reset_value();
         }
     }
 
@@ -153,23 +196,12 @@ impl Pmu {
     /// the SEV observability boundary described in the paper: hardware
     /// events fire for sealed guests while host software events and most
     /// tracepoints do not.
-    pub fn apply(&mut self, delta: &ActivityVector, origin: Origin, rng: &mut StdRng) {
+    pub fn apply(&mut self, delta: &ActivityVector, origin: Origin) {
         for slot in self.slots.iter_mut().flatten() {
             if !slot.config.filter.matches(origin) {
                 continue;
             }
-            let desc = self
-                .catalog
-                .get(slot.config.event)
-                .expect("programmed event must exist");
-            if origin.is_guest() && !desc.guest_visible {
-                continue;
-            }
-            let inc = desc.respond(delta);
-            if inc > 0.0 {
-                let noisy = inc * (1.0 + desc.noise_rel * gauss(rng));
-                slot.value += noisy.max(0.0);
-            }
+            slot.lane.accumulate(delta, origin);
         }
     }
 }
@@ -180,12 +212,11 @@ mod tests {
     use crate::activity::Feature;
     use crate::arch::MicroArch;
     use crate::events::named;
-    use rand::SeedableRng;
 
     fn pmu() -> (Pmu, EventId) {
-        let cat = Arc::new(EventCatalog::for_arch(MicroArch::AmdEpyc7252));
+        let cat = EventCatalog::shared(MicroArch::AmdEpyc7252);
         let ev = cat.lookup(named::RETIRED_UOPS).unwrap();
-        (Pmu::new(cat), ev)
+        (Pmu::new(cat, 0xbead), ev)
     }
 
     #[test]
@@ -200,11 +231,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pmu.rdpmc(0).unwrap(), 0);
-        let mut rng = StdRng::seed_from_u64(0);
         let delta = ActivityVector::from_pairs(&[(Feature::UopsRetired, 1000.0)]);
-        pmu.apply(&delta, Origin::Host, &mut rng);
+        pmu.apply(&delta, Origin::Host);
         let v = pmu.rdpmc(0).unwrap();
         assert!((900..1100).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn counts_are_independent_of_slot_order() {
+        // Programming the same pair of events in either slot order must
+        // produce identical values: noise streams are keyed per event,
+        // not per slot or per shared-RNG consumption order.
+        let cat = EventCatalog::shared(MicroArch::AmdEpyc7252);
+        let uops = cat.lookup(named::RETIRED_UOPS).unwrap();
+        let refills = cat.lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM).unwrap();
+        let deltas: Vec<ActivityVector> = (0..20)
+            .map(|i| {
+                ActivityVector::from_pairs(&[
+                    (Feature::UopsRetired, 100.0 + i as f64),
+                    (Feature::LlcMiss, 3.0),
+                ])
+            })
+            .collect();
+        let run = |order: [EventId; 2]| {
+            let mut pmu = Pmu::new(Arc::clone(&cat), 0xabcd);
+            for (slot, &event) in order.iter().enumerate() {
+                pmu.program(
+                    slot,
+                    CounterConfig {
+                        event,
+                        filter: OriginFilter::Any,
+                    },
+                )
+                .unwrap();
+            }
+            for d in &deltas {
+                pmu.apply(d, Origin::Host);
+            }
+            let mut by_event = std::collections::BTreeMap::new();
+            for slot in 0..2 {
+                by_event.insert(pmu.programmed_event(slot).unwrap(), pmu.rdpmc(slot).unwrap());
+            }
+            by_event
+        };
+        assert_eq!(run([uops, refills]), run([refills, uops]));
     }
 
     #[test]
@@ -251,18 +321,17 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
         let delta = ActivityVector::from_pairs(&[(Feature::UopsRetired, 100.0)]);
-        pmu.apply(&delta, Origin::Host, &mut rng);
-        pmu.apply(&delta, Origin::Guest(3), &mut rng);
+        pmu.apply(&delta, Origin::Host);
+        pmu.apply(&delta, Origin::Guest(3));
         assert_eq!(pmu.rdpmc(0).unwrap(), 0);
-        pmu.apply(&delta, Origin::Guest(7), &mut rng);
+        pmu.apply(&delta, Origin::Guest(7));
         assert!(pmu.rdpmc(0).unwrap() > 0);
     }
 
     #[test]
     fn guest_invisible_events_ignore_guest_activity() {
-        let cat = Arc::new(EventCatalog::for_arch(MicroArch::AmdEpyc7252));
+        let cat = EventCatalog::shared(MicroArch::AmdEpyc7252);
         // Find a software event (never guest visible) with a response.
         let sw = cat
             .events()
@@ -271,7 +340,7 @@ mod tests {
             .unwrap();
         let feature = sw.response[0].0;
         let id = sw.id;
-        let mut pmu = Pmu::new(cat);
+        let mut pmu = Pmu::new(cat, 0xbead);
         pmu.program(
             0,
             CounterConfig {
@@ -280,11 +349,10 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
         let delta = ActivityVector::from_pairs(&[(feature, 500.0)]);
-        pmu.apply(&delta, Origin::Guest(1), &mut rng);
+        pmu.apply(&delta, Origin::Guest(1));
         assert_eq!(pmu.rdpmc(0).unwrap(), 0);
-        pmu.apply(&delta, Origin::Host, &mut rng);
+        pmu.apply(&delta, Origin::Host);
         assert!(pmu.rdpmc(0).unwrap() > 0);
     }
 
@@ -299,11 +367,9 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
         pmu.apply(
             &ActivityVector::from_pairs(&[(Feature::UopsRetired, 50.0)]),
             Origin::Host,
-            &mut rng,
         );
         assert!(pmu.rdpmc(2).unwrap() > 0);
         pmu.reset_value(2);
@@ -327,6 +393,34 @@ mod tests {
     }
 
     #[test]
+    fn read_group_reports_programmed_slots() {
+        // Two identically programmed PMUs: a batched group read on one
+        // must match a direct RDPMC on the other (both consume draw 0 of
+        // the same per-event noise stream).
+        let setup = || {
+            let (mut pmu, ev) = pmu();
+            pmu.program(
+                1,
+                CounterConfig {
+                    event: ev,
+                    filter: OriginFilter::Any,
+                },
+            )
+            .unwrap();
+            pmu.apply(
+                &ActivityVector::from_pairs(&[(Feature::UopsRetired, 42.0)]),
+                Origin::Host,
+            );
+            pmu
+        };
+        let group = setup().read_group();
+        let direct = setup().rdpmc(1).unwrap();
+        assert_eq!(group[0], None);
+        assert_eq!(group[1], Some(direct));
+        assert_eq!(group[2], None);
+    }
+
+    #[test]
     fn measurement_noise_is_bounded() {
         let (mut pmu, ev) = pmu();
         pmu.program(
@@ -337,12 +431,10 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..100 {
             pmu.apply(
                 &ActivityVector::from_pairs(&[(Feature::UopsRetired, 1000.0)]),
                 Origin::Host,
-                &mut rng,
             );
         }
         let v = pmu.rdpmc(0).unwrap() as f64;

@@ -129,8 +129,11 @@ impl PerfMonitor {
     }
 
     fn collect_active(&mut self, core: &mut Core) {
+        // One batched read of the whole active multiplex group instead of
+        // four slot-by-slot RDPMC round trips.
+        let group = core.pmu().read_group();
         for (slot, &idx) in self.groups[self.active_group].iter().enumerate() {
-            let v = core.pmu().rdpmc(slot).expect("slot programmed") as f64;
+            let v = group[slot].expect("slot programmed") as f64;
             self.accumulated[idx] += v;
             core.pmu_mut().reset_value(slot);
         }

@@ -91,7 +91,7 @@ pub struct Host {
 impl Host {
     /// Creates a host with `n_cores` cores of the given model.
     pub fn new(arch: MicroArch, n_cores: usize, seed: u64) -> Self {
-        let catalog = Arc::new(EventCatalog::for_arch(arch));
+        let catalog = EventCatalog::shared(arch);
         let cores = (0..n_cores)
             .map(|i| Core::with_catalog(arch, Arc::clone(&catalog), seed.wrapping_add(i as u64)))
             .collect();

@@ -18,4 +18,11 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="
+# One iteration per bench workload, no criterion sampling: proves both
+# bench harnesses still compile and run end to end without burning
+# minutes. Does not rewrite the checked-in BENCH_*.json numbers.
+AEGIS_BENCH_SMOKE=1 cargo bench --bench measurement_kernel
+AEGIS_BENCH_SMOKE=1 cargo bench --bench parallel_scaling
+
 echo "check.sh: all green"

@@ -109,6 +109,60 @@ fn fuzzing_is_bit_identical_for_1_and_8_workers() {
 }
 
 #[test]
+fn vectorized_fuzzing_is_bit_identical_under_obs_cache_and_workers() {
+    // The vectorized measurement plane (shared candidate pool, recorded
+    // traces, dense-kernel evaluation) must keep the determinism
+    // contract under every operational knob at once: worker count,
+    // AEGIS_OBS=full, and the artifact cache on or off.
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let cache_dir = std::env::temp_dir().join(format!(
+        "aegis-vectorized-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let fuzz = |threads: usize, cache: ArtifactCache| {
+        set_threads(threads);
+        let catalog = IsaCatalog::shared(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        let events = [
+            core.catalog().lookup(named::RETIRED_UOPS).unwrap(),
+            core.catalog()
+                .lookup(named::DATA_CACHE_REFILLS_FROM_SYSTEM)
+                .unwrap(),
+        ];
+        let fuzzer = EventFuzzer::with_cache(
+            FuzzerConfig {
+                candidates_per_event: 80,
+                confirm_reps: 10,
+                ..FuzzerConfig::default()
+            },
+            cache,
+        );
+        fuzzer.run(&catalog, &mut core, &events)
+    };
+
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Off));
+    let baseline = fuzz(1, ArtifactCache::disabled());
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Full));
+    let observed_wide = fuzz(8, ArtifactCache::disabled());
+    let cache_miss = fuzz(4, ArtifactCache::new(&cache_dir));
+    let cache_hit = fuzz(2, ArtifactCache::new(&cache_dir));
+    aegis::obs::set_level(None);
+    aegis::obs::reset();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    assert!(
+        baseline.per_event.iter().any(|e| !e.confirmed.is_empty()),
+        "test must exercise confirmed gadgets"
+    );
+    for other in [&observed_wide, &cache_miss, &cache_hit] {
+        assert_eq!(baseline.per_event, other.per_event);
+        assert_eq!(baseline.report.gadgets_tested, other.report.gadgets_tested);
+    }
+}
+
+#[test]
 fn cleanup_cache_hit_is_exact() {
     let dir = std::env::temp_dir().join(format!(
         "aegis-cleanup-cache-test-{}",
