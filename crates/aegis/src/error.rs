@@ -1,6 +1,7 @@
 //! The facade's typed error: everything the public `aegis` API can fail
 //! with, in one enum.
 
+use aegis_perf::PerfError;
 use aegis_sev::HostError;
 use std::fmt;
 use std::path::PathBuf;
@@ -44,6 +45,17 @@ pub enum AegisError {
         /// Why it was rejected.
         message: String,
     },
+    /// A simulated trust-boundary fault (injected via `aegis-faults`)
+    /// escalated past retry and degraded operation into a failed
+    /// operation — e.g. a PMC slot that would not program within the
+    /// retry budget. Absent an active fault plan this variant does not
+    /// occur.
+    Fault {
+        /// The failing site, e.g. `"perf.program"`.
+        site: &'static str,
+        /// What failed.
+        message: String,
+    },
 }
 
 impl AegisError {
@@ -70,6 +82,14 @@ impl AegisError {
             message: err.to_string(),
         }
     }
+
+    /// Wraps an escalated injected fault with its site.
+    pub fn fault(site: &'static str, err: impl fmt::Display) -> Self {
+        AegisError::Fault {
+            site,
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for AegisError {
@@ -85,6 +105,9 @@ impl fmt::Display for AegisError {
             }
             AegisError::Cache { path, message } => {
                 write!(f, "cache artifact {}: {message}", path.display())
+            }
+            AegisError::Fault { site, message } => {
+                write!(f, "injected fault at {site}: {message}")
             }
         }
     }
@@ -103,6 +126,12 @@ impl std::error::Error for AegisError {
 impl From<HostError> for AegisError {
     fn from(e: HostError) -> Self {
         AegisError::Host(e)
+    }
+}
+
+impl From<PerfError> for AegisError {
+    fn from(e: PerfError) -> Self {
+        AegisError::fault("perf", e)
     }
 }
 

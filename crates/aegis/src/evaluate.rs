@@ -93,10 +93,11 @@ pub fn collect_dataset(
     // time (each unit replays one monitoring window).
     span.set_sim_ns(cfg.window_ns.min(app.window_ns()) * units.len() as u64);
     let snapshot: &Host = host;
-    let rows = Executor::from_config().map_with(
-        units,
-        |_worker| snapshot.fork_detached(),
-        |pristine, unit, (secret, _rep)| {
+    let rows: Vec<Result<(Vec<f64>, usize), aegis_perf::PerfError>> = Executor::from_config()
+        .map_with(
+            units,
+            |_worker| snapshot.fork_detached(),
+            |pristine, unit, (secret, _rep)| {
             // A fresh fork per unit: leftover clock/cache/PMU state from
             // a previous unit on this worker must not leak in, or results
             // would depend on the work distribution.
@@ -120,20 +121,22 @@ pub fn collect_dataset(
                 )
                 .expect("ids were validated on the original host");
             }
-            let trace = replica
-                .record_trace(
-                    core_idx,
-                    events,
-                    OriginFilter::Any,
-                    cfg.interval_ns,
-                    cfg.window_ns.min(app.window_ns()),
-                )
-                .expect("attack events exist in the catalog");
-            (trace_features(&trace, cfg.pool), secret)
+            // Events were validated on the original host; recording only
+            // fails when an injected programming fault exhausts its
+            // retry budget, surfaced as `AegisError::Fault` below.
+            let trace = replica.record_trace(
+                core_idx,
+                events,
+                OriginFilter::Any,
+                cfg.interval_ns,
+                cfg.window_ns.min(app.window_ns()),
+            )?;
+            Ok((trace_features(&trace, cfg.pool), secret))
         },
     );
     let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
-    for (features, secret) in rows {
+    for row in rows {
+        let (features, secret) = row.map_err(AegisError::from)?;
         ds.push(features, secret);
     }
     Ok(ds)
@@ -248,10 +251,11 @@ pub fn collect_mea_runs(
         .flat_map(|m| (0..cfg.runs_per_model).map(move |r| (m, r)))
         .collect();
     let snapshot: &Host = host;
-    let runs = Executor::from_config().map_with(
-        units,
-        |_worker| snapshot.fork_detached(),
-        |pristine, unit, (model, _rep)| {
+    let runs: Vec<Result<(usize, MeaRun), aegis_perf::PerfError>> = Executor::from_config()
+        .map_with(
+            units,
+            |_worker| snapshot.fork_detached(),
+            |pristine, unit, (model, _rep)| {
             let mut replica = pristine.fork_detached();
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_MEA_PLAN, unit as u64));
@@ -277,15 +281,16 @@ pub fn collect_mea_runs(
                 )
                 .expect("ids were validated on the original host");
             }
-            let trace = replica
-                .record_trace(
-                    core_idx,
-                    events,
-                    OriginFilter::Any,
-                    cfg.interval_ns,
-                    total_ns,
-                )
-                .expect("attack events exist in the catalog");
+            // Events were validated on the original host; recording only
+            // fails when an injected programming fault exhausts its
+            // retry budget, surfaced as `AegisError::Fault` below.
+            let trace = replica.record_trace(
+                core_idx,
+                events,
+                OriginFilter::Any,
+                cfg.interval_ns,
+                total_ns,
+            )?;
 
             // Per-slice features: the event values of the slice plus the
             // delta to the previous slice (temporal context).
@@ -321,17 +326,19 @@ pub fn collect_mea_runs(
                 .iter()
                 .map(|k| k.index())
                 .collect();
-            (
+            Ok((
                 model,
                 MeaRun {
                     slices,
                     slice_labels,
                     truth,
                 },
-            )
+            ))
         },
     );
-    Ok(runs)
+    runs.into_iter()
+        .map(|r| r.map_err(AegisError::from))
+        .collect()
 }
 
 /// The sequence-extraction attacker: a per-slice layer classifier with

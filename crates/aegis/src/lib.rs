@@ -67,6 +67,11 @@ pub use plan::DefensePlan;
 // whole crate for spans/metrics/summary rendering.
 pub use aegis_obs::ObsLevel;
 
+// Fault injection: re-export the plan type for builder callers, and the
+// whole crate for site tags and streams.
+pub use aegis_faults as faults;
+pub use aegis_faults::{FaultPlan, FaultStream};
+
 // Substrate re-exports, namespaced for downstream convenience.
 pub use aegis_attack as attack;
 pub use aegis_dp as dp;

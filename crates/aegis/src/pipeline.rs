@@ -3,6 +3,7 @@
 use crate::error::AegisError;
 use crate::plan::DefensePlan;
 use aegis_dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
+use aegis_faults::FaultPlan;
 use aegis_fuzzer::{cluster_gadgets, covering_set, EventFuzzer, FuzzerConfig, GadgetStats};
 use aegis_isa::IsaCatalog;
 use aegis_microarch::{Core, InterferenceConfig};
@@ -47,6 +48,10 @@ pub struct AegisConfig {
     /// variable (then `summary`). Takes effect via
     /// [`AegisConfig::apply_runtime`].
     pub obs: Option<ObsLevel>,
+    /// Fault-injection plan; `None` defers to the `AEGIS_FAULTS`
+    /// environment variable (then no faults). Takes effect via
+    /// [`AegisConfig::apply_runtime`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for AegisConfig {
@@ -60,6 +65,7 @@ impl Default for AegisConfig {
             mechanism: MechanismChoice::Laplace { epsilon: 1.0 },
             threads: 0,
             obs: None,
+            faults: None,
         }
     }
 }
@@ -78,6 +84,7 @@ impl AegisConfig {
     pub fn apply_runtime(&self) {
         aegis_par::set_threads(self.threads);
         obs::set_level(self.obs);
+        aegis_faults::set_plan(self.faults);
     }
 }
 
@@ -113,6 +120,13 @@ impl AegisConfigBuilder {
     /// Sets the observability level.
     pub fn obs(mut self, level: ObsLevel) -> Self {
         self.cfg.obs = Some(level);
+        self
+    }
+
+    /// Installs a fault-injection plan (use [`FaultPlan::none`] to pin
+    /// faults off regardless of the `AEGIS_FAULTS` environment).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 

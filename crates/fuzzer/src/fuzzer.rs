@@ -6,6 +6,7 @@ use crate::harness::{
     measure_median, measure_repeated, program_event, RecordedTrace, TraceEval, TraceRecorder,
 };
 use crate::report::FuzzReport;
+use aegis_faults::{self as faults, FaultPlan};
 use aegis_isa::IsaCatalog;
 use aegis_microarch::{noise_base_for_seed, Core, EventId};
 use aegis_obs as obs;
@@ -23,6 +24,26 @@ const STREAM_FUZZ: u64 = 0x10;
 const STREAM_POOL: u64 = 0x11;
 /// Stream tag for per-candidate recording sessions (vectorized path).
 const STREAM_SESSION: u64 = 0x12;
+
+/// Candidates recorded between two [`FuzzCheckpoint`] persists when the
+/// crash-safety harness (an active fault plan) is armed.
+const CKPT_CHUNK: usize = 32;
+
+/// Simulated seconds charged per measurement window when an active fault
+/// plan puts report timing on the simulated clock. Wall-clock timings
+/// cannot be bit-identical across a kill/resume pair; window counts are.
+const SIM_SECONDS_PER_WINDOW: f64 = 1e-6;
+
+/// A crash-safety checkpoint of the recording pass: the traces recorded
+/// so far, persisted through the [`ArtifactCache`] at chunk boundaries so
+/// a killed run resumes where it died instead of starting over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FuzzCheckpoint {
+    /// Candidates whose recording sessions are complete.
+    completed: usize,
+    /// Their recorded traces, in candidate order.
+    traces: Vec<RecordedTrace>,
+}
 
 /// Fuzzer configuration (defaults follow the paper where it states them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,6 +126,7 @@ pub struct FuzzOutcome {
 pub struct EventFuzzer {
     config: FuzzerConfig,
     cache: ArtifactCache,
+    faults: FaultPlan,
 }
 
 impl EventFuzzer {
@@ -116,9 +138,23 @@ impl EventFuzzer {
     }
 
     /// Creates a fuzzer with an explicit artifact cache (use
-    /// [`ArtifactCache::disabled`] to always recompute cleanup).
+    /// [`ArtifactCache::disabled`] to always recompute cleanup) and the
+    /// ambient [`FaultPlan`].
     pub fn with_cache(config: FuzzerConfig, cache: ArtifactCache) -> Self {
-        EventFuzzer { config, cache }
+        Self::with_faults(config, cache, faults::plan())
+    }
+
+    /// Creates a fuzzer with an explicit cache and fault plan. An active
+    /// plan arms the crash-safety harness: the recording pass persists a
+    /// [`FuzzCheckpoint`] every [`CKPT_CHUNK`] candidates and report
+    /// timings move to the simulated clock, so a killed run resumes to a
+    /// bit-identical [`FuzzOutcome`].
+    pub fn with_faults(config: FuzzerConfig, cache: ArtifactCache, plan: FaultPlan) -> Self {
+        EventFuzzer {
+            config,
+            cache,
+            faults: plan,
+        }
     }
 
     /// The configuration in use.
@@ -170,7 +206,14 @@ impl EventFuzzer {
         let cleanup_span = obs::span("fuzz.cleanup");
         let cleanup = self.cleanup(catalog, core);
         cleanup_span.finish();
-        report.cleanup_seconds = cleanup.stats.wall_seconds;
+        let fault_mode = self.faults.is_active();
+        // Fault mode charges cleanup on the simulated clock too — the
+        // kill/resume bit-equality contract covers the whole report.
+        report.cleanup_seconds = if fault_mode {
+            cleanup.usable.len() as f64 * SIM_SECONDS_PER_WINDOW
+        } else {
+            cleanup.stats.wall_seconds
+        };
         report.usable_instructions = cleanup.usable.len();
 
         // Candidate pool, sampled once for all events.
@@ -194,45 +237,109 @@ impl EventFuzzer {
         let r = self.config.confirm_reps;
 
         // Recording pass: one fenced session per candidate, independent
-        // of how many events will read it.
+        // of how many events will read it. With an active fault plan the
+        // pass is chunked and checkpointed through the artifact cache so
+        // a mid-run kill resumes where it died.
         let record_span = obs::span("fuzz.record");
+        let checkpointing = fault_mode && !pool.is_empty();
+        let ckpt_key = aegis_par::fingerprint(&(
+            self.config,
+            format!("{:?}", catalog.vendor()),
+            catalog.seed(),
+            catalog.len(),
+            format!("{:?}", core.arch()),
+        ));
+        let mut traces: Vec<RecordedTrace> = Vec::with_capacity(pool.len());
+        let mut resume_from = 0usize;
+        if checkpointing {
+            if let Some(ck) = self.cache.get::<FuzzCheckpoint>("fuzz-ckpt", ckpt_key) {
+                if ck.traces.len() == ck.completed && ck.completed <= pool.len() {
+                    resume_from = ck.completed;
+                    traces = ck.traces;
+                    obs::counter_add("fuzz.ckpt_resumed", 1.0);
+                    faults::report("fuzz", "resume", &[("completed", resume_from as u64)]);
+                }
+            }
+        }
+        let kill_at = self.faults.fuzz_kill_after as usize;
+        // The kill fires only on a run that starts *before* the kill
+        // point: the resumed run sails past it and completes.
+        let kill_armed = checkpointing && kill_at > 0 && resume_from < kill_at;
+
         let baseline: &Core = core;
         let record_units: Vec<(usize, Gadget)> = pool.iter().copied().enumerate().collect();
-        let traces: Vec<RecordedTrace> = Executor::from_config().map_with(
-            record_units,
-            |_worker| baseline.clone(),
-            |pristine, _unit, (idx, gadget)| {
-                let mut session = pristine.clone();
-                session.reseed(derive_seed(self.config.seed, STREAM_SESSION, idx as u64));
-                let full = [gadget.reset, gadget.trigger];
-                let reset_only = [gadget.reset];
-                let mut rec = TraceRecorder::begin(&mut session, catalog);
-                for _ in 0..reps {
-                    rec.window(&full); // generation + execution
+        let chunk_len = if checkpointing {
+            CKPT_CHUNK
+        } else {
+            record_units.len().max(1)
+        };
+        let mut done = resume_from;
+        while done < record_units.len() {
+            let end = (done + chunk_len).min(record_units.len());
+            let chunk: Vec<(usize, Gadget)> = record_units[done..end].to_vec();
+            let mut chunk_traces: Vec<RecordedTrace> = Executor::from_config().map_with(
+                chunk,
+                |_worker| baseline.clone(),
+                |pristine, _unit, (idx, gadget)| {
+                    let mut session = pristine.clone();
+                    session.reseed(derive_seed(self.config.seed, STREAM_SESSION, idx as u64));
+                    let full = [gadget.reset, gadget.trigger];
+                    let reset_only = [gadget.reset];
+                    let mut rec = TraceRecorder::begin(&mut session, catalog);
+                    for _ in 0..reps {
+                        rec.window(&full); // generation + execution
+                    }
+                    for _ in 0..r {
+                        rec.window(&reset_only); // confirmation: cold path
+                    }
+                    for _ in 0..r {
+                        rec.window(&full); // confirmation: hot path
+                    }
+                    for _ in 0..reps {
+                        rec.window(&full); // reordering cross-validation
+                    }
+                    rec.finish()
+                },
+            );
+            traces.append(&mut chunk_traces);
+            done = end;
+            if checkpointing {
+                let _ = self.cache.put(
+                    "fuzz-ckpt",
+                    ckpt_key,
+                    &FuzzCheckpoint {
+                        completed: done,
+                        traces: traces.clone(),
+                    },
+                );
+                if kill_armed && done >= kill_at {
+                    faults::report("fuzz", "kill", &[("completed", done as u64)]);
+                    panic!(
+                        "aegis-faults: injected fuzzer kill after {done} recorded candidates"
+                    );
                 }
-                for _ in 0..r {
-                    rec.window(&reset_only); // confirmation: cold path
-                }
-                for _ in 0..r {
-                    rec.window(&full); // confirmation: hot path
-                }
-                for _ in 0..reps {
-                    rec.window(&full); // reordering cross-validation
-                }
-                rec.finish()
-            },
-        );
+            }
+        }
         let record_elapsed = record_span.finish();
 
         // The shared recording cost enters the report exactly once, split
         // between generation and confirmation in proportion to the window
         // counts each phase contributed to the session — not once per
         // event, which would overstate Table III by the event count.
+        // Under an active fault plan the cost is charged on the simulated
+        // clock (windows × SIM_SECONDS_PER_WINDOW): a resumed run must
+        // reproduce the killed run's report bit-for-bit, which wall time
+        // cannot.
         let gen_windows = reps as f64;
         let confirm_windows = (2 * r + reps) as f64;
+        let record_time = if checkpointing {
+            pool.len() as f64 * (gen_windows + confirm_windows) * SIM_SECONDS_PER_WINDOW
+        } else {
+            record_elapsed
+        };
         let gen_share = gen_windows / (gen_windows + confirm_windows);
-        report.generation_seconds += record_elapsed * gen_share;
-        report.confirmation_seconds += record_elapsed * (1.0 - gen_share);
+        report.generation_seconds += record_time * gen_share;
+        report.confirmation_seconds += record_time * (1.0 - gen_share);
 
         // Evaluation pass: dense-kernel walk of the shared traces, one
         // unit per event.
@@ -241,8 +348,10 @@ impl EventFuzzer {
         let pool_ref = &pool;
         let traces_ref = &traces;
         let units: Vec<(usize, EventId)> = events.iter().copied().enumerate().collect();
+        let sim_time = checkpointing;
         let results = Executor::from_config().map(units, |_index, (_idx, event)| {
-            let timed = self.evaluate_event(catalog, &matrix, pool_ref, traces_ref, event);
+            let timed =
+                self.evaluate_event(catalog, &matrix, pool_ref, traces_ref, event, sim_time);
             (event, timed)
         });
         eval_span.finish();
@@ -337,6 +446,7 @@ impl EventFuzzer {
         pool: &[Gadget],
         traces: &[RecordedTrace],
         event: EventId,
+        sim_time: bool,
     ) -> FuzzedEvent {
         let reps = self.config.measure_reps.max(1);
         let r = self.config.confirm_reps;
@@ -390,7 +500,11 @@ impl EventFuzzer {
             }
             confirm_windows += eval.windows_consumed() - reps;
         }
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = if sim_time {
+            (gen_windows + confirm_windows) as f64 * SIM_SECONDS_PER_WINDOW
+        } else {
+            start.elapsed().as_secs_f64()
+        };
         let windows = (gen_windows + confirm_windows).max(1) as f64;
         let generation_seconds = elapsed * gen_windows as f64 / windows;
         let confirmation_seconds = elapsed * confirm_windows as f64 / windows;
@@ -797,6 +911,57 @@ mod tests {
             "found {} bogus gadgets",
             out.per_event[0].confirmed.len()
         );
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identically() {
+        let cfg = FuzzerConfig {
+            candidates_per_event: 96,
+            confirm_reps: 10,
+            ..FuzzerConfig::default()
+        };
+        let run_with = |plan: FaultPlan, dir: &std::path::Path| -> FuzzOutcome {
+            let (catalog, mut core) = setup();
+            let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+            let cache = ArtifactCache::with_faults(dir, FaultPlan::none());
+            let fuzzer = EventFuzzer::with_faults(cfg, cache, plan);
+            fuzzer.run(&catalog, &mut core, &[ev])
+        };
+        let tmp = |tag: &str| {
+            let d = std::env::temp_dir().join(format!(
+                "aegis-fuzz-ckpt-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        };
+        // Reference: an active (jitter-only, fuzzer-irrelevant) plan so
+        // the run uses the same checkpointed, sim-timed code path but is
+        // never killed.
+        let base = FaultPlan {
+            seed: 1,
+            tick_jitter: 0.5,
+            ..FaultPlan::none()
+        };
+        let dir_ref = tmp("ref");
+        let reference = run_with(base, &dir_ref);
+
+        // Kill the run mid-recording, then resume it from the persisted
+        // checkpoint in the same cache.
+        let kill_plan = FaultPlan {
+            fuzz_kill_after: 64,
+            ..base
+        };
+        let dir_kill = tmp("kill");
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(kill_plan, &dir_kill)
+        }));
+        assert!(killed.is_err(), "the injected kill must abort the run");
+        let resumed = run_with(kill_plan, &dir_kill);
+        assert_eq!(reference, resumed);
+
+        let _ = std::fs::remove_dir_all(&dir_ref);
+        let _ = std::fs::remove_dir_all(&dir_kill);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use aegis_microarch::{
     read_counter, ActivityVector, Core, CounterConfig, EventId, Origin, OriginFilter,
     ResponseMatrix,
 };
+use serde::{Deserialize, Serialize};
 
 /// Minimal median helper, private to the fuzzer (avoids a dependency on
 /// the attack crate for one function).
@@ -112,7 +113,7 @@ pub fn measure_repeated(
 /// folds use the same component-wise `+=` in the same step order as a
 /// live [`aegis_microarch::CounterLane`], so the sums are bit-identical to what a
 /// programmed counter would have accumulated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct WindowSum {
     all: ActivityVector,
     host: ActivityVector,
@@ -127,7 +128,7 @@ struct WindowSum {
 /// ([`TraceEval`]) — one matrix row dot and one noise draw per window,
 /// with results bit-identical to having run the scalar [`measure_once`]
 /// protocol with that event programmed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordedTrace {
     sums: Vec<WindowSum>,
     steps: usize,

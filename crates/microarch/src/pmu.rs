@@ -89,6 +89,11 @@ pub struct Pmu {
     matrix: Arc<ResponseMatrix>,
     noise_base: u64,
     slots: [Option<Counter>; COUNTER_SLOTS],
+    /// Fail-closed latch: while set, guest-visible lanes read 0 (the
+    /// counter is architecturally disabled — no RDPMC happens, so no
+    /// noise draw is consumed). Set by the host's supervision layer
+    /// whenever obfuscation on this core cannot be guaranteed.
+    fail_closed: bool,
 }
 
 impl Pmu {
@@ -102,7 +107,21 @@ impl Pmu {
             matrix,
             noise_base,
             slots: [None, None, None, None],
+            fail_closed: false,
         }
+    }
+
+    /// Latches (or releases) fail-closed mode. While latched, reads of
+    /// guest-visible lanes return 0 and consume no noise draws —
+    /// degraded output is *absent*, never clean. Host-only software
+    /// events keep reading normally: they carry no guest secrets.
+    pub fn set_fail_closed(&mut self, on: bool) {
+        self.fail_closed = on;
+    }
+
+    /// Whether the fail-closed latch is set.
+    pub fn fail_closed(&self) -> bool {
+        self.fail_closed
     }
 
     /// The catalog this PMU resolves events against.
@@ -165,6 +184,9 @@ impl Pmu {
             .ok_or(PmuError::BadSlot(slot))?
             .as_ref()
             .ok_or(PmuError::Unprogrammed(slot))?;
+        if self.fail_closed && c.lane.guest_visible() {
+            return Ok(0);
+        }
         Ok(c.lane.read(&self.matrix, self.noise_base))
     }
 
@@ -173,7 +195,13 @@ impl Pmu {
     pub fn read_group(&self) -> [Option<u64>; COUNTER_SLOTS] {
         let mut out = [None; COUNTER_SLOTS];
         for (slot, c) in self.slots.iter().enumerate() {
-            out[slot] = c.as_ref().map(|c| c.lane.read(&self.matrix, self.noise_base));
+            out[slot] = c.as_ref().map(|c| {
+                if self.fail_closed && c.lane.guest_visible() {
+                    0
+                } else {
+                    c.lane.read(&self.matrix, self.noise_base)
+                }
+            });
         }
         out
     }
@@ -418,6 +446,32 @@ mod tests {
         assert_eq!(group[0], None);
         assert_eq!(group[1], Some(direct));
         assert_eq!(group[2], None);
+    }
+
+    #[test]
+    fn fail_closed_zeroes_guest_visible_reads_without_draws() {
+        let (mut pmu, ev) = pmu();
+        pmu.program(
+            0,
+            CounterConfig {
+                event: ev,
+                filter: OriginFilter::Any,
+            },
+        )
+        .unwrap();
+        pmu.apply(
+            &ActivityVector::from_pairs(&[(Feature::UopsRetired, 1000.0)]),
+            Origin::Host,
+        );
+        let mut twin = pmu.clone();
+        pmu.set_fail_closed(true);
+        assert!(pmu.fail_closed());
+        assert_eq!(pmu.rdpmc(0).unwrap(), 0, "latched read is zero");
+        assert_eq!(pmu.read_group()[0], Some(0));
+        // No draws were consumed while latched: after release, the first
+        // real read matches draw 0 on the untouched twin.
+        pmu.set_fail_closed(false);
+        assert_eq!(pmu.rdpmc(0).unwrap(), twin.rdpmc(0).unwrap());
     }
 
     #[test]

@@ -12,12 +12,22 @@
 
 use crate::stack::GadgetStack;
 use aegis_dp::{ClipBound, NoiseMechanism};
+use aegis_faults::{self as faults, site, FaultPlan, FaultStream};
 use aegis_microarch::{ActivityVector, Feature};
-use aegis_sev::ActivitySource;
+use aegis_sev::{ActivitySource, ProtectionStatus};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Consecutive zero-grant ticks before the injector reports itself
+/// [`ProtectionStatus::Degraded`]. Together with the host watchdog's own
+/// bound this keeps detection well inside one 1 ms attacker sample.
+pub const STARVED_TICKS_DEGRADED: u32 = 4;
+
+/// Consecutive intervals without a fresh kernel-module sample before the
+/// daemon treats its feed as dead and falls back to ceiling injection.
+pub const STALE_INTERVALS_DEGRADED: u32 = 3;
 
 /// Obfuscator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +124,11 @@ pub struct Obfuscator {
     t: usize,
     current_rate: ActivityVector,
     injected_counts: f64,
+    // Fault injection + self-supervision.
+    faults: FaultPlan,
+    drop_stream: Option<FaultStream>,
+    starved_ticks: u32,
+    stale_intervals: u32,
 }
 
 impl Obfuscator {
@@ -127,12 +142,24 @@ impl Obfuscator {
         Self::with_seed(stack, mechanism, cfg, 0)
     }
 
-    /// Creates an obfuscator with an explicit lane-scheduling seed.
+    /// Creates an obfuscator with an explicit lane-scheduling seed and
+    /// the ambient [`FaultPlan`].
     pub fn with_seed(
         stack: GadgetStack,
         mechanism: Box<dyn NoiseMechanism>,
         cfg: ObfuscatorConfig,
         seed: u64,
+    ) -> Self {
+        Self::with_faults(stack, mechanism, cfg, seed, faults::plan())
+    }
+
+    /// Creates an obfuscator with an explicit seed and fault plan.
+    pub fn with_faults(
+        stack: GadgetStack,
+        mechanism: Box<dyn NoiseMechanism>,
+        cfg: ObfuscatorConfig,
+        seed: u64,
+        plan: FaultPlan,
     ) -> Self {
         let (tx, rx) = bounded(64);
         let lanes = build_lanes(&stack);
@@ -152,6 +179,12 @@ impl Obfuscator {
             t: 0,
             current_rate: ActivityVector::ZERO,
             injected_counts: 0.0,
+            faults: plan,
+            drop_stream: plan
+                .is_active()
+                .then(|| FaultStream::new(&plan, site::NETLINK, seed)),
+            starved_ticks: 0,
+            stale_intervals: 0,
         }
     }
 
@@ -176,21 +209,55 @@ impl Obfuscator {
         &self.stack
     }
 
+    /// Whether the obfuscator currently considers its own protection
+    /// degraded (starved of cycles or running on a stale sample feed).
+    pub fn degraded(&self) -> bool {
+        self.protection_status() == ProtectionStatus::Degraded
+    }
+
+    fn inject_lane(&mut self, counts: f64) {
+        // Execute one signature lane this interval; the noise counts
+        // land on that lane's events at the calibrated effect ratio.
+        let lane = self.lane_rng.gen_range(0..self.lanes.len());
+        let (activity, lane_uops) = &self.lanes[lane];
+        let reps = counts / lane_uops.max(1.0);
+        let interval_us = self.cfg.interval_ns as f64 / 1_000.0;
+        self.current_rate = activity.scaled(reps / interval_us);
+        self.injected_counts += counts;
+    }
+
     fn close_interval(&mut self) {
         self.t += 1;
         let x_norm = self.app_counts_accum / self.cfg.noise_scale_counts;
         self.app_counts_accum = 0.0;
-        self.kernel.publish(HpcSample { t: self.t, x_norm });
+        let dropped = self
+            .drop_stream
+            .as_mut()
+            .is_some_and(|s| s.chance(self.faults.sample_drop));
+        if dropped {
+            faults::report("netlink", "sample_drop", &[("t", self.t as u64)]);
+        } else {
+            self.kernel.publish(HpcSample { t: self.t, x_norm });
+        }
         if let Some(noise_norm) = self.daemon.compute_noise() {
+            self.stale_intervals = 0;
             let counts = noise_norm * self.cfg.noise_scale_counts;
-            // Execute one signature lane this interval; the noise counts
-            // land on that lane's events at the calibrated effect ratio.
-            let lane = self.lane_rng.gen_range(0..self.lanes.len());
-            let (activity, lane_uops) = &self.lanes[lane];
-            let reps = counts / lane_uops.max(1.0);
-            let interval_us = self.cfg.interval_ns as f64 / 1_000.0;
-            self.current_rate = activity.scaled(reps / interval_us);
-            self.injected_counts += counts;
+            self.inject_lane(counts);
+        } else {
+            // No fresh sample reached the daemon this interval: the
+            // kernel-module feed is lossy or dead. After a bounded number
+            // of stale intervals, fall back to injecting at the clip
+            // ceiling — a degraded interval is maximally noisy, never
+            // clean.
+            self.stale_intervals = self.stale_intervals.saturating_add(1);
+            if self.stale_intervals == STALE_INTERVALS_DEGRADED {
+                aegis_obs::counter_add("obfuscator.stale_feed_episodes", 1.0);
+                aegis_obs::event("obfuscator.stale_feed", &[("kind", "fault")]);
+            }
+            if self.stale_intervals >= STALE_INTERVALS_DEGRADED {
+                let counts = self.cfg.clip.hi * self.cfg.noise_scale_counts;
+                self.inject_lane(counts);
+            }
         }
     }
 }
@@ -278,6 +345,32 @@ impl ActivitySource for Obfuscator {
         while self.elapsed_in_interval_ns >= self.cfg.interval_ns {
             self.elapsed_in_interval_ns -= self.cfg.interval_ns;
             self.close_interval();
+        }
+    }
+
+    fn note_execution(&mut self, granted_ns: u64) {
+        // The injection thread's own stall watchdog: a healthy scheduler
+        // always grants the injector a nonzero share, so consecutive
+        // zero grants mean the daemon's injection is not reaching the
+        // vCPU at all.
+        if granted_ns == 0 {
+            self.starved_ticks = self.starved_ticks.saturating_add(1);
+            if self.starved_ticks == STARVED_TICKS_DEGRADED {
+                aegis_obs::counter_add("obfuscator.starved_episodes", 1.0);
+                aegis_obs::event("obfuscator.starved", &[("kind", "fault")]);
+            }
+        } else {
+            self.starved_ticks = 0;
+        }
+    }
+
+    fn protection_status(&self) -> ProtectionStatus {
+        if self.starved_ticks >= STARVED_TICKS_DEGRADED
+            || self.stale_intervals >= STALE_INTERVALS_DEGRADED
+        {
+            ProtectionStatus::Degraded
+        } else {
+            ProtectionStatus::Healthy
         }
     }
 }
@@ -407,6 +500,70 @@ mod tests {
             (last - expected).abs() < expected * 0.05,
             "{last} vs {expected}"
         );
+    }
+
+    #[test]
+    fn starvation_watchdog_degrades_and_recovers() {
+        let mut obf = Obfuscator::new(
+            stack(),
+            Box::new(LaplaceMechanism::new(1.0, 1)),
+            ObfuscatorConfig::default(),
+        );
+        for _ in 0..STARVED_TICKS_DEGRADED - 1 {
+            obf.note_execution(0);
+            assert_eq!(obf.protection_status(), ProtectionStatus::Healthy);
+        }
+        obf.note_execution(0);
+        assert_eq!(obf.protection_status(), ProtectionStatus::Degraded);
+        assert!(obf.degraded());
+        obf.note_execution(50_000);
+        assert_eq!(obf.protection_status(), ProtectionStatus::Healthy);
+    }
+
+    #[test]
+    fn dropped_sample_feed_falls_back_to_ceiling_injection() {
+        let cfg = ObfuscatorConfig::default();
+        let plan = FaultPlan {
+            seed: 7,
+            sample_drop: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut obf = Obfuscator::with_faults(
+            stack(),
+            Box::new(ConstantOutput::new(0.5)),
+            cfg,
+            0,
+            plan,
+        );
+        // Every published sample is dropped → after the stale threshold
+        // the daemon injects at the clip ceiling instead of going quiet.
+        let rates = drive(&mut obf, 40, 100.0);
+        assert!(obf.degraded());
+        let last = *rates.last().unwrap();
+        let interval_us = cfg.interval_ns as f64 / 1_000.0;
+        let ceiling = cfg.clip.hi * cfg.noise_scale_counts / interval_us;
+        assert!(
+            (last - ceiling).abs() < ceiling * 0.05,
+            "degraded rate {last} should sit at the ceiling {ceiling}"
+        );
+        assert!(obf.injected_counts() > 0.0);
+    }
+
+    #[test]
+    fn inert_plan_matches_no_fault_layer() {
+        let cfg = ObfuscatorConfig::default();
+        let mut a = Obfuscator::new(stack(), Box::new(LaplaceMechanism::new(1.0, 3)), cfg);
+        let mut b = Obfuscator::with_faults(
+            stack(),
+            Box::new(LaplaceMechanism::new(1.0, 3)),
+            cfg,
+            0,
+            FaultPlan::none(),
+        );
+        let ra = drive(&mut a, 500, 300.0);
+        let rb = drive(&mut b, 500, 300.0);
+        assert_eq!(ra, rb);
+        assert_eq!(a.injected_counts(), b.injected_counts());
     }
 
     #[test]

@@ -22,5 +22,7 @@ mod daemon;
 mod stack;
 
 pub use baselines::{ConstantOutput, SecretConstantNoise, UniformRandomNoise};
-pub use daemon::{Obfuscator, ObfuscatorConfig};
+pub use daemon::{
+    Obfuscator, ObfuscatorConfig, STALE_INTERVALS_DEGRADED, STARVED_TICKS_DEGRADED,
+};
 pub use stack::GadgetStack;

@@ -7,6 +7,7 @@
 //! named `<kind>-<key>.json` where the key is a fingerprint of the
 //! producing configuration.
 
+use aegis_faults::{self as faults, FaultPlan, FaultStream};
 use aegis_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -30,14 +31,22 @@ pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
 pub struct ArtifactCache {
     dir: PathBuf,
     enabled: bool,
+    faults: FaultPlan,
 }
 
 impl ArtifactCache {
-    /// A cache rooted at `dir` (created lazily on first `put`).
+    /// A cache rooted at `dir` (created lazily on first `put`), under the
+    /// ambient [`FaultPlan`].
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::with_faults(dir, faults::plan())
+    }
+
+    /// A cache rooted at `dir` with an explicit fault plan.
+    pub fn with_faults(dir: impl Into<PathBuf>, plan: FaultPlan) -> Self {
         ArtifactCache {
             dir: dir.into(),
             enabled: std::env::var_os("AEGIS_NO_CACHE").is_none(),
+            faults: plan,
         }
     }
 
@@ -51,6 +60,7 @@ impl ArtifactCache {
         ArtifactCache {
             dir: PathBuf::new(),
             enabled: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -116,6 +126,19 @@ impl ArtifactCache {
         ));
         let json = serde_json::to_string_pretty(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if self.faults.cache_torn > 0.0 {
+            // Simulated legacy writer crashing mid-write: half the bytes
+            // land at the *final* path, bypassing the tmp+rename
+            // discipline. The torn artifact must later read as a
+            // `cache.corrupt` miss, never as a hit. Keyed per artifact so
+            // the outcome is identical at any worker count.
+            let mut s = FaultStream::new(&self.faults, faults::site::CACHE, key);
+            if s.chance(self.faults.cache_torn) {
+                std::fs::write(&path, &json.as_bytes()[..json.len() / 2])?;
+                faults::report("cache", "torn_write", &[("key", key)]);
+                return Ok(path);
+            }
+        }
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, &path)?;
         obs::counter_add("cache.store", 1.0);
@@ -151,6 +174,28 @@ mod tests {
         cache.put("demo", 1, &vec![1u64]).unwrap();
         std::fs::write(cache.path_for("demo", 1), "{not json").unwrap();
         assert!(cache.get::<Vec<u64>>("demo", 1).is_none());
+    }
+
+    #[test]
+    fn torn_put_reads_as_miss_and_recompute_heals() {
+        let plan = FaultPlan {
+            seed: 11,
+            cache_torn: 1.0,
+            ..FaultPlan::none()
+        };
+        let dir = temp_dir("torn");
+        let cache = ArtifactCache::with_faults(dir.clone(), plan);
+        let value = vec![1u64, 2, 3];
+        let path = cache.put("demo", 5, &value).unwrap();
+        assert!(path.exists(), "torn write still lands at the final path");
+        assert!(
+            cache.get::<Vec<u64>>("demo", 5).is_none(),
+            "a torn artifact must never read as a hit"
+        );
+        // The recompute-and-store path (now fault-free) heals the entry.
+        let healed = ArtifactCache::with_faults(dir, FaultPlan::none());
+        healed.put("demo", 5, &value).unwrap();
+        assert_eq!(healed.get::<Vec<u64>>("demo", 5), Some(value));
     }
 
     #[test]

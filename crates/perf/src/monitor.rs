@@ -2,12 +2,24 @@
 //! time-multiplexes larger event groups, and scales counts by
 //! enabled/running time exactly like the Linux perf subsystem.
 
+use aegis_faults::{self as faults, FaultPlan, FaultStream};
 use aegis_microarch::{Core, CounterConfig, EventId, OriginFilter, COUNTER_SLOTS};
 use std::fmt;
 
 /// Default multiplex rotation quantum (the kernel default is on the order
 /// of a scheduler tick).
 pub const DEFAULT_QUANTUM_NS: u64 = 4_000_000;
+
+/// Programming attempts per slot before the monitor gives the slot up
+/// for the rotation (initial try + retries).
+const PROGRAM_ATTEMPTS: u32 = 4;
+
+/// Simulated cost of the first programming retry; doubles per attempt
+/// (exponential backoff, charged to [`PerfMonitor::retry_lost_ns`]).
+const RETRY_BACKOFF_NS: u64 = 1_000;
+
+/// 48-bit PMC value mask (both testbed CPUs expose 48-bit counters).
+const PMC_MASK: u64 = (1 << 48) - 1;
 
 /// Error opening or operating a [`PerfMonitor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +28,14 @@ pub enum PerfError {
     NoEvents,
     /// An event id was rejected by the PMU (unknown on this core).
     UnknownEvent(EventId),
+    /// A counter slot could not be programmed even after retries (an
+    /// injected MSR-write fault persisted through the backoff schedule).
+    ProgramFailed {
+        /// The hardware slot that failed.
+        slot: usize,
+        /// Total attempts made, including the initial try.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PerfError {
@@ -23,6 +43,9 @@ impl fmt::Display for PerfError {
         match self {
             PerfError::NoEvents => f.write_str("no events requested"),
             PerfError::UnknownEvent(e) => write!(f, "event {e} unknown on this core"),
+            PerfError::ProgramFailed { slot, attempts } => {
+                write!(f, "counter slot {slot} failed to program after {attempts} attempts")
+            }
         }
     }
 }
@@ -50,6 +73,20 @@ pub struct PerfMonitor {
     enabled_ns: u64,
     running_ns: Vec<u64>,
     accumulated: Vec<f64>,
+    /// Captured fault plan (ambient at open unless `open_with_faults`).
+    faults: FaultPlan,
+    /// Keyed fault streams, allocated only under an active plan so the
+    /// inert plan consumes zero draws.
+    program_stream: Option<FaultStream>,
+    read_stream: Option<FaultStream>,
+    steal_stream: Option<FaultStream>,
+    /// Per-event "currently counting" flags: an event whose slot lost
+    /// its programming (injected MSR fault that outlasted the backoff
+    /// schedule) is *absent* — it accrues neither counts nor running
+    /// time, so scaling never fabricates a clean value for it.
+    live: Vec<bool>,
+    /// Simulated time charged to programming retry backoff.
+    retry_lost_ns: u64,
 }
 
 impl PerfMonitor {
@@ -66,6 +103,25 @@ impl PerfMonitor {
         events: Vec<EventId>,
         filter: OriginFilter,
     ) -> Result<Self, PerfError> {
+        PerfMonitor::open_with_faults(core, events, filter, faults::plan())
+    }
+
+    /// [`PerfMonitor::open`] under an explicit fault plan instead of the
+    /// ambient one. Fault streams are keyed by the core's noise base, so
+    /// the injected schedule is a pure function of `(plan, core seed)` —
+    /// independent of worker count or scheduling.
+    ///
+    /// # Errors
+    ///
+    /// As [`PerfMonitor::open`], plus [`PerfError::ProgramFailed`] when
+    /// an injected MSR fault outlasts the initial programming's backoff
+    /// schedule.
+    pub fn open_with_faults(
+        core: &mut Core,
+        events: Vec<EventId>,
+        filter: OriginFilter,
+        plan: FaultPlan,
+    ) -> Result<Self, PerfError> {
         if events.is_empty() {
             return Err(PerfError::NoEvents);
         }
@@ -80,6 +136,8 @@ impl PerfMonitor {
             .map(<[usize]>::to_vec)
             .collect();
         let n = events.len();
+        let active = plan.is_active();
+        let instance = core.pmu().noise_base();
         let mut mon = PerfMonitor {
             events,
             filter,
@@ -90,8 +148,17 @@ impl PerfMonitor {
             enabled_ns: 0,
             running_ns: vec![0; n],
             accumulated: vec![0.0; n],
+            faults: plan,
+            program_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::PMC_PROGRAM, instance)),
+            read_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::COUNTER_READ, instance)),
+            steal_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::SLOT_STEAL, instance)),
+            live: vec![false; n],
+            retry_lost_ns: 0,
         };
-        mon.program_active(core);
+        mon.program_active(core)?;
         Ok(mon)
     }
 
@@ -110,32 +177,122 @@ impl PerfMonitor {
         self.groups.len() > 1
     }
 
-    fn program_active(&mut self, core: &mut Core) {
+    /// Whether any event of the active group is currently not counting
+    /// (its slot lost programming to an injected persistent fault).
+    pub fn degraded(&self) -> bool {
+        self.groups[self.active_group]
+            .iter()
+            .any(|&idx| !self.live[idx])
+    }
+
+    /// Simulated time spent in programming-retry backoff so far.
+    pub fn retry_lost_ns(&self) -> u64 {
+        self.retry_lost_ns
+    }
+
+    /// Programs the active multiplex group, retrying each slot with
+    /// exponential sim-time backoff when the fault plan injects an MSR
+    /// write failure. A slot that stays unprogrammable is left dead
+    /// (`live[idx] = false`) — its event reads as absent, never clean —
+    /// and reported as the `Err`; the remaining slots still program.
+    fn program_active(&mut self, core: &mut Core) -> Result<(), PerfError> {
         for slot in 0..COUNTER_SLOTS {
             core.pmu_mut().clear(slot);
         }
+        self.live.iter_mut().for_each(|l| *l = false);
         let filter = self.filter;
-        for (slot, &idx) in self.groups[self.active_group].iter().enumerate() {
-            core.pmu_mut()
-                .program(
-                    slot,
-                    CounterConfig {
-                        event: self.events[idx],
-                        filter,
-                    },
-                )
-                .expect("events validated at open");
+        let mut first_failure = None;
+        let members = self.groups[self.active_group].clone();
+        for (slot, &idx) in members.iter().enumerate() {
+            let mut attempts = 0;
+            let programmed = loop {
+                attempts += 1;
+                let injected = match &mut self.program_stream {
+                    Some(s) => s.chance(self.faults.pmc_program_fail),
+                    None => false,
+                };
+                if !injected {
+                    core.pmu_mut()
+                        .program(
+                            slot,
+                            CounterConfig {
+                                event: self.events[idx],
+                                filter,
+                            },
+                        )
+                        .expect("slot < COUNTER_SLOTS and events validated at open");
+                    break true;
+                }
+                faults::report(
+                    "pmc_program",
+                    "fail",
+                    &[("slot", slot as u64), ("attempt", u64::from(attempts))],
+                );
+                if attempts >= PROGRAM_ATTEMPTS {
+                    break false;
+                }
+                // Sim-time exponential backoff before the retry.
+                self.retry_lost_ns += RETRY_BACKOFF_NS << (attempts - 1);
+            };
+            self.live[idx] = programmed;
+            if !programmed && first_failure.is_none() {
+                first_failure = Some(PerfError::ProgramFailed { slot, attempts });
+            }
         }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies the per-read value faults (corruption, saturation,
+    /// 48-bit overflow wrap) to one collected counter value.
+    fn fault_read_value(&mut self, slot: usize, v: u64) -> u64 {
+        let Some(s) = self.read_stream.as_mut() else {
+            return v;
+        };
+        let mut out = v;
+        if s.chance(self.faults.counter_corrupt) {
+            out ^= s.bits() & 0xFFFF;
+            faults::report("counter_read", "corrupt", &[("slot", slot as u64)]);
+        }
+        if s.chance(self.faults.counter_saturate) {
+            out = PMC_MASK;
+            faults::report("counter_read", "saturate", &[("slot", slot as u64)]);
+        }
+        if s.chance(self.faults.counter_overflow) {
+            // The 48-bit counter wrapped during the quantum: only the
+            // low-order residue survives.
+            out &= 0x3FF;
+            faults::report("counter_read", "overflow", &[("slot", slot as u64)]);
+        }
+        out
     }
 
     fn collect_active(&mut self, core: &mut Core) {
         // One batched read of the whole active multiplex group instead of
         // four slot-by-slot RDPMC round trips.
         let group = core.pmu().read_group();
-        for (slot, &idx) in self.groups[self.active_group].iter().enumerate() {
-            let v = group[slot].expect("slot programmed") as f64;
-            self.accumulated[idx] += v;
+        // At most one slot per collection is stolen by a concurrent host
+        // agent: its quantum's count belongs to the thief and is
+        // discarded (absent, not fabricated).
+        let stolen = self.steal_stream.as_mut().and_then(|s| {
+            s.chance(self.faults.slot_steal)
+                .then(|| s.uniform(COUNTER_SLOTS as u64) as usize)
+        });
+        let members = self.groups[self.active_group].clone();
+        for (slot, &idx) in members.iter().enumerate() {
+            if !self.live[idx] {
+                // Dead slot: nothing was counting; leave the event absent.
+                continue;
+            }
+            let v = group[slot].expect("live slots are programmed");
             core.pmu_mut().reset_value(slot);
+            if stolen == Some(slot) {
+                faults::report("slot_steal", "stolen", &[("slot", slot as u64)]);
+                continue;
+            }
+            self.accumulated[idx] += self.fault_read_value(slot, v) as f64;
         }
     }
 
@@ -144,13 +301,18 @@ impl PerfMonitor {
     pub fn on_executed(&mut self, core: &mut Core, dur_ns: u64) {
         self.enabled_ns += dur_ns;
         for &idx in &self.groups[self.active_group] {
-            self.running_ns[idx] += dur_ns;
+            if self.live[idx] {
+                self.running_ns[idx] += dur_ns;
+            }
         }
         self.time_in_group_ns += dur_ns;
         if self.is_multiplexed() && self.time_in_group_ns >= self.quantum_ns {
             self.collect_active(core);
             self.active_group = (self.active_group + 1) % self.groups.len();
-            self.program_active(core);
+            // A rotation that fails to program keeps the monitor running
+            // degraded: the dead slots were reported per-attempt above
+            // and read as absent until a later rotation succeeds.
+            let _ = self.program_active(core);
             self.time_in_group_ns = 0;
         }
     }
@@ -198,6 +360,7 @@ impl PerfMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aegis_faults::FaultPlan;
     use aegis_microarch::{ActivityVector, Feature, InterferenceConfig, MicroArch, Origin};
 
     fn core() -> Core {
@@ -311,6 +474,103 @@ mod tests {
         c.run_mix(&uops_rate(100.0), 1_000_000, Origin::Guest(1));
         mon.on_executed(&mut c, 1_000_000);
         assert!(mon.read_scaled(&mut c)[0] > 0.0);
+    }
+
+    #[test]
+    fn persistent_program_fault_errors_at_open() {
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let plan = FaultPlan {
+            seed: 1,
+            pmc_program_fail: 1.0,
+            ..FaultPlan::none()
+        };
+        match PerfMonitor::open_with_faults(&mut c, vec![ev], OriginFilter::Any, plan) {
+            Err(PerfError::ProgramFailed { slot: 0, attempts }) => {
+                assert_eq!(attempts, PROGRAM_ATTEMPTS);
+            }
+            other => panic!("expected ProgramFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_program_fault_recovers_with_backoff() {
+        // Moderate failure rate: some attempts fail, the retry schedule
+        // absorbs them, and the monitor still counts.
+        let mut c = core();
+        let ev = c
+            .catalog()
+            .lookup(aegis_microarch::named::RETIRED_UOPS)
+            .unwrap();
+        let plan = FaultPlan {
+            seed: 3,
+            pmc_program_fail: 0.4,
+            ..FaultPlan::none()
+        };
+        let mut mon = PerfMonitor::open_with_faults(&mut c, vec![ev], OriginFilter::Any, plan)
+            .expect("p=0.4 cannot survive 4 attempts at seed 3");
+        assert!(!mon.degraded());
+        c.run_mix(&uops_rate(100.0), 1_000_000, Origin::Host);
+        mon.on_executed(&mut c, 1_000_000);
+        assert!(mon.read_scaled(&mut c)[0] > 0.0);
+    }
+
+    #[test]
+    fn inert_plan_matches_plain_open_bit_for_bit() {
+        let run = |faulted: bool| {
+            let mut c = core();
+            let ev = c
+                .catalog()
+                .lookup(aegis_microarch::named::RETIRED_UOPS)
+                .unwrap();
+            let mut mon = if faulted {
+                PerfMonitor::open_with_faults(
+                    &mut c,
+                    vec![ev],
+                    OriginFilter::Any,
+                    FaultPlan::none(),
+                )
+                .unwrap()
+            } else {
+                PerfMonitor::open(&mut c, vec![ev], OriginFilter::Any).unwrap()
+            };
+            for _ in 0..10 {
+                c.run_mix(&uops_rate(70.0), 100_000, Origin::Host);
+                mon.on_executed(&mut c, 100_000);
+            }
+            mon.read_scaled(&mut c)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let mut c = core();
+            let cat = c.catalog();
+            let ids: Vec<EventId> = cat.events().iter().map(|e| e.id).take(8).collect();
+            let plan = FaultPlan {
+                seed: 77,
+                pmc_program_fail: 0.2,
+                slot_steal: 0.3,
+                counter_corrupt: 0.3,
+                counter_saturate: 0.05,
+                counter_overflow: 0.05,
+                ..FaultPlan::none()
+            };
+            let mut mon =
+                PerfMonitor::open_with_faults(&mut c, ids, OriginFilter::Any, plan).unwrap();
+            mon.set_quantum(200_000);
+            for _ in 0..50 {
+                c.run_mix(&uops_rate(90.0), 100_000, Origin::Host);
+                mon.on_executed(&mut c, 100_000);
+            }
+            (mon.read_scaled(&mut c), mon.retry_lost_ns())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

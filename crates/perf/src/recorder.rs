@@ -30,12 +30,39 @@ impl TraceRecorder {
         interval_ns: u64,
     ) -> Result<Self, PerfError> {
         let monitor = PerfMonitor::open(core, events.to_vec(), filter)?;
-        Ok(TraceRecorder {
+        Ok(TraceRecorder::from_monitor(monitor, events, interval_ns))
+    }
+
+    /// [`TraceRecorder::open`] under an explicit fault plan (passed down
+    /// to [`PerfMonitor::open_with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PerfError`] from opening the monitor.
+    pub fn open_with_faults(
+        core: &mut Core,
+        events: &[EventId],
+        filter: OriginFilter,
+        interval_ns: u64,
+        plan: aegis_faults::FaultPlan,
+    ) -> Result<Self, PerfError> {
+        let monitor = PerfMonitor::open_with_faults(core, events.to_vec(), filter, plan)?;
+        Ok(TraceRecorder::from_monitor(monitor, events, interval_ns))
+    }
+
+    fn from_monitor(monitor: PerfMonitor, events: &[EventId], interval_ns: u64) -> Self {
+        TraceRecorder {
             monitor,
             interval_ns: interval_ns.max(1),
             elapsed_in_interval_ns: 0,
             trace: Trace::new(events.to_vec(), interval_ns),
-        })
+        }
+    }
+
+    /// Whether the underlying monitor currently has a dead (injected
+    /// fault) slot in its active group.
+    pub fn degraded(&self) -> bool {
+        self.monitor.degraded()
     }
 
     /// Reports that the core executed `dur_ns`; closes sampling intervals

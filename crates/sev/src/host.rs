@@ -1,7 +1,8 @@
 //! The host: physical cores, guest VMs, and the discrete-time scheduler.
 
 use crate::policy::{SevMode, SevViolation};
-use crate::source::ActivitySource;
+use crate::source::{ActivitySource, ProtectionStatus};
+use aegis_faults::{self as faults, FaultPlan, FaultStream};
 use aegis_microarch::{
     ActivityVector, Core, EventCatalog, EventId, Feature, MicroArch, Origin, OriginFilter,
 };
@@ -12,6 +13,12 @@ use std::sync::Arc;
 
 /// Scheduler tick: 100 µs of simulated time.
 pub const TICK_NS: u64 = 100_000;
+
+/// Consecutive unhealthy ticks before the supervision layer latches a
+/// core's guest-visible counters fail-closed. Chosen well below the
+/// attacker's 1 ms (10-tick) sampling interval, so no sample window can
+/// complete entirely inside the detection gap.
+pub const WATCHDOG_TICKS: u32 = 4;
 
 /// Identifier of a launched VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,6 +39,8 @@ pub enum HostError {
     UnknownVm(VmId),
     /// vCPU index out of range for the VM.
     UnknownVcpu(VmId, usize),
+    /// The SEV policy blocked the access (encrypted memory/registers).
+    Sev(SevViolation),
 }
 
 impl fmt::Display for HostError {
@@ -40,11 +49,18 @@ impl fmt::Display for HostError {
             HostError::NoFreeCores => f.write_str("not enough free physical cores"),
             HostError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
             HostError::UnknownVcpu(vm, v) => write!(f, "unknown vCPU {v} of {vm}"),
+            HostError::Sev(v) => write!(f, "SEV policy violation: {v}"),
         }
     }
 }
 
 impl std::error::Error for HostError {}
+
+impl From<SevViolation> for HostError {
+    fn from(v: SevViolation) -> Self {
+        HostError::Sev(v)
+    }
+}
 
 /// Per-vCPU execution statistics, the basis of the paper's latency and
 /// CPU-usage overhead measurements (Fig. 10).
@@ -72,6 +88,41 @@ struct Vm {
     launched_at_ns: u64,
 }
 
+/// Per-core fault-injection and supervision state. The streams exist
+/// only under an active plan (zero-draw guarantee); the watchdog
+/// counters always exist — supervision is part of the defense, not of
+/// the fault layer.
+#[derive(Debug, Clone)]
+struct CoreFaultState {
+    inj_stream: Option<FaultStream>,
+    tick_stream: Option<FaultStream>,
+    /// Remaining ticks of the current injector stall episode.
+    stall_left: u32,
+    /// The injector detached permanently (crashed daemon process).
+    detached: bool,
+    /// Consecutive ticks the watchdog saw the injector denied cycles or
+    /// self-reporting degraded.
+    unhealthy_ticks: u32,
+    /// Guest-visible counters on this core are currently latched closed.
+    fail_closed: bool,
+}
+
+impl CoreFaultState {
+    fn new(plan: &FaultPlan, core_idx: usize) -> Self {
+        let active = plan.is_active();
+        CoreFaultState {
+            inj_stream: active
+                .then(|| FaultStream::new(plan, faults::site::INJECTOR, core_idx as u64)),
+            tick_stream: active
+                .then(|| FaultStream::new(plan, faults::site::TICK, core_idx as u64)),
+            stall_left: 0,
+            detached: false,
+            unhealthy_ticks: 0,
+            fail_closed: false,
+        }
+    }
+}
+
 /// A simulated cloud host running confidential VMs.
 ///
 /// The host owns the physical cores (and therefore all HPC registers): it
@@ -86,11 +137,22 @@ pub struct Host {
     vms: Vec<Vm>,
     clock_ns: u64,
     host_bg: ActivityVector,
+    faults: FaultPlan,
+    fault_state: Vec<CoreFaultState>,
 }
 
 impl Host {
-    /// Creates a host with `n_cores` cores of the given model.
+    /// Creates a host with `n_cores` cores of the given model, under the
+    /// ambient fault plan (see [`aegis_faults::plan`]).
     pub fn new(arch: MicroArch, n_cores: usize, seed: u64) -> Self {
+        Host::with_faults(arch, n_cores, seed, faults::plan())
+    }
+
+    /// [`Host::new`] under an explicit fault plan. Per-core fault
+    /// streams are keyed by `(plan.seed, site, core index)`, so the
+    /// injected schedule is independent of worker count and of anything
+    /// else running in the process.
+    pub fn with_faults(arch: MicroArch, n_cores: usize, seed: u64, plan: FaultPlan) -> Self {
         let catalog = EventCatalog::shared(arch);
         let cores = (0..n_cores)
             .map(|i| Core::with_catalog(arch, Arc::clone(&catalog), seed.wrapping_add(i as u64)))
@@ -110,7 +172,24 @@ impl Host {
             vms: Vec::new(),
             clock_ns: 0,
             host_bg,
+            faults: plan,
+            fault_state: (0..n_cores).map(|i| CoreFaultState::new(&plan, i)).collect(),
         }
+    }
+
+    /// The fault plan this host was created under.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// Whether the supervision layer currently holds a core's
+    /// guest-visible counters fail-closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idx` is out of range.
+    pub fn core_fail_closed(&self, core_idx: usize) -> bool {
+        self.fault_state[core_idx].fail_closed
     }
 
     /// Processor model of every core.
@@ -280,6 +359,10 @@ impl Host {
                 .collect(),
             clock_ns: self.clock_ns,
             host_bg: self.host_bg,
+            faults: self.faults,
+            // Stream state forks with the host: a replica replays the
+            // same fault schedule from the same point.
+            fault_state: self.fault_state.clone(),
         }
     }
 
@@ -379,18 +462,15 @@ impl Host {
     ///
     /// # Errors
     ///
-    /// Returns [`SevViolation::MemoryEncrypted`] when the guest is
-    /// protected.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vm` is unknown.
-    pub fn read_guest_memory(&self, vm: VmId) -> Result<Vec<u8>, SevViolation> {
-        let v = self.vm(vm).expect("known vm");
+    /// Returns [`HostError::Sev`] ([`SevViolation::MemoryEncrypted`])
+    /// when the guest is protected, [`HostError::UnknownVm`] for
+    /// unknown ids.
+    pub fn read_guest_memory(&self, vm: VmId) -> Result<Vec<u8>, HostError> {
+        let v = self.vm(vm)?;
         if v.mode.memory_readable_by_host() {
             Ok(vec![0u8; 4096])
         } else {
-            Err(SevViolation::MemoryEncrypted)
+            Err(SevViolation::MemoryEncrypted.into())
         }
     }
 
@@ -398,32 +478,74 @@ impl Host {
     ///
     /// # Errors
     ///
-    /// Returns [`SevViolation::RegistersEncrypted`] when protected.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vm` is unknown.
-    pub fn read_guest_registers(&self, vm: VmId) -> Result<Vec<u64>, SevViolation> {
-        let v = self.vm(vm).expect("known vm");
+    /// Returns [`HostError::Sev`] ([`SevViolation::RegistersEncrypted`])
+    /// when protected, [`HostError::UnknownVm`] for unknown ids.
+    pub fn read_guest_registers(&self, vm: VmId) -> Result<Vec<u64>, HostError> {
+        let v = self.vm(vm)?;
         if v.mode.registers_readable_by_host() {
             Ok(vec![0u64; 16])
         } else {
-            Err(SevViolation::RegistersEncrypted)
+            Err(SevViolation::RegistersEncrypted.into())
         }
     }
 
     /// Advances simulated time by one tick on every core, then invokes
     /// `observer(core_idx, core, TICK_NS)` so monitors can sample.
+    ///
+    /// Under an active fault plan the tick also draws this core's
+    /// per-tick faults (timing jitter, injector stall/detach) and runs
+    /// the supervision layer: a watchdog counts consecutive ticks the
+    /// injector was denied cycles or self-reported degraded, and after
+    /// [`WATCHDOG_TICKS`] latches the core's guest-visible counters
+    /// fail-closed (releasing the latch once the injector is healthy
+    /// again). Fault draws come from per-core keyed streams, so the
+    /// schedule is identical at any worker count; with an inert plan no
+    /// draws happen and the tick is bit-identical to the unfaulted one.
     pub fn tick<F: FnMut(usize, &mut Core, u64)>(&mut self, mut observer: F) {
         for core_idx in 0..self.cores.len() {
             let core = &mut self.cores[core_idx];
+            let fs = &mut self.fault_state[core_idx];
             // Host kernel background everywhere.
             core.run_mix(&self.host_bg, TICK_NS, Origin::Host);
+
+            // Per-tick fault draws (no draws under an inert plan).
+            let mut cap = self.arch.uops_capacity_per_us();
+            if let Some(ts) = fs.tick_stream.as_mut() {
+                if ts.chance(self.faults.tick_jitter) {
+                    // Timing jitter: the tick loses up to half its
+                    // usable capacity (frequency dip / SMT interference).
+                    cap *= 0.5 + 0.5 * ts.unit();
+                    faults::report("tick", "jitter", &[("core", core_idx as u64)]);
+                }
+            }
+            if let Some(is) = fs.inj_stream.as_mut() {
+                if !fs.detached && is.chance(self.faults.injector_detach) {
+                    fs.detached = true;
+                    faults::report("injector", "detach", &[("core", core_idx as u64)]);
+                }
+                if fs.stall_left == 0 && !fs.detached && is.chance(self.faults.injector_stall) {
+                    fs.stall_left = self.faults.stall_ticks.max(1);
+                    faults::report(
+                        "injector",
+                        "stall",
+                        &[
+                            ("core", core_idx as u64),
+                            ("ticks", u64::from(self.faults.stall_ticks.max(1))),
+                        ],
+                    );
+                }
+            }
+            // A stalled or detached injector is denied cycles this tick;
+            // the in-guest kernel module (observe_coscheduled) still
+            // runs — only the daemon's injection thread is dead.
+            let stalled = fs.detached || fs.stall_left > 0;
+            if fs.stall_left > 0 {
+                fs.stall_left -= 1;
+            }
 
             if let Some((vm_idx, vcpu_idx)) = self.assignment[core_idx] {
                 let vm_id = self.vms[vm_idx].id;
                 let vcpu = &mut self.vms[vm_idx].vcpus[vcpu_idx];
-                let cap = self.arch.uops_capacity_per_us();
 
                 let app_rate = vcpu
                     .app
@@ -440,7 +562,11 @@ impl Host {
                     .as_mut()
                     .map(|inj| {
                         inj.observe_coscheduled(&app_rate, TICK_NS);
-                        inj.demand().unwrap_or(ActivityVector::ZERO)
+                        if stalled {
+                            ActivityVector::ZERO
+                        } else {
+                            inj.demand().unwrap_or(ActivityVector::ZERO)
+                        }
                     })
                     .unwrap_or(ActivityVector::ZERO);
                 let inj_uops = inj_rate[Feature::UopsRetired].min(cap);
@@ -477,13 +603,59 @@ impl Host {
                 vcpu.stats.injected_uops += inj_exec[Feature::UopsRetired] * tick_us;
                 vcpu.stats.app_uops += app_exec[Feature::UopsRetired] * tick_us;
 
+                let granted_inj_ns = if stalled {
+                    0
+                } else {
+                    (TICK_NS as f64 * inj_scale) as u64
+                };
                 if let Some(inj) = vcpu.injector.as_mut() {
-                    inj.advance((TICK_NS as f64 * inj_scale) as u64);
+                    inj.advance(granted_inj_ns);
+                    inj.note_execution(granted_inj_ns);
                 }
                 if let Some(app) = vcpu.app.as_mut() {
                     app.advance((TICK_NS as f64 * app_scale) as u64);
                     if app.demand().is_none() && vcpu.stats.app_done_at_ns.is_none() {
                         vcpu.stats.app_done_at_ns = Some(self.clock_ns + TICK_NS);
+                    }
+                }
+
+                // Supervision: whenever an installed injector is denied
+                // cycles or self-reports degraded, obfuscation on this
+                // core cannot be guaranteed. After WATCHDOG_TICKS the
+                // guest-visible counters latch fail-closed — absent,
+                // never clean — until the injector is healthy again.
+                if let Some(inj) = vcpu.injector.as_ref() {
+                    let unhealthy = granted_inj_ns == 0
+                        || inj.protection_status() == ProtectionStatus::Degraded;
+                    if unhealthy {
+                        fs.unhealthy_ticks += 1;
+                        if fs.unhealthy_ticks >= WATCHDOG_TICKS && !fs.fail_closed {
+                            fs.fail_closed = true;
+                            core.pmu_mut().set_fail_closed(true);
+                            aegis_obs::counter_add("host.fail_closed_latches", 1.0);
+                            aegis_obs::event_with(
+                                "fault",
+                                "host.fail_closed",
+                                &[
+                                    ("core", core_idx.into()),
+                                    ("clock_ns", self.clock_ns.into()),
+                                ],
+                            );
+                        }
+                    } else {
+                        fs.unhealthy_ticks = 0;
+                        if fs.fail_closed {
+                            fs.fail_closed = false;
+                            core.pmu_mut().set_fail_closed(false);
+                            aegis_obs::event_with(
+                                "fault",
+                                "host.fail_closed_released",
+                                &[
+                                    ("core", core_idx.into()),
+                                    ("clock_ns", self.clock_ns.into()),
+                                ],
+                            );
+                        }
                     }
                 }
             }
@@ -537,7 +709,13 @@ impl Host {
         interval_ns: u64,
         duration_ns: u64,
     ) -> Result<Trace, PerfError> {
-        let mut rec = TraceRecorder::open(&mut self.cores[core_idx], events, filter, interval_ns)?;
+        let mut rec = TraceRecorder::open_with_faults(
+            &mut self.cores[core_idx],
+            events,
+            filter,
+            interval_ns,
+            self.faults,
+        )?;
         for _ in 0..duration_ns / TICK_NS {
             self.tick(|idx, core, dur| {
                 if idx == core_idx {
@@ -602,11 +780,15 @@ mod tests {
         let (mut host, vm) = host_with_vm();
         assert_eq!(
             host.read_guest_memory(vm),
-            Err(SevViolation::MemoryEncrypted)
+            Err(HostError::Sev(SevViolation::MemoryEncrypted))
         );
         assert_eq!(
             host.read_guest_registers(vm),
-            Err(SevViolation::RegistersEncrypted)
+            Err(HostError::Sev(SevViolation::RegistersEncrypted))
+        );
+        assert_eq!(
+            host.read_guest_memory(VmId(99)),
+            Err(HostError::UnknownVm(VmId(99)))
         );
         // But the host can happily monitor HPCs of the guest's core.
         let core = host.core_of(vm, 0).unwrap();
@@ -729,6 +911,104 @@ mod tests {
         let (mut host, _) = host_with_vm();
         host.run(1_000_000, |_, _, _| {});
         assert_eq!(host.clock_ns(), 1_000_000);
+    }
+
+    fn forever_plan(uops_per_us: f64) -> WorkloadPlan {
+        let mut spec = MixSpec::idle();
+        spec.uops_per_us = uops_per_us;
+        let mut p = WorkloadPlan::new();
+        p.push(Segment::new(u64::MAX / 2, spec.build()));
+        p
+    }
+
+    #[test]
+    fn stall_episodes_latch_and_release_fail_closed() {
+        let plan = FaultPlan {
+            seed: 9,
+            injector_stall: 0.05,
+            stall_ticks: 8,
+            ..FaultPlan::none()
+        };
+        let mut host = Host::with_faults(MicroArch::AmdEpyc7252, 2, 3, plan);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(50.0))))
+            .unwrap();
+        let core = host.core_of(vm, 0).unwrap();
+        let (mut latched, mut released, mut prev) = (0u32, 0u32, false);
+        for _ in 0..2_000 {
+            host.tick(|_, _, _| {});
+            let now = host.core_fail_closed(core);
+            if now && !prev {
+                latched += 1;
+            }
+            if !now && prev {
+                released += 1;
+            }
+            prev = now;
+        }
+        // 8-tick stall episodes at p=0.05/tick: the 4-tick watchdog must
+        // both latch during episodes and release between them.
+        assert!(latched > 10, "latched {latched} times");
+        assert!(released > 10, "released {released} times");
+        assert!(!host.core_fail_closed(1), "un-injected core never latches");
+    }
+
+    #[test]
+    fn detach_latches_fail_closed_permanently() {
+        let plan = FaultPlan {
+            seed: 2,
+            injector_detach: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut host = Host::with_faults(MicroArch::AmdEpyc7252, 2, 3, plan);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(50.0))))
+            .unwrap();
+        let core = host.core_of(vm, 0).unwrap();
+        for _ in 0..WATCHDOG_TICKS {
+            assert!(!host.core_fail_closed(core));
+            host.tick(|_, _, _| {});
+        }
+        assert!(host.core_fail_closed(core), "latched after WATCHDOG_TICKS");
+        for _ in 0..100 {
+            host.tick(|_, _, _| {});
+            assert!(host.core_fail_closed(core), "detach never heals");
+        }
+        // Fail-closed means the PMU lane itself reads zero.
+        assert!(host.core(core).pmu().fail_closed());
+    }
+
+    #[test]
+    fn faulted_host_replays_bit_identically() {
+        let run = || {
+            let plan = FaultPlan {
+                seed: 31,
+                injector_stall: 0.1,
+                stall_ticks: 5,
+                tick_jitter: 0.2,
+                counter_corrupt: 0.1,
+                ..FaultPlan::none()
+            };
+            let mut host = Host::with_faults(MicroArch::AmdEpyc7252, 2, 3, plan);
+            let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+            host.attach_app(
+                vm,
+                0,
+                Box::new(PlanSource::new(steady_plan(300.0, 50_000_000))),
+            )
+            .unwrap();
+            host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(80.0))))
+                .unwrap();
+            let core = host.core_of(vm, 0).unwrap();
+            let ev = host
+                .core(core)
+                .catalog()
+                .lookup(named::RETIRED_UOPS)
+                .unwrap();
+            host.record_trace(core, &[ev], OriginFilter::Any, 1_000_000, 20_000_000)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -26,4 +26,4 @@ mod source;
 pub use attestation::{verify_attestation, AttestationError, AttestationReport};
 pub use host::{Host, HostError, VcpuStats, VmId, TICK_NS};
 pub use policy::{SevMode, SevViolation};
-pub use source::{ActivitySource, PlanSource};
+pub use source::{ActivitySource, PlanSource, ProtectionStatus};

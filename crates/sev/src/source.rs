@@ -3,6 +3,20 @@
 use aegis_microarch::ActivityVector;
 use aegis_workloads::WorkloadPlan;
 
+/// An [`ActivitySource`]'s own view of whether it is delivering the
+/// protection it exists to provide. Polled once per tick by the host's
+/// supervision layer; anything but [`ProtectionStatus::Healthy`] on an
+/// injector latches the core's counters fail-closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtectionStatus {
+    /// The source is healthy (or is not a protection component).
+    #[default]
+    Healthy,
+    /// The source believes protection has lapsed (stale sample feed,
+    /// starved execution, …) and requests fail-closed handling.
+    Degraded,
+}
+
 /// A producer of guest activity, consumed by the vCPU scheduler.
 ///
 /// Two kinds of source exist in an Aegis deployment: the protected
@@ -28,6 +42,18 @@ pub trait ActivitySource: Send + Sync {
     ///
     /// [`demand`]: ActivitySource::demand
     fn observe_coscheduled(&mut self, _app_rate: &ActivityVector, _tick_ns: u64) {}
+
+    /// Called by the scheduler after each tick with the plan time the
+    /// source actually got to execute (`0` when it was denied cycles —
+    /// e.g. an injected stall). Injector sources use this for their own
+    /// stall watchdog. Default: ignored.
+    fn note_execution(&mut self, _granted_ns: u64) {}
+
+    /// The source's self-reported protection health, polled by the
+    /// host's supervision layer. Default: [`ProtectionStatus::Healthy`].
+    fn protection_status(&self) -> ProtectionStatus {
+        ProtectionStatus::Healthy
+    }
 }
 
 impl<T: ActivitySource + ?Sized> ActivitySource for Box<T> {
@@ -41,6 +67,14 @@ impl<T: ActivitySource + ?Sized> ActivitySource for Box<T> {
 
     fn observe_coscheduled(&mut self, app_rate: &ActivityVector, tick_ns: u64) {
         (**self).observe_coscheduled(app_rate, tick_ns)
+    }
+
+    fn note_execution(&mut self, granted_ns: u64) {
+        (**self).note_execution(granted_ns)
+    }
+
+    fn protection_status(&self) -> ProtectionStatus {
+        (**self).protection_status()
     }
 }
 

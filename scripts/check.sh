@@ -18,6 +18,14 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== fault matrix (AEGIS_FAULTS=smoke) =="
+# The cross-crate fault-injection properties re-run under the moderate
+# every-site smoke plan: supervised recovery paths (watchdog latching,
+# slot re-programming, torn-artifact recompute) stay green with faults
+# actually firing. Only this test binary runs under the smoke plan —
+# unit suites always see the ambient (fault-free) environment.
+AEGIS_FAULTS=smoke cargo test -q --test fault_injection
+
 echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="
 # One iteration per bench workload, no criterion sampling: proves both
 # bench harnesses still compile and run end to end without burning

@@ -3,7 +3,7 @@
 //! app's vCPU makes the two indistinguishable.
 
 use aegis::microarch::{named, EventKind, MicroArch, OriginFilter};
-use aegis::sev::{Host, PlanSource, SevMode, SevViolation};
+use aegis::sev::{Host, HostError, PlanSource, SevMode, SevViolation};
 use aegis::workloads::{MixSpec, SecretApp, Segment, WebsiteCatalog, WorkloadPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,7 +26,7 @@ fn sev_blocks_memory_and_registers_at_every_generation() {
 
     assert_eq!(
         host.read_guest_memory(sev),
-        Err(SevViolation::MemoryEncrypted)
+        Err(HostError::Sev(SevViolation::MemoryEncrypted))
     );
     assert!(
         host.read_guest_registers(sev).is_ok(),
@@ -35,11 +35,11 @@ fn sev_blocks_memory_and_registers_at_every_generation() {
 
     assert_eq!(
         host.read_guest_memory(snp),
-        Err(SevViolation::MemoryEncrypted)
+        Err(HostError::Sev(SevViolation::MemoryEncrypted))
     );
     assert_eq!(
         host.read_guest_registers(snp),
-        Err(SevViolation::RegistersEncrypted)
+        Err(HostError::Sev(SevViolation::RegistersEncrypted))
     );
 }
 
