@@ -42,7 +42,7 @@ fn bench_collect(c: &mut Criterion) {
                     collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None)
                         .unwrap()
                         .samples
-                        .len(),
+                        .rows(),
                 )
             });
         });

@@ -10,7 +10,7 @@ use aegis_attack::{
 };
 use aegis_microarch::{EventId, OriginFilter};
 use aegis_obs as obs;
-use aegis_par::{derive_seed, Executor};
+use aegis_par::{derive_seed, fingerprint, ArtifactCache, Executor};
 use aegis_sev::{Host, HostError, PlanSource, VmId};
 use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
 use rand::rngs::StdRng;
@@ -146,7 +146,10 @@ pub fn collect_dataset(
 /// class-conditional model (the generative counterpart of the paper's
 /// CNN; see `aegis_attack::GaussianNb` for why) plus the feature
 /// standardizer fitted on its training data.
-#[derive(Debug, Clone)]
+///
+/// Serializable so trained models can be memoized through
+/// [`ArtifactCache`] (see [`ClassifierAttack::train_cached`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassifierAttack {
     model: GaussianNb,
     standardizer: Standardizer,
@@ -165,6 +168,7 @@ impl ClassifierAttack {
     ///
     /// Panics if `dataset` is empty.
     pub fn train(dataset: &Dataset, train_cfg: TrainConfig, seed: u64) -> Self {
+        let _span = obs::span("attack.train");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e0);
         let (mut train, mut val) = dataset.split(0.7, &mut rng);
         let standardizer = Standardizer::fit(&train.samples);
@@ -176,6 +180,26 @@ impl ClassifierAttack {
             standardizer,
             curve,
         }
+    }
+
+    /// Like [`ClassifierAttack::train`], but memoized through `cache`:
+    /// training is a pure function of `(dataset, train_cfg, seed)`, so
+    /// the trained model is stored under a fingerprint of exactly those
+    /// inputs. JSON round-trips `f64` exactly (shortest-roundtrip
+    /// encoding), so a warm hit is bit-identical to retraining.
+    pub fn train_cached(
+        dataset: &Dataset,
+        train_cfg: TrainConfig,
+        seed: u64,
+        cache: &ArtifactCache,
+    ) -> Self {
+        let key = fingerprint(&(dataset, &train_cfg, seed));
+        if let Some(model) = cache.get::<ClassifierAttack>("attack-model", key) {
+            return model;
+        }
+        let trained = Self::train(dataset, train_cfg, seed);
+        let _ = cache.put("attack-model", key, &trained);
+        trained
     }
 
     /// Accuracy on new traces (the online exploitation phase).
@@ -344,7 +368,7 @@ pub fn collect_mea_runs(
 /// The sequence-extraction attacker: a per-slice layer classifier with
 /// CTC-style greedy decoding (the reproduction's stand-in for the paper's
 /// GRU + CTC model).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeaAttack {
     model: GaussianNb,
     standardizer: Standardizer,
@@ -361,6 +385,7 @@ impl MeaAttack {
     ///
     /// Panics if `runs` contains no slices.
     pub fn train(runs: &[(usize, MeaRun)], train_cfg: TrainConfig, seed: u64) -> Self {
+        let _span = obs::span("attack.train");
         let mut ds = Dataset::new(Vec::new(), Vec::new(), BLANK + 1);
         for (_, run) in runs {
             for (f, &l) in run.slices.iter().zip(&run.slice_labels) {
@@ -379,6 +404,24 @@ impl MeaAttack {
             standardizer,
             curve,
         }
+    }
+
+    /// Like [`MeaAttack::train`], but memoized through `cache` under a
+    /// fingerprint of `(runs, train_cfg, seed)` — the complete set of
+    /// training inputs.
+    pub fn train_cached(
+        runs: &[(usize, MeaRun)],
+        train_cfg: TrainConfig,
+        seed: u64,
+        cache: &ArtifactCache,
+    ) -> Self {
+        let key = fingerprint(&(runs, &train_cfg, seed));
+        if let Some(model) = cache.get::<MeaAttack>("mea-model", key) {
+            return model;
+        }
+        let trained = Self::train(runs, train_cfg, seed);
+        let _ = cache.put("mea-model", key, &trained);
+        trained
     }
 
     /// Extracts the layer sequence of one run: per-slice prediction, a
@@ -452,11 +495,7 @@ fn fit_with_curve(
     let mut model = GaussianNb::fit(train);
     for e in 0..increments {
         let n = ((train.len() * (e + 1)) / increments).max(1);
-        let sub = Dataset::new(
-            train.samples[..n].to_vec(),
-            train.labels[..n].to_vec(),
-            train.n_classes,
-        );
+        let sub = train.head(n);
         let m = GaussianNb::fit(&sub);
         curve.push(EpochStats {
             epoch: e,

@@ -52,6 +52,7 @@ mod error;
 mod evaluate;
 mod pipeline;
 mod plan;
+pub mod sweep;
 
 pub use error::AegisError;
 pub use evaluate::{
@@ -62,6 +63,7 @@ pub use pipeline::{
     AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, MechanismChoice,
 };
 pub use plan::DefensePlan;
+pub use sweep::{SweepCell, SweepConfig, SweepOutcome};
 
 // Observability: re-export the level type for builder callers, and the
 // whole crate for spans/metrics/summary rendering.

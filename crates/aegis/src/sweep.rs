@@ -1,0 +1,573 @@
+//! The cached ε-sweep grid behind the paper's defense-effectiveness
+//! figures (Fig. 9a/b): attack accuracy as a function of the privacy
+//! budget ε for both mechanisms (Laplace and d*), for the clean-trained
+//! and the robust (noisy-trained) attacker.
+//!
+//! The grid is flattened into independent (ε, mechanism) *cells*. Each
+//! cell is a deterministic task:
+//!
+//! * its RNG streams are derived from `(sweep seed, ε bits, mechanism
+//!   index)` via [`derive_seed`] — never from the grid position or the
+//!   worker that happens to run it, so the grid is bit-identical at any
+//!   worker count;
+//! * its expensive artifacts — collected noisy datasets / MEA runs and
+//!   trained models — are memoized through [`ArtifactCache`] under a
+//!   fingerprint of their complete inputs. JSON round-trips `f64`
+//!   exactly (shortest-roundtrip encoding), so a warm-cache run is
+//!   bit-identical to a cold one;
+//! * its wall time is attributed by `aegis-obs` spans: `sweep.cell`
+//!   around the whole cell, with the nested `collect.dataset` /
+//!   `collect.mea` / `attack.train` spans and a `sweep.eval` span
+//!   splitting collect vs train vs eval time per cell.
+//!
+//! Model artifacts share their key recipe with
+//! [`ClassifierAttack::train_cached`] / [`MeaAttack::train_cached`], so
+//! a sweep and a direct call hit the same cache entries.
+
+use crate::error::AegisError;
+use crate::evaluate::{
+    collect_dataset, collect_mea_runs, ClassifierAttack, CollectConfig, MeaAttack, MeaConfig,
+    MeaRun,
+};
+use crate::pipeline::{DefenseDeployment, MechanismChoice};
+use aegis_attack::TrainConfig;
+use aegis_microarch::EventId;
+use aegis_obs as obs;
+use aegis_par::{derive_seed, fingerprint, ArtifactCache, Executor};
+use aegis_sev::{Host, VmId};
+use aegis_workloads::{DnnZoo, SecretApp};
+
+/// Stream tags separating the independent RNG consumers of one sweep
+/// seed (see [`derive_seed`]). Disjoint from the collection streams in
+/// `evaluate` (0x01–0x04).
+const STREAM_EPS: u64 = 0x10;
+const STREAM_MECH: u64 = 0x11;
+const STREAM_VICTIM: u64 = 0x12;
+const STREAM_TRAIN: u64 = 0x13;
+const STREAM_MODEL: u64 = 0x14;
+
+/// The mechanisms of one grid column, in output order.
+pub const SWEEP_MECHANISMS: [&str; 2] = ["laplace", "dstar"];
+
+fn mechanism(idx: usize, eps: f64) -> MechanismChoice {
+    match idx {
+        0 => MechanismChoice::Laplace { epsilon: eps },
+        _ => MechanismChoice::DStar { epsilon: eps },
+    }
+}
+
+/// Sweep-wide settings shared by every cell.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The ε grid (one row per value, in order).
+    pub eps_grid: Vec<f64>,
+    /// Master sweep seed; every cell stream derives from it.
+    pub seed: u64,
+    /// The seed the measured [`Host`] was built with — folded into the
+    /// cache keys so artifacts from different substrates never collide.
+    pub host_seed: u64,
+    /// Attacker training settings (also part of the model cache keys).
+    pub train: TrainConfig,
+    /// Defended victim (test) traces per secret.
+    pub victim_traces_per_secret: usize,
+    /// Noisy training traces per secret for the robust attacker
+    /// (ignored when a clean attacker is supplied).
+    pub robust_traces_per_secret: usize,
+    /// Defended victim runs per model for the MEA sweep.
+    pub victim_runs_per_model: usize,
+}
+
+/// One evaluated (ε, mechanism) grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The privacy budget of this cell.
+    pub epsilon: f64,
+    /// Mechanism name (one of [`SWEEP_MECHANISMS`]).
+    pub mechanism: &'static str,
+    /// Attack accuracy on the defended victim traces.
+    pub accuracy: f64,
+}
+
+/// A completed sweep: cells in (ε, mechanism) grid order plus the cache
+/// traffic its cells generated — cold runs report all misses, warm runs
+/// all hits, with bit-identical `cells` either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Evaluated cells: for each ε in grid order, one cell per
+    /// mechanism in [`SWEEP_MECHANISMS`] order.
+    pub cells: Vec<SweepCell>,
+    /// Artifacts served from the cache.
+    pub cache_hits: u64,
+    /// Artifacts computed and stored.
+    pub cache_misses: u64,
+}
+
+impl SweepOutcome {
+    /// The grid as table rows: `(ε, laplace accuracy, d* accuracy)`.
+    pub fn rows(&self) -> Vec<(f64, f64, f64)> {
+        self.cells
+            .chunks(SWEEP_MECHANISMS.len())
+            .map(|pair| (pair[0].epsilon, pair[0].accuracy, pair[1].accuracy))
+            .collect()
+    }
+}
+
+/// Per-cell cache bookkeeping, merged into the [`SweepOutcome`].
+#[derive(Default)]
+struct CellStats {
+    hits: u64,
+    misses: u64,
+}
+
+/// Memoizes `compute` under `(kind, key)`, counting the hit or miss.
+fn cached<T, F>(
+    cache: &ArtifactCache,
+    kind: &str,
+    key: u64,
+    stats: &mut CellStats,
+    compute: F,
+) -> Result<T, AegisError>
+where
+    T: serde::Serialize + serde::Deserialize,
+    F: FnOnce() -> Result<T, AegisError>,
+{
+    if let Some(hit) = cache.get::<T>(kind, key) {
+        stats.hits += 1;
+        return Ok(hit);
+    }
+    stats.misses += 1;
+    let value = compute()?;
+    let _ = cache.put(kind, key, &value);
+    Ok(value)
+}
+
+/// The seed of one grid cell: a pure function of the sweep seed, the ε
+/// value, and the mechanism index — independent of grid position and
+/// worker assignment.
+fn cell_seed(cfg: &SweepConfig, eps: f64, mech_idx: usize) -> u64 {
+    derive_seed(
+        derive_seed(cfg.seed, STREAM_EPS, eps.to_bits()),
+        STREAM_MECH,
+        mech_idx as u64,
+    )
+}
+
+/// Flattens the ε grid into (ε, mechanism-index) cells.
+fn grid_units(cfg: &SweepConfig) -> Vec<(f64, usize)> {
+    cfg.eps_grid
+        .iter()
+        .flat_map(|&eps| (0..SWEEP_MECHANISMS.len()).map(move |m| (eps, m)))
+        .collect()
+}
+
+/// Assembles per-cell results (in grid order) into a [`SweepOutcome`].
+fn assemble(
+    units: Vec<(f64, usize)>,
+    results: Vec<Result<(f64, CellStats), AegisError>>,
+) -> Result<SweepOutcome, AegisError> {
+    let mut out = SweepOutcome {
+        cells: Vec::with_capacity(units.len()),
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    for ((eps, mech_idx), result) in units.into_iter().zip(results) {
+        let (accuracy, stats) = result?;
+        out.cache_hits += stats.hits;
+        out.cache_misses += stats.misses;
+        out.cells.push(SweepCell {
+            epsilon: eps,
+            mechanism: SWEEP_MECHANISMS[mech_idx],
+            accuracy,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the classification sweep (WFA/KSA rows of Fig. 9a/b): for every
+/// (ε, mechanism) cell, collect defended victim traces and score the
+/// attacker on them.
+///
+/// With `clean_attacker` set, the supplied clean-trained model is
+/// evaluated directly (Fig. 9a). Without it, a *robust* attacker is
+/// first trained on defended traces of the same cell (Fig. 9b).
+///
+/// Cells shard across the configured worker pool, each replaying
+/// against a pristine fork of `host`; collected datasets and trained
+/// models are memoized through `cache`. Output is bit-identical for any
+/// worker count and any cache state.
+///
+/// # Errors
+///
+/// Returns [`AegisError::Host`] for invalid ids, or [`AegisError::Fault`]
+/// when an injected fault escalates inside a cell.
+#[allow(clippy::too_many_arguments)] // the testbed handle plus one knob per plane
+pub fn classification_sweep(
+    host: &Host,
+    vm: VmId,
+    vcpu: usize,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    collect: &CollectConfig,
+    base: &DefenseDeployment,
+    clean_attacker: Option<&ClassifierAttack>,
+    cfg: &SweepConfig,
+    cache: &ArtifactCache,
+) -> Result<SweepOutcome, AegisError> {
+    let units = grid_units(cfg);
+    let snapshot: &Host = host;
+    let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
+        units.clone(),
+        |_worker| snapshot.fork_detached(),
+        |pristine, _unit, (eps, mech_idx)| {
+            let _cell = obs::span("sweep.cell");
+            let mut stats = CellStats::default();
+            let seed = cell_seed(cfg, eps, mech_idx);
+            let deployment = DefenseDeployment {
+                stack: base.stack.clone(),
+                mechanism: mechanism(mech_idx, eps),
+                obfuscator: base.obfuscator,
+            };
+            let mut replica = pristine.fork_detached();
+
+            // Defended victim (test) traces.
+            let mut victim_cfg = *collect;
+            victim_cfg.traces_per_secret = cfg.victim_traces_per_secret;
+            victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
+            let victim = cached(
+                cache,
+                "noisy-dataset",
+                dataset_key(cfg, app, events, &victim_cfg, &deployment),
+                &mut stats,
+                || collect_dataset(&mut replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
+            )?;
+
+            let accuracy = match clean_attacker {
+                Some(attacker) => {
+                    let _eval = obs::span("sweep.eval");
+                    attacker.accuracy(&victim)
+                }
+                None => {
+                    // Robust attacker: trains AND tests on defended traces.
+                    let mut train_collect = *collect;
+                    train_collect.traces_per_secret = cfg.robust_traces_per_secret;
+                    train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
+                    let noisy = cached(
+                        cache,
+                        "noisy-dataset",
+                        dataset_key(cfg, app, events, &train_collect, &deployment),
+                        &mut stats,
+                        || {
+                            collect_dataset(
+                                &mut replica,
+                                vm,
+                                vcpu,
+                                app,
+                                events,
+                                &train_collect,
+                                Some(&deployment),
+                            )
+                        },
+                    )?;
+                    let model_seed = derive_seed(seed, STREAM_MODEL, 0);
+                    // Same key recipe as `ClassifierAttack::train_cached`,
+                    // so both paths share artifacts.
+                    let attacker = cached(
+                        cache,
+                        "attack-model",
+                        fingerprint(&(&noisy, &cfg.train, model_seed)),
+                        &mut stats,
+                        || Ok(ClassifierAttack::train(&noisy, cfg.train, model_seed)),
+                    )?;
+                    let _eval = obs::span("sweep.eval");
+                    attacker.accuracy(&victim)
+                }
+            };
+            Ok((accuracy, stats))
+        },
+    );
+    assemble(units, results)
+}
+
+/// Runs the model-extraction sweep (MEA row of Fig. 9a): for every
+/// (ε, mechanism) cell, collect defended inference runs and score the
+/// sequence attacker on them. Semantics mirror [`classification_sweep`].
+///
+/// # Errors
+///
+/// Returns [`AegisError::Host`] for invalid ids, or [`AegisError::Fault`]
+/// when an injected fault escalates inside a cell.
+#[allow(clippy::too_many_arguments)] // the testbed handle plus one knob per plane
+pub fn mea_sweep(
+    host: &Host,
+    vm: VmId,
+    vcpu: usize,
+    zoo: &DnnZoo,
+    events: &[EventId],
+    collect: &MeaConfig,
+    base: &DefenseDeployment,
+    clean_attacker: Option<&MeaAttack>,
+    cfg: &SweepConfig,
+    cache: &ArtifactCache,
+) -> Result<SweepOutcome, AegisError> {
+    let units = grid_units(cfg);
+    let snapshot: &Host = host;
+    let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
+        units.clone(),
+        |_worker| snapshot.fork_detached(),
+        |pristine, _unit, (eps, mech_idx)| {
+            let _cell = obs::span("sweep.cell");
+            let mut stats = CellStats::default();
+            let seed = cell_seed(cfg, eps, mech_idx);
+            let deployment = DefenseDeployment {
+                stack: base.stack.clone(),
+                mechanism: mechanism(mech_idx, eps),
+                obfuscator: base.obfuscator,
+            };
+            let mut replica = pristine.fork_detached();
+
+            let mut victim_cfg = *collect;
+            victim_cfg.runs_per_model = cfg.victim_runs_per_model;
+            victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
+            let victim: Vec<(usize, MeaRun)> = cached(
+                cache,
+                "noisy-mea-runs",
+                mea_key(cfg, zoo, events, &victim_cfg, &deployment),
+                &mut stats,
+                || collect_mea_runs(&mut replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
+            )?;
+
+            let accuracy = match clean_attacker {
+                Some(attacker) => {
+                    let _eval = obs::span("sweep.eval");
+                    attacker.sequence_accuracy(&victim)
+                }
+                None => {
+                    let mut train_collect = *collect;
+                    train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
+                    let noisy: Vec<(usize, MeaRun)> = cached(
+                        cache,
+                        "noisy-mea-runs",
+                        mea_key(cfg, zoo, events, &train_collect, &deployment),
+                        &mut stats,
+                        || {
+                            collect_mea_runs(
+                                &mut replica,
+                                vm,
+                                vcpu,
+                                zoo,
+                                events,
+                                &train_collect,
+                                Some(&deployment),
+                            )
+                        },
+                    )?;
+                    let model_seed = derive_seed(seed, STREAM_MODEL, 0);
+                    // Same key recipe as `MeaAttack::train_cached`.
+                    let attacker = cached(
+                        cache,
+                        "mea-model",
+                        fingerprint(&(&noisy, &cfg.train, model_seed)),
+                        &mut stats,
+                        || Ok(MeaAttack::train(&noisy, cfg.train, model_seed)),
+                    )?;
+                    let _eval = obs::span("sweep.eval");
+                    attacker.sequence_accuracy(&victim)
+                }
+            };
+            Ok((accuracy, stats))
+        },
+    );
+    assemble(units, results)
+}
+
+/// Cache key of one collected classification dataset: the complete set
+/// of inputs collection is a pure function of — substrate (host seed),
+/// workload, event list, collection settings (including the derived
+/// per-cell seed), and the full deployment.
+fn dataset_key(
+    cfg: &SweepConfig,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    collect: &CollectConfig,
+    deployment: &DefenseDeployment,
+) -> u64 {
+    fingerprint(&(
+        cfg.host_seed,
+        app.name().to_string(),
+        app.n_secrets() as u64,
+        events.to_vec(),
+        *collect,
+        &deployment.stack,
+        &deployment.mechanism,
+        &deployment.obfuscator,
+    ))
+}
+
+/// Cache key of one collected set of MEA runs (see [`dataset_key`]).
+fn mea_key(
+    cfg: &SweepConfig,
+    zoo: &DnnZoo,
+    events: &[EventId],
+    collect: &MeaConfig,
+    deployment: &DefenseDeployment,
+) -> u64 {
+    fingerprint(&(
+        cfg.host_seed,
+        zoo.name().to_string(),
+        zoo.n_secrets() as u64,
+        events.to_vec(),
+        *collect,
+        &deployment.stack,
+        &deployment.mechanism,
+        &deployment.obfuscator,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_fuzzer::Gadget;
+    use aegis_isa::{IsaCatalog, Vendor, WellKnown};
+    use aegis_microarch::MicroArch;
+    use aegis_obfuscator::{GadgetStack, ObfuscatorConfig};
+    use aegis_sev::SevMode;
+    use aegis_workloads::KeystrokeApp;
+
+    fn host_vm(seed: u64) -> (Host, VmId) {
+        let mut host = Host::new(MicroArch::AmdEpyc7252, 2, seed);
+        let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+        (host, vm)
+    }
+
+    fn test_deployment(host: &Host) -> DefenseDeployment {
+        let isa = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = aegis_microarch::Core::new(host.arch(), 9);
+        let stack = GadgetStack::calibrate(
+            &isa,
+            &mut core,
+            vec![Gadget::new(WellKnown::Clflush.id(), WellKnown::Load64.id())],
+            64,
+        );
+        DefenseDeployment {
+            stack,
+            mechanism: MechanismChoice::Laplace { epsilon: 0.25 },
+            obfuscator: ObfuscatorConfig::default(),
+        }
+    }
+
+    fn quick_sweep_cfg() -> SweepConfig {
+        SweepConfig {
+            eps_grid: vec![0.25, 4.0],
+            seed: 11,
+            host_seed: 3,
+            train: TrainConfig::default(),
+            victim_traces_per_secret: 2,
+            robust_traces_per_secret: 3,
+            victim_runs_per_model: 1,
+        }
+    }
+
+    #[test]
+    fn grid_cells_are_in_row_major_mechanism_order() {
+        let cfg = quick_sweep_cfg();
+        let units = grid_units(&cfg);
+        assert_eq!(units, vec![(0.25, 0), (0.25, 1), (4.0, 0), (4.0, 1)]);
+    }
+
+    #[test]
+    fn cell_seeds_ignore_grid_position() {
+        let mut cfg = quick_sweep_cfg();
+        let before = cell_seed(&cfg, 4.0, 1);
+        // Growing or reordering the grid must not move existing cells.
+        cfg.eps_grid = vec![4.0, 0.25, 1.0];
+        assert_eq!(cell_seed(&cfg, 4.0, 1), before);
+        assert_ne!(cell_seed(&cfg, 4.0, 0), before);
+        assert_ne!(cell_seed(&cfg, 0.25, 1), before);
+    }
+
+    #[test]
+    fn robust_sweep_is_deterministic_and_counts_cache_traffic() {
+        let (host, vm) = host_vm(3);
+        let core = host.core_of(vm, 0).unwrap();
+        let events = host.core(core).catalog().attack_events().to_vec();
+        let app = KeystrokeApp::with_window(300_000_000);
+        let collect = CollectConfig {
+            traces_per_secret: 4,
+            window_ns: 300_000_000,
+            interval_ns: 2_000_000,
+            pool: 25,
+            seed: 7,
+            per_secret_noise: false,
+        };
+        let deployment = test_deployment(&host);
+        let cfg = quick_sweep_cfg();
+
+        let dir = std::env::temp_dir().join(format!("aegis-sweep-test-{}", std::process::id()));
+        let cache = ArtifactCache::new(&dir);
+        let cold = classification_sweep(
+            &host, vm, 0, &app, &events, &collect, &deployment, None, &cfg, &cache,
+        )
+        .unwrap();
+        let warm = classification_sweep(
+            &host, vm, 0, &app, &events, &collect, &deployment, None, &cfg, &cache,
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // 2 ε × 2 mechanisms × (victim + noisy + model) artifacts.
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 12);
+        assert_eq!(warm.cache_hits, 12);
+        assert_eq!(warm.cache_misses, 0);
+        // Warm results are bit-identical to cold ones.
+        assert_eq!(cold.cells, warm.cells);
+        assert_eq!(cold.rows().len(), 2);
+        for cell in &cold.cells {
+            assert!((0.0..=1.0).contains(&cell.accuracy), "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn clean_attacker_sweep_skips_training_artifacts() {
+        let (host, vm) = host_vm(3);
+        let core = host.core_of(vm, 0).unwrap();
+        let events = host.core(core).catalog().attack_events().to_vec();
+        let app = KeystrokeApp::with_window(300_000_000);
+        let collect = CollectConfig {
+            traces_per_secret: 4,
+            window_ns: 300_000_000,
+            interval_ns: 2_000_000,
+            pool: 25,
+            seed: 7,
+            per_secret_noise: false,
+        };
+        let mut clean_host = host.fork_detached();
+        let clean = collect_dataset(&mut clean_host, vm, 0, &app, &events, &collect, None).unwrap();
+        let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
+        let deployment = test_deployment(&host);
+        let cfg = quick_sweep_cfg();
+
+        // A disabled cache still yields a correct (all-miss) outcome.
+        let out = classification_sweep(
+            &host,
+            vm,
+            0,
+            &app,
+            &events,
+            &collect,
+            &deployment,
+            Some(&attacker),
+            &cfg,
+            &cache_disabled(),
+        )
+        .unwrap();
+        assert_eq!(out.cells.len(), 4);
+        assert_eq!(out.cache_hits, 0);
+        // One victim dataset per cell, no training artifacts.
+        assert_eq!(out.cache_misses, 4);
+    }
+
+    fn cache_disabled() -> ArtifactCache {
+        ArtifactCache::disabled()
+    }
+}

@@ -1,9 +1,18 @@
 //! Labeled trace datasets and feature extraction.
 
+use crate::mat::Mat;
 use aegis_perf::Trace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+
+/// The length of the feature vector [`trace_features`] produces: per
+/// event row, `ceil(samples / pool)` pooled values plus the two
+/// aggregate (total, peak) features.
+pub fn trace_feature_len(n_events: usize, samples_per_event: usize, pool: usize) -> usize {
+    assert!(pool > 0, "pool must be positive");
+    n_events * (samples_per_event.div_ceil(pool) + 2)
+}
 
 /// Turns a raw HPC trace into a fixed-length feature vector by average-
 /// pooling each event row with the given window, then concatenating rows.
@@ -16,7 +25,11 @@ use serde::{Deserialize, Serialize};
 /// Panics if `pool == 0`.
 pub fn trace_features(trace: &Trace, pool: usize) -> Vec<f64> {
     assert!(pool > 0, "pool must be positive");
-    let mut out = Vec::new();
+    // Every row of a recorded trace has the same sample count, so the
+    // pooled length is known up front — one exact allocation instead of
+    // amortized growth per chunk.
+    let samples = trace.data.first().map_or(0, Vec::len);
+    let mut out = Vec::with_capacity(trace_feature_len(trace.data.len(), samples, pool));
     for row in &trace.data {
         for chunk in row.chunks(pool) {
             out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
@@ -28,14 +41,20 @@ pub fn trace_features(trace: &Trace, pool: usize) -> Vec<f64> {
         out.push(total);
         out.push(peak);
     }
+    debug_assert_eq!(
+        out.len(),
+        trace_feature_len(trace.data.len(), samples, pool),
+        "pooled length formula out of sync"
+    );
     out
 }
 
-/// A labeled dataset of feature vectors.
+/// A labeled dataset of feature vectors, stored as one contiguous
+/// row-major buffer (`samples.row(i)` is sample `i`).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Dataset {
-    /// Feature vectors (rows).
-    pub samples: Vec<Vec<f64>>,
+    /// Feature vectors, one matrix row per sample.
+    pub samples: Mat,
     /// Class label per sample.
     pub labels: Vec<usize>,
     /// Number of classes.
@@ -43,13 +62,23 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Creates a dataset.
+    /// Creates a dataset from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, rows are ragged, or a label is out of
+    /// range.
+    pub fn new(samples: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Self {
+        Dataset::from_mat(Mat::from_rows(&samples), labels, n_classes)
+    }
+
+    /// Creates a dataset from an already-flat sample matrix.
     ///
     /// # Panics
     ///
     /// Panics if lengths mismatch or a label is out of range.
-    pub fn new(samples: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples/labels mismatch");
+    pub fn from_mat(samples: Mat, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(samples.rows(), labels.len(), "samples/labels mismatch");
         assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
         Dataset {
             samples,
@@ -60,7 +89,7 @@ impl Dataset {
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.rows()
     }
 
     /// Whether the dataset is empty.
@@ -70,18 +99,52 @@ impl Dataset {
 
     /// Feature dimensionality (0 when empty).
     pub fn dim(&self) -> usize {
-        self.samples.first().map_or(0, Vec::len)
+        self.samples.cols()
+    }
+
+    /// Sample `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        self.samples.row(i)
     }
 
     /// Adds one sample.
     ///
     /// # Panics
     ///
-    /// Panics if `label >= self.n_classes`.
+    /// Panics if `label >= self.n_classes` or the feature length differs
+    /// from earlier samples.
     pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        self.push_slice(&features, label);
+    }
+
+    /// Adds one sample from a borrowed slice (no intermediate `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.n_classes` or the feature length differs
+    /// from earlier samples.
+    pub fn push_slice(&mut self, features: &[f64], label: usize) {
         assert!(label < self.n_classes, "label out of range");
-        self.samples.push(features);
+        self.samples.push_row(features);
         self.labels.push(label);
+    }
+
+    /// Copies the first `n` samples into a new dataset (training-curve
+    /// prefixes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn head(&self, n: usize) -> Dataset {
+        Dataset {
+            samples: self.samples.head(n),
+            labels: self.labels[..n].to_vec(),
+            n_classes: self.n_classes,
+        }
     }
 
     /// Splits into shuffled train/validation subsets; `train_frac` is the
@@ -90,10 +153,18 @@ impl Dataset {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
         let n_train = (self.len() as f64 * train_frac.clamp(0.0, 1.0)).round() as usize;
-        let make = |ids: &[usize]| Dataset {
-            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
-            labels: ids.iter().map(|&i| self.labels[i]).collect(),
-            n_classes: self.n_classes,
+        let make = |ids: &[usize]| {
+            let mut samples = Mat::with_capacity(ids.len(), self.dim());
+            let mut labels = Vec::with_capacity(ids.len());
+            for &i in ids {
+                samples.push_row(self.samples.row(i));
+                labels.push(self.labels[i]);
+            }
+            Dataset {
+                samples,
+                labels,
+                n_classes: self.n_classes,
+            }
         };
         (make(&idx[..n_train]), make(&idx[n_train..]))
     }
@@ -113,10 +184,10 @@ impl Standardizer {
     /// # Panics
     ///
     /// Panics if `data` is empty.
-    pub fn fit(data: &[Vec<f64>]) -> Self {
+    pub fn fit(data: &Mat) -> Self {
         assert!(!data.is_empty(), "cannot standardize an empty set");
-        let d = data[0].len();
-        let n = data.len() as f64;
+        let d = data.cols();
+        let n = data.rows() as f64;
         let mut mean = vec![0.0; d];
         for row in data {
             for (m, x) in mean.iter_mut().zip(row) {
@@ -172,6 +243,26 @@ mod tests {
     }
 
     #[test]
+    fn trace_feature_len_pins_the_output_length() {
+        // 2 events × 3 samples pooled by 2 → ceil(3/2) + 2 = 4 per row.
+        assert_eq!(trace_feature_len(2, 3, 2), 8);
+        for (events, samples, pool) in
+            [(1usize, 1usize, 1usize), (4, 3000, 20), (4, 301, 25), (3, 0, 7)]
+        {
+            let mut t = Trace::new((0..events).map(|i| EventId(i as u32)).collect(), 1);
+            for s in 0..samples {
+                t.push_slice(&vec![s as f64; events]);
+            }
+            let f = trace_features(&t, pool);
+            assert_eq!(
+                f.len(),
+                trace_feature_len(events, samples, pool),
+                "events {events} samples {samples} pool {pool}"
+            );
+        }
+    }
+
+    #[test]
     fn split_preserves_all_samples() {
         let ds = Dataset::new(
             (0..100).map(|i| vec![i as f64]).collect(),
@@ -188,12 +279,26 @@ mod tests {
     }
 
     #[test]
+    fn head_takes_a_prefix() {
+        let ds = Dataset::new(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| i % 2).collect(),
+            2,
+        );
+        let h = ds.head(4);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.sample(3), &[3.0]);
+        assert_eq!(h.labels, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
     fn standardizer_zero_means_unit_std() {
         let data: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![i as f64, 100.0 + 2.0 * i as f64])
             .collect();
-        let std = Standardizer::fit(&data);
-        let mut transformed = data.clone();
+        let mat = Mat::from_rows(&data);
+        let std = Standardizer::fit(&mat);
+        let mut transformed = mat.clone();
         for row in &mut transformed {
             std.apply(row);
         }
@@ -206,7 +311,7 @@ mod tests {
 
     #[test]
     fn standardizer_is_reusable_on_new_data() {
-        let data = vec![vec![0.0], vec![2.0]];
+        let data = Mat::from_rows(&[vec![0.0], vec![2.0]]);
         let std = Standardizer::fit(&data);
         let mut x = vec![4.0];
         std.apply(&mut x);

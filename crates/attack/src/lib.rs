@@ -14,6 +14,7 @@
 
 mod ctc;
 mod dataset;
+mod mat;
 mod mi;
 mod mlp;
 mod nb;
@@ -23,7 +24,8 @@ mod stats;
 mod train;
 
 pub use ctc::{ctc_collapse, layer_match_accuracy, levenshtein};
-pub use dataset::{trace_features, Dataset, Standardizer};
+pub use dataset::{trace_feature_len, trace_features, Dataset, Standardizer};
+pub use mat::{Mat, RowIter, RowIterMut};
 pub use mi::{label_feature_mi, mutual_information_hist};
 pub use mlp::{Mlp, MlpConfig};
 pub use nb::GaussianNb;

@@ -10,13 +10,14 @@
 //! defense evaluation needs.
 
 use crate::dataset::Dataset;
+use crate::mat::Mat;
 use serde::{Deserialize, Serialize};
 
 /// A fitted Gaussian class-conditional classifier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaussianNb {
     /// Per-class feature means, `[class][dim]`.
-    means: Vec<Vec<f64>>,
+    means: Mat,
     /// Pooled within-class variance per dimension.
     pooled_var: Vec<f64>,
     /// Log prior per class.
@@ -38,10 +39,10 @@ impl GaussianNb {
         let dim = train.dim();
         let k = train.n_classes;
         let mut counts = vec![0usize; k];
-        let mut means = vec![vec![0.0; dim]; k];
+        let mut means = Mat::zeros(k, dim);
         for (x, &y) in train.samples.iter().zip(&train.labels) {
             counts[y] += 1;
-            for (m, xi) in means[y].iter_mut().zip(x) {
+            for (m, xi) in means.row_mut(y).iter_mut().zip(x) {
                 *m += xi;
             }
         }
@@ -56,7 +57,7 @@ impl GaussianNb {
         };
         for (c, m) in means.iter_mut().enumerate() {
             if counts[c] == 0 {
-                m.clone_from(&global_mean);
+                m.copy_from_slice(&global_mean);
             } else {
                 for mi in m.iter_mut() {
                     *mi /= counts[c] as f64;
@@ -66,7 +67,7 @@ impl GaussianNb {
         // Pooled within-class variance per dimension.
         let mut pooled_var = vec![0.0; dim];
         for (x, &y) in train.samples.iter().zip(&train.labels) {
-            for ((v, xi), m) in pooled_var.iter_mut().zip(x).zip(&means[y]) {
+            for ((v, xi), m) in pooled_var.iter_mut().zip(x).zip(means.row(y)) {
                 *v += (xi - m).powi(2);
             }
         }

@@ -3,7 +3,13 @@
 //! The Application Profiler reduces each monitored HPC time series to a
 //! one-dimensional feature with PCA before Gaussian modelling (Section
 //! V-B); the attack pipeline can also use it for dimensionality reduction.
+//!
+//! [`Pca::fit`] runs on a flat [`Mat`] (contiguous centered copy,
+//! contiguous component block, power-iteration work vector hoisted out of
+//! the loop); [`Pca::fit_scalar`] keeps the nested reference the property
+//! tests compare against bit-for-bit.
 
+use crate::mat::Mat;
 use serde::{Deserialize, Serialize};
 
 /// A fitted PCA model: per-feature means plus the top-`k` principal
@@ -11,7 +17,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pca {
     mean: Vec<f64>,
-    components: Vec<Vec<f64>>,
+    components: Mat,
     explained: Vec<f64>,
 }
 
@@ -21,13 +27,94 @@ impl Pca {
     /// Uses power iteration on the implicit covariance (never forming the
     /// d×d matrix), deflating after each recovered component — accurate
     /// for the well-separated leading eigenvalues this codebase needs and
-    /// fast for wide data.
+    /// fast for wide data. Bit-identical to [`Pca::fit_scalar`]: the only
+    /// differences are contiguous storage and the reuse of one hoisted
+    /// work vector across power iterations.
     ///
     /// # Panics
     ///
-    /// Panics if `data` is empty, rows have inconsistent lengths, or
-    /// `k == 0`.
-    pub fn fit(data: &[Vec<f64>], k: usize) -> Self {
+    /// Panics if `data` is empty or `k == 0`.
+    pub fn fit(data: &Mat, k: usize) -> Self {
+        assert!(!data.is_empty(), "PCA needs at least one sample");
+        assert!(k > 0, "k must be positive");
+        let d = data.cols();
+        let n = data.rows();
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        // Centered copy, one contiguous block.
+        let mut centered = data.clone();
+        for row in &mut centered {
+            for (x, m) in row.iter_mut().zip(&mean) {
+                *x -= m;
+            }
+        }
+        let k = k.min(d).min(n.max(1));
+        let mut components = Mat::with_capacity(k, d);
+        let mut explained = Vec::with_capacity(k);
+        // Power-iteration work vector, allocated once for the whole fit and
+        // zeroed per iteration (same values as a fresh `vec![0.0; d]`).
+        let mut w = vec![0.0; d];
+        for comp_idx in 0..k {
+            // Deterministic, non-degenerate start vector.
+            let mut v: Vec<f64> = (0..d)
+                .map(|i| if i % (comp_idx + 2) == 0 { 1.0 } else { 0.5 })
+                .collect();
+            orthogonalize(&mut v, components.iter());
+            normalize(&mut v);
+            let mut eigenvalue = 0.0;
+            for _ in 0..100 {
+                // w = Cov · v  computed as  Xᶜᵀ (Xᶜ v) / n.
+                w.fill(0.0);
+                for row in &centered {
+                    let proj: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                    for (wi, xi) in w.iter_mut().zip(row) {
+                        *wi += proj * xi;
+                    }
+                }
+                for wi in &mut w {
+                    *wi /= n as f64;
+                }
+                orthogonalize(&mut w, components.iter());
+                let w_norm = norm(&w);
+                if w_norm < 1e-15 {
+                    eigenvalue = 0.0;
+                    break;
+                }
+                for wi in &mut w {
+                    *wi /= w_norm;
+                }
+                let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v.copy_from_slice(&w);
+                eigenvalue = w_norm;
+                if delta < 1e-10 {
+                    break;
+                }
+            }
+            components.push_row(&v);
+            explained.push(eigenvalue);
+        }
+        Pca {
+            mean,
+            components,
+            explained,
+        }
+    }
+
+    /// The original nested-`Vec` fit, kept verbatim as the reference
+    /// implementation for the flat↔scalar property tests (including the
+    /// per-iteration work-vector allocation the flat path hoists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows are ragged, or `k == 0`.
+    pub fn fit_scalar(data: &[Vec<f64>], k: usize) -> Self {
         assert!(!data.is_empty(), "PCA needs at least one sample");
         assert!(k > 0, "k must be positive");
         let d = data[0].len();
@@ -55,7 +142,7 @@ impl Pca {
             let mut v: Vec<f64> = (0..d)
                 .map(|i| if i % (comp_idx + 2) == 0 { 1.0 } else { 0.5 })
                 .collect();
-            orthogonalize(&mut v, &components);
+            orthogonalize(&mut v, components.iter().map(Vec::as_slice));
             normalize(&mut v);
             let mut eigenvalue = 0.0;
             for _ in 0..100 {
@@ -70,18 +157,18 @@ impl Pca {
                 for wi in &mut w {
                     *wi /= n as f64;
                 }
-                orthogonalize(&mut w, &components);
-                let norm = norm(&w);
-                if norm < 1e-15 {
+                orthogonalize(&mut w, components.iter().map(Vec::as_slice));
+                let w_norm = norm(&w);
+                if w_norm < 1e-15 {
                     eigenvalue = 0.0;
                     break;
                 }
                 for wi in &mut w {
-                    *wi /= norm;
+                    *wi /= w_norm;
                 }
                 let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
                 v = w;
-                eigenvalue = norm;
+                eigenvalue = w_norm;
                 if delta < 1e-10 {
                     break;
                 }
@@ -91,14 +178,14 @@ impl Pca {
         }
         Pca {
             mean,
-            components,
+            components: Mat::from_rows(&components),
             explained,
         }
     }
 
     /// Number of fitted components.
     pub fn n_components(&self) -> usize {
-        self.components.len()
+        self.components.rows()
     }
 
     /// Variance explained by each component (eigenvalues).
@@ -144,7 +231,7 @@ fn normalize(v: &mut [f64]) {
     }
 }
 
-fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+fn orthogonalize<'a>(v: &mut [f64], basis: impl IntoIterator<Item = &'a [f64]>) {
     for b in basis {
         let proj: f64 = v.iter().zip(b).map(|(a, c)| a * c).sum();
         for (vi, bi) in v.iter_mut().zip(b) {
@@ -160,17 +247,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn anisotropic_data() -> Vec<Vec<f64>> {
+    fn anisotropic_data() -> Mat {
         // Variance 25 along (1,1)/√2, variance 1 along (1,-1)/√2.
         let mut rng = StdRng::seed_from_u64(1);
-        (0..2_000)
+        let rows: Vec<Vec<f64>> = (0..2_000)
             .map(|_| {
                 let a = normal(&mut rng, 0.0, 5.0);
                 let b = normal(&mut rng, 0.0, 1.0);
                 let s = std::f64::consts::FRAC_1_SQRT_2;
                 vec![s * (a + b) + 3.0, s * (a - b) - 1.0]
             })
-            .collect()
+            .collect();
+        Mat::from_rows(&rows)
     }
 
     #[test]
@@ -186,15 +274,14 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let pca = Pca::fit(&anisotropic_data(), 2);
-        let c0 = pca.transform(&{
-            let mut e = vec![0.0, 0.0];
-            e[0] = 1.0;
-            e
-        });
-        let _ = c0;
         // Check orthonormality directly on stored components.
         let comps = &pca.components;
-        let dot: f64 = comps[0].iter().zip(&comps[1]).map(|(a, b)| a * b).sum();
+        let dot: f64 = comps
+            .row(0)
+            .iter()
+            .zip(comps.row(1))
+            .map(|(a, b)| a * b)
+            .sum();
         assert!(dot.abs() < 1e-6, "dot {dot}");
         for c in comps {
             let n: f64 = c.iter().map(|x| x * x).sum();
@@ -207,7 +294,7 @@ mod tests {
         let data = anisotropic_data();
         let pca = Pca::fit(&data, 1);
         let mean_proj: f64 =
-            data.iter().map(|r| pca.transform1(r)).sum::<f64>() / data.len() as f64;
+            data.iter().map(|r| pca.transform1(r)).sum::<f64>() / data.rows() as f64;
         assert!(mean_proj.abs() < 1e-6, "{mean_proj}");
     }
 
@@ -215,14 +302,14 @@ mod tests {
     fn transform1_separates_classes() {
         // Two 3-D clusters; PCA-1 should separate them.
         let mut rng = StdRng::seed_from_u64(5);
-        let mut data = Vec::new();
+        let mut data = Mat::default();
         for _ in 0..200 {
-            data.push(vec![
+            data.push_row(&[
                 normal(&mut rng, 0.0, 0.3),
                 normal(&mut rng, 0.0, 0.3),
                 normal(&mut rng, 0.0, 0.3),
             ]);
-            data.push(vec![
+            data.push_row(&[
                 normal(&mut rng, 4.0, 0.3),
                 normal(&mut rng, 4.0, 0.3),
                 normal(&mut rng, 4.0, 0.3),
@@ -236,7 +323,7 @@ mod tests {
 
     #[test]
     fn k_clamped_to_dimension() {
-        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let data = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]]);
         let pca = Pca::fit(&data, 10);
         assert_eq!(pca.n_components(), 2);
     }
@@ -244,20 +331,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_data_panics() {
-        Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1);
+        Pca::fit_scalar(&[vec![1.0], vec![1.0, 2.0]], 1);
     }
 
     #[test]
     #[should_panic]
     fn empty_data_panics() {
-        Pca::fit(&[], 1);
+        Pca::fit(&Mat::default(), 1);
     }
 
     #[test]
     fn constant_data_yields_zero_variance() {
-        let data = vec![vec![2.0, 2.0]; 10];
+        let data = Mat::from_rows(&vec![vec![2.0, 2.0]; 10]);
         let pca = Pca::fit(&data, 1);
         assert!(pca.explained_variance()[0].abs() < 1e-12);
         assert_eq!(pca.transform1(&[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn flat_matches_scalar_reference() {
+        let data = anisotropic_data();
+        let nested: Vec<Vec<f64>> = data.iter().map(<[f64]>::to_vec).collect();
+        let flat = Pca::fit(&data, 2);
+        let scalar = Pca::fit_scalar(&nested, 2);
+        assert_eq!(flat, scalar);
     }
 }

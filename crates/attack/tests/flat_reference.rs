@@ -1,0 +1,96 @@
+//! Property tests pinning the flat-`Mat` learning kernels to their
+//! nested-`Vec` scalar references: for any randomly drawn dataset and
+//! training configuration, `train`/`fit` must be **bit-identical** to
+//! `train_scalar`/`fit_scalar` under the same RNG seed. `assert_eq!` on
+//! the models compares every `f64` exactly — the flat refactor changes
+//! storage and scratch reuse, never arithmetic or accumulation order.
+
+use aegis_attack::{Dataset, Mat, Mlp, MlpConfig, Pca, SoftmaxRegression, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes a labelled dataset from a seed: `n` samples of dimension
+/// `dim` over `k` classes, with a per-class offset so training has
+/// signal to descend on (degenerate all-noise sets still must agree,
+/// but separable ones exercise more of the update path).
+fn random_dataset(seed: u64, n: usize, dim: usize, k: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % k;
+        let row: Vec<f64> = (0..dim)
+            .map(|j| rng.gen_range(-1.0..1.0) + (label * (j % 3)) as f64 * 0.5)
+            .collect();
+        samples.push(row);
+        labels.push(label);
+    }
+    Dataset::new(samples, labels, k)
+}
+
+proptest! {
+    // Each case trains two models to completion; keep the batch small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mlp_flat_is_bit_identical_to_scalar_reference(
+        seed in 0u64..1_000_000,
+        n in 4usize..16,
+        dim in 2usize..7,
+        k in 2usize..4,
+        hidden in 2usize..6,
+        batch_size in 1usize..5,
+    ) {
+        let train = random_dataset(seed, n, dim, k);
+        let val = random_dataset(seed ^ 0x5a5a, n / 2 + 2, dim, k);
+        let cfg = MlpConfig { hidden, epochs: 3, lr: 0.05, batch_size };
+        let (flat, flat_curve) =
+            Mlp::train(&train, &val, cfg, &mut StdRng::seed_from_u64(seed));
+        let (scalar, scalar_curve) =
+            Mlp::train_scalar(&train, &val, cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(flat, scalar);
+        prop_assert_eq!(flat_curve, scalar_curve);
+    }
+
+    #[test]
+    fn softmax_flat_is_bit_identical_to_scalar_reference(
+        seed in 0u64..1_000_000,
+        n in 4usize..16,
+        dim in 2usize..7,
+        k in 2usize..4,
+        batch_size in 1usize..5,
+        l2_idx in 0usize..3,
+    ) {
+        let l2 = [0.0, 1e-4, 1e-2][l2_idx];
+        let train = random_dataset(seed, n, dim, k);
+        let val = random_dataset(seed ^ 0xa5a5, n / 2 + 2, dim, k);
+        let cfg = TrainConfig { epochs: 4, lr: 0.1, batch_size, l2 };
+        let (flat, flat_curve) =
+            SoftmaxRegression::train(&train, &val, cfg, &mut StdRng::seed_from_u64(seed));
+        let (scalar, scalar_curve) =
+            SoftmaxRegression::train_scalar(&train, &val, cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(flat, scalar);
+        prop_assert_eq!(flat_curve, scalar_curve);
+    }
+
+    #[test]
+    fn pca_flat_is_bit_identical_to_scalar_reference(
+        seed in 0u64..1_000_000,
+        n in 2usize..20,
+        dim in 1usize..9,
+        k in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nested: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| rng.gen_range(-2.0..2.0) * (1.0 + (i * j % 5) as f64))
+                    .collect()
+            })
+            .collect();
+        let flat = Pca::fit(&Mat::from_rows(&nested), k);
+        let scalar = Pca::fit_scalar(&nested, k);
+        prop_assert_eq!(flat, scalar);
+    }
+}

@@ -5,10 +5,13 @@
 //! KSA 95.21% / 95.48%, MEA 91.8% / 90.5%.
 
 use crate::output::{pct, print_header, print_kv, Table};
-use crate::scenarios::{ksa_app, mea_zoo, new_host, wfa_app, ExpConfig};
+use crate::scenarios::{
+    clean_dataset_cached, clean_mea_runs_cached, ksa_app, mea_zoo, new_host, wfa_app, ExpConfig,
+};
 use aegis::attack::TrainConfig;
+use aegis::par::ArtifactCache;
 use aegis::workloads::SecretApp;
-use aegis::{collect_dataset, collect_mea_runs, ClassifierAttack, MeaAttack};
+use aegis::{ClassifierAttack, MeaAttack};
 
 pub fn run(cfg: &ExpConfig) {
     wfa(cfg);
@@ -38,14 +41,19 @@ fn wfa(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.wfa_collect();
 
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
-    let attack = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
+    let clean = clean_dataset_cached(cfg.seed, &mut host, vm, 0, &app, &events, &collect);
+    let attack = ClassifierAttack::train_cached(
+        &clean,
+        TrainConfig::default(),
+        cfg.seed,
+        &ArtifactCache::default_location(),
+    );
     curve_table(&attack.curve).print();
 
     let mut victim_cfg = collect;
     victim_cfg.seed = cfg.seed ^ 0xbeef;
     victim_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-    let victim = collect_dataset(&mut host, vm, 0, &app, &events, &victim_cfg, None).unwrap();
+    let victim = clean_dataset_cached(cfg.seed, &mut host, vm, 0, &app, &events, &victim_cfg);
     print_kv("validation accuracy", pct(attack.curve.final_val_acc()));
     print_kv("victim-VM accuracy", pct(attack.accuracy(&victim)));
 }
@@ -58,14 +66,19 @@ fn ksa(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.ksa_collect();
 
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
-    let attack = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
+    let clean = clean_dataset_cached(cfg.seed + 1, &mut host, vm, 0, &app, &events, &collect);
+    let attack = ClassifierAttack::train_cached(
+        &clean,
+        TrainConfig::default(),
+        cfg.seed,
+        &ArtifactCache::default_location(),
+    );
     curve_table(&attack.curve).print();
 
     let mut victim_cfg = collect;
     victim_cfg.seed = cfg.seed ^ 0xbeef;
     victim_cfg.traces_per_secret = 8;
-    let victim = collect_dataset(&mut host, vm, 0, &app, &events, &victim_cfg, None).unwrap();
+    let victim = clean_dataset_cached(cfg.seed + 1, &mut host, vm, 0, &app, &events, &victim_cfg);
     print_kv("validation accuracy", pct(attack.curve.final_val_acc()));
     print_kv("victim-VM accuracy", pct(attack.accuracy(&victim)));
 }
@@ -78,8 +91,13 @@ fn mea(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.mea_collect();
 
-    let runs = collect_mea_runs(&mut host, vm, 0, &zoo, &events, &collect, None).unwrap();
-    let attack = MeaAttack::train(&runs, TrainConfig::default(), cfg.seed);
+    let runs = clean_mea_runs_cached(cfg.seed + 2, &mut host, vm, 0, &zoo, &events, &collect);
+    let attack = MeaAttack::train_cached(
+        &runs,
+        TrainConfig::default(),
+        cfg.seed,
+        &ArtifactCache::default_location(),
+    );
     curve_table(&attack.curve).print();
     print_kv(
         "slice-classifier validation accuracy",
@@ -89,7 +107,7 @@ fn mea(cfg: &ExpConfig) {
     let mut victim_cfg = collect;
     victim_cfg.seed = cfg.seed ^ 0xbeef;
     victim_cfg.runs_per_model = 2;
-    let victim = collect_mea_runs(&mut host, vm, 0, &zoo, &events, &victim_cfg, None).unwrap();
+    let victim = clean_mea_runs_cached(cfg.seed + 2, &mut host, vm, 0, &zoo, &events, &victim_cfg);
     print_kv(
         "victim layer-sequence accuracy",
         pct(attack.sequence_accuracy(&victim)),

@@ -7,9 +7,11 @@
 //! overhead; d* ε = 2³ → 3.94% / 4.95% and 7.64% / 8.66%.
 
 use crate::output::{print_header, print_kv, Table};
-use crate::scenarios::{deployment_for, mea_zoo, new_host, wfa_app, ExpConfig};
+use crate::scenarios::{deployment_for, mea_zoo, new_host, plan_for, wfa_app, ExpConfig};
 use aegis::measure_app_run;
 use aegis::microarch::Feature;
+use aegis::par::Executor;
+use aegis::sev::Host;
 use aegis::workloads::{SecretApp, WorkloadPlan};
 use aegis::MechanismChoice;
 use rand::rngs::StdRng;
@@ -83,14 +85,30 @@ pub fn run(cfg: &ExpConfig) {
             ("laplace", |e| MechanismChoice::Laplace { epsilon: e }),
             ("dstar", |e| MechanismChoice::DStar { epsilon: e }),
         ];
-        for (name, make) in mechanisms {
-            for &eps in &cfg.eps_grid_fig9a() {
-                let deployment = deployment_for(cfg, app, make(eps));
+        // The (mechanism, ε) cells are independent measurements, so they
+        // shard across the worker pool, each against a pristine fork of
+        // the baseline host. Warm the plan cache before workers spawn.
+        let _ = plan_for(cfg, app);
+        let units: Vec<(&str, f64, MechanismChoice)> = mechanisms
+            .iter()
+            .flat_map(|&(name, make)| {
+                cfg.eps_grid_fig9a()
+                    .into_iter()
+                    .map(move |eps| (name, eps, make(eps)))
+            })
+            .collect();
+        let snapshot: &Host = &host;
+        let cells = Executor::from_config().map_with(
+            units,
+            |_worker| snapshot.fork_detached(),
+            |pristine, _unit, (name, eps, mech)| {
+                let deployment = deployment_for(cfg, app, mech);
+                let mut replica = pristine.fork_detached();
                 let mut lat = 0.0;
                 let mut cpu = 0.0;
                 for (i, plan) in plans.iter().enumerate() {
                     let m = measure_app_run(
-                        &mut host,
+                        &mut replica,
                         vm,
                         0,
                         plan.clone(),
@@ -101,20 +119,22 @@ pub fn run(cfg: &ExpConfig) {
                     lat += m.latency_ns as f64 / runs as f64;
                     cpu += m.cpu_usage / runs as f64;
                 }
-                let marker = if (name == "laplace" && eps == 1.0) || (name == "dstar" && eps == 8.0)
-                {
-                    " *"
-                } else {
-                    ""
-                };
-                t.row_strings(vec![
-                    format!("{name}{marker}"),
-                    format!("2^{:+.0}", eps.log2()),
-                    format!("{:+.2}%", (lat / base_lat - 1.0) * 100.0),
-                    format!("{:.1}%", cpu * 100.0),
-                    format!("{:+.2}%", (cpu / base_cpu - 1.0) * 100.0),
-                ]);
-            }
+                (name, eps, lat, cpu)
+            },
+        );
+        for (name, eps, lat, cpu) in cells {
+            let marker = if (name == "laplace" && eps == 1.0) || (name == "dstar" && eps == 8.0) {
+                " *"
+            } else {
+                ""
+            };
+            t.row_strings(vec![
+                format!("{name}{marker}"),
+                format!("2^{:+.0}", eps.log2()),
+                format!("{:+.2}%", (lat / base_lat - 1.0) * 100.0),
+                format!("{:.1}%", cpu * 100.0),
+                format!("{:+.2}%", (cpu / base_cpu - 1.0) * 100.0),
+            ]);
         }
         t.print();
         t.save(&format!("fig10-{}", label.replace(' ', "-")));

@@ -221,7 +221,7 @@ pub fn multitries(cfg: &ExpConfig) {
         // Average features over groups of k traces of the same secret.
         let mut avg = Dataset::new(Vec::new(), Vec::new(), ds.n_classes);
         for secret in 0..ds.n_classes {
-            let rows: Vec<&Vec<f64>> = ds
+            let rows: Vec<&[f64]> = ds
                 .samples
                 .iter()
                 .zip(&ds.labels)

@@ -4,7 +4,7 @@
 
 use crate::output::{print_header, print_kv, Table};
 use crate::scenarios::{new_host, wfa_app, ExpConfig};
-use aegis::attack::{qq_against_normal, qq_correlation, Gaussian, Pca};
+use aegis::attack::{qq_against_normal, qq_correlation, Gaussian, Mat, Pca};
 use aegis::microarch::{named, OriginFilter};
 use aegis::sev::PlanSource;
 use aegis::workloads::SecretApp;
@@ -50,7 +50,10 @@ pub fn run(cfg: &ExpConfig) {
     }
 
     // PCA feature extraction over all measurements (Section V-B).
-    let all: Vec<Vec<f64>> = series.iter().flatten().cloned().collect();
+    let mut all = Mat::default();
+    for row in series.iter().flatten() {
+        all.push_row(row);
+    }
     let pca = Pca::fit(&all, 1);
     let features: Vec<Vec<f64>> = series
         .iter()

@@ -7,24 +7,25 @@
 //!   Laplace needs a smaller ε.
 //! * (c) the empirical mutual information I(X;X') between clean and
 //!   noised traces collapses as ε shrinks, bounding any learner.
+//!
+//! The (ε, mechanism) grids run on `aegis::sweep`: deterministic
+//! derive_seed-keyed cells sharded across the worker pool, with noisy
+//! datasets and trained models memoized through the workspace
+//! [`ArtifactCache`]. Cache traffic goes to stderr (and the `[obs]`
+//! summary counters) so the accuracy tables on stdout stay bit-identical
+//! between cold and warm runs.
 
 use crate::output::{pct, print_header, print_kv, Table};
 use crate::scenarios::{
-    clean_dataset_cached, deployment_for, ksa_app, mea_zoo, new_host, plan_for, wfa_app, ExpConfig,
+    clean_dataset_cached, clean_mea_runs_cached, deployment_for, ksa_app, mea_zoo, new_host,
+    plan_for, wfa_app, ExpConfig,
 };
 use aegis::attack::{mutual_information_hist, TrainConfig};
 use aegis::dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
-use aegis::par::Executor;
-use aegis::sev::Host;
+use aegis::par::ArtifactCache;
+use aegis::sweep::{self, SweepConfig, SweepOutcome};
 use aegis::workloads::SecretApp;
-use aegis::{collect_dataset, collect_mea_runs, ClassifierAttack, MeaAttack, MechanismChoice};
-
-fn mech_pair(eps: f64) -> [(&'static str, MechanismChoice); 2] {
-    [
-        ("laplace", MechanismChoice::Laplace { epsilon: eps }),
-        ("dstar", MechanismChoice::DStar { epsilon: eps }),
-    ]
-}
+use aegis::{ClassifierAttack, MeaAttack, MechanismChoice};
 
 pub fn fig9a(cfg: &ExpConfig) {
     print_header("Fig. 9a — attack accuracy vs ε (clean-trained attacker)");
@@ -37,6 +38,26 @@ pub fn fig9b(cfg: &ExpConfig) {
     print_header("Fig. 9b — attack accuracy vs ε (robust attacker trained on noisy traces)");
     classification_sweep(cfg, "WFA", &wfa_app(cfg), 4, &cfg.eps_grid_fig9b(), true);
     classification_sweep(cfg, "KSA", &ksa_app(cfg), 5, &cfg.eps_grid_fig9b(), true);
+}
+
+/// Prints one finished sweep as the figure's table, and its cache
+/// traffic to stderr (stdout must not depend on the cache state).
+fn print_sweep(label: &str, subtitle: &str, out: &SweepOutcome, save_as: &str) {
+    let mut t = Table::new(&["eps", "laplace acc", "dstar acc"]);
+    for (eps, laplace, dstar) in out.rows() {
+        t.row_strings(vec![
+            format!("2^{:+.0}", eps.log2()),
+            pct(laplace),
+            pct(dstar),
+        ]);
+    }
+    println!("  [{label}] {subtitle}");
+    t.print();
+    t.save(save_as);
+    eprintln!(
+        "  [cache] {label} sweep {save_as}: {} hits, {} misses",
+        out.cache_hits, out.cache_misses
+    );
 }
 
 fn classification_sweep(
@@ -56,97 +77,59 @@ fn classification_sweep(
         cfg.ksa_collect()
     };
     let chance = 1.0 / app.n_secrets() as f64;
+    let cache = ArtifactCache::default_location();
 
-    // Clean-trained attacker (fig9a) is trained once and reused.
+    // Clean-trained attacker (fig9a) is trained once and reused; both
+    // the clean dataset and the trained model are memoized.
     let clean_attacker = if robust {
         None
     } else {
         let clean =
             clean_dataset_cached(cfg.seed + seed_off, &mut host, vm, 0, app, &events, &collect);
-        Some(ClassifierAttack::train(
+        Some(ClassifierAttack::train_cached(
             &clean,
             TrainConfig::default(),
             cfg.seed,
+            &cache,
         ))
     };
 
-    // ε grid points are independent once the plan cache is warm, so they
-    // shard across the worker pool, each on its own host fork. The warm-up
-    // call keeps the expensive offline pipeline out of the workers.
+    // Warm the plan cache before workers spawn, then build the base
+    // deployment whose mechanism each cell swaps out.
     let _ = plan_for(cfg, app);
-    let snapshot: &Host = &host;
-    let rows = Executor::from_config().map_with(
-        eps_grid.to_vec(),
-        |_worker| snapshot.fork_detached(),
-        |pristine, _unit, eps| {
-            let mut cells = vec![format!("2^{:+.0}", eps.log2())];
-            for (_, mech) in mech_pair(eps) {
-                let deployment = deployment_for(cfg, app, mech);
-                let mut replica = pristine.fork_detached();
-                let acc = if let Some(attacker) = &clean_attacker {
-                    // Exploitation on the defended victim.
-                    let mut victim_cfg = collect;
-                    victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
-                    victim_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-                    let victim = collect_dataset(
-                        &mut replica,
-                        vm,
-                        0,
-                        app,
-                        &events,
-                        &victim_cfg,
-                        Some(&deployment),
-                    )
-                    .unwrap();
-                    attacker.accuracy(&victim)
-                } else {
-                    // Robust attacker: trains AND tests on defended traces.
-                    let mut train_cfg = collect;
-                    train_cfg.traces_per_secret = (collect.traces_per_secret * 2 / 3).max(4);
-                    train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
-                    let noisy = collect_dataset(
-                        &mut replica,
-                        vm,
-                        0,
-                        app,
-                        &events,
-                        &train_cfg,
-                        Some(&deployment),
-                    )
-                    .unwrap();
-                    let attacker =
-                        ClassifierAttack::train(&noisy, TrainConfig::default(), cfg.seed);
-                    let mut test_cfg = collect;
-                    test_cfg.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-                    test_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits().rotate_left(7);
-                    let victim = collect_dataset(
-                        &mut replica,
-                        vm,
-                        0,
-                        app,
-                        &events,
-                        &test_cfg,
-                        Some(&deployment),
-                    )
-                    .unwrap();
-                    attacker.accuracy(&victim)
-                };
-                cells.push(pct(acc));
-            }
-            cells
-        },
+    let base = deployment_for(cfg, app, MechanismChoice::Laplace { epsilon: 1.0 });
+    let sweep_cfg = SweepConfig {
+        eps_grid: eps_grid.to_vec(),
+        seed: cfg.seed + seed_off,
+        host_seed: cfg.seed + seed_off,
+        train: TrainConfig::default(),
+        victim_traces_per_secret: cfg.sweep_traces_per_secret(app.n_secrets()),
+        robust_traces_per_secret: (collect.traces_per_secret * 2 / 3).max(4),
+        victim_runs_per_model: 0, // classification sweep: unused
+    };
+    let out = sweep::classification_sweep(
+        &host,
+        vm,
+        0,
+        app,
+        &events,
+        &collect,
+        &base,
+        clean_attacker.as_ref(),
+        &sweep_cfg,
+        &cache,
+    )
+    .expect("sweep uses validated ids");
+    print_sweep(
+        label,
+        &format!("(random guess = {})", pct(chance)),
+        &out,
+        &format!(
+            "fig9{}-{}",
+            if robust { "b" } else { "a" },
+            label.to_lowercase()
+        ),
     );
-    let mut t = Table::new(&["eps", "laplace acc", "dstar acc"]);
-    for cells in rows {
-        t.row_strings(cells);
-    }
-    println!("  [{label}] (random guess = {})", pct(chance));
-    t.print();
-    t.save(&format!(
-        "fig9{}-{}",
-        if robust { "b" } else { "a" },
-        label.to_lowercase()
-    ));
 }
 
 fn mea_sweep(cfg: &ExpConfig, eps_grid: &[f64], robust: bool) {
@@ -155,68 +138,50 @@ fn mea_sweep(cfg: &ExpConfig, eps_grid: &[f64], robust: bool) {
     let core = host.core_of(vm, 0).unwrap();
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.mea_collect();
+    let cache = ArtifactCache::default_location();
 
     let clean_attacker = if robust {
         None
     } else {
-        let runs = collect_mea_runs(&mut host, vm, 0, &zoo, &events, &collect, None).unwrap();
-        Some(MeaAttack::train(&runs, TrainConfig::default(), cfg.seed))
+        let runs = clean_mea_runs_cached(cfg.seed + 2, &mut host, vm, 0, &zoo, &events, &collect);
+        Some(MeaAttack::train_cached(
+            &runs,
+            TrainConfig::default(),
+            cfg.seed,
+            &cache,
+        ))
     };
 
     let _ = plan_for(cfg, &zoo);
-    let snapshot: &Host = &host;
-    let rows = Executor::from_config().map_with(
-        eps_grid.to_vec(),
-        |_worker| snapshot.fork_detached(),
-        |pristine, _unit, eps| {
-            let mut cells = vec![format!("2^{:+.0}", eps.log2())];
-            for (_, mech) in mech_pair(eps) {
-                let deployment = deployment_for(cfg, &zoo, mech);
-                let mut replica = pristine.fork_detached();
-                let mut victim_cfg = collect;
-                victim_cfg.runs_per_model = 2;
-                victim_cfg.seed = cfg.seed ^ 0x7e57 ^ eps.to_bits();
-                let victim = collect_mea_runs(
-                    &mut replica,
-                    vm,
-                    0,
-                    &zoo,
-                    &events,
-                    &victim_cfg,
-                    Some(&deployment),
-                )
-                .unwrap();
-                let acc = match &clean_attacker {
-                    Some(a) => a.sequence_accuracy(&victim),
-                    None => {
-                        let mut train_cfg = collect;
-                        train_cfg.seed = cfg.seed ^ 0x12a1 ^ eps.to_bits();
-                        let noisy = collect_mea_runs(
-                            &mut replica,
-                            vm,
-                            0,
-                            &zoo,
-                            &events,
-                            &train_cfg,
-                            Some(&deployment),
-                        )
-                        .unwrap();
-                        let a = MeaAttack::train(&noisy, TrainConfig::default(), cfg.seed);
-                        a.sequence_accuracy(&victim)
-                    }
-                };
-                cells.push(pct(acc));
-            }
-            cells
-        },
+    let base = deployment_for(cfg, &zoo, MechanismChoice::Laplace { epsilon: 1.0 });
+    let sweep_cfg = SweepConfig {
+        eps_grid: eps_grid.to_vec(),
+        seed: cfg.seed + 2,
+        host_seed: cfg.seed + 2,
+        train: TrainConfig::default(),
+        victim_traces_per_secret: 0, // MEA sweep: unused
+        robust_traces_per_secret: 0, // MEA sweep: unused
+        victim_runs_per_model: 2,
+    };
+    let out = sweep::mea_sweep(
+        &host,
+        vm,
+        0,
+        &zoo,
+        &events,
+        &collect,
+        &base,
+        clean_attacker.as_ref(),
+        &sweep_cfg,
+        &cache,
+    )
+    .expect("sweep uses validated ids");
+    print_sweep(
+        "MEA",
+        "(layer-sequence match accuracy)",
+        &out,
+        if robust { "fig9b-mea" } else { "fig9a-mea" },
     );
-    let mut t = Table::new(&["eps", "laplace acc", "dstar acc"]);
-    for cells in rows {
-        t.row_strings(cells);
-    }
-    println!("  [MEA] (layer-sequence match accuracy)");
-    t.print();
-    t.save(if robust { "fig9b-mea" } else { "fig9a-mea" });
 }
 
 /// Fig. 9c: empirical I(X;X') between clean and mechanism-noised traces

@@ -125,7 +125,7 @@ pub fn mea_zoo(cfg: &ExpConfig) -> DnnZoo {
 }
 
 use aegis::attack::Dataset;
-use aegis::collect_dataset;
+use aegis::{collect_dataset, collect_mea_runs, MeaRun};
 use aegis::fuzzer::FuzzerConfig;
 use aegis::microarch::EventId;
 use aegis::par::{fingerprint, ArtifactCache};
@@ -164,6 +164,34 @@ pub fn clean_dataset_cached(
         .expect("clean collection uses validated ids");
     let _ = cache.put("clean-dataset", key, &ds);
     ds
+}
+
+/// Collects (or reloads) *clean* model-extraction runs, memoized like
+/// [`clean_dataset_cached`] under the `clean-mea-runs` kind.
+pub fn clean_mea_runs_cached(
+    host_seed: u64,
+    host: &mut aegis::sev::Host,
+    vm: VmId,
+    vcpu: usize,
+    zoo: &DnnZoo,
+    events: &[EventId],
+    collect: &MeaConfig,
+) -> Vec<(usize, MeaRun)> {
+    let cache = ArtifactCache::default_location();
+    let key = fingerprint(&(
+        host_seed,
+        zoo.name().to_string(),
+        zoo.n_secrets() as u64,
+        events.to_vec(),
+        *collect,
+    ));
+    if let Some(hit) = cache.get::<Vec<(usize, MeaRun)>>("clean-mea-runs", key) {
+        return hit;
+    }
+    let runs = collect_mea_runs(host, vm, vcpu, zoo, events, collect, None)
+        .expect("clean collection uses validated ids");
+    let _ = cache.put("clean-mea-runs", key, &runs);
+    runs
 }
 
 static PLAN_CACHE: Mutex<Option<HashMap<String, DefensePlan>>> = Mutex::new(None);

@@ -166,7 +166,13 @@ impl EventFuzzer {
     /// (catalog, core model) combination was cleaned before. Cleanup is
     /// deterministic in those inputs, so a hit is exact — only the stored
     /// wall time refers to the original computation.
-    fn cleanup(&self, catalog: &IsaCatalog, core: &mut Core) -> CleanupResult {
+    ///
+    /// Cleanup executes on a *scratch clone* of `core`: the miss path
+    /// must leave the caller's core in exactly the state the hit path
+    /// does, or everything downstream of a cold run (recorded sessions,
+    /// covering sets, gadget-stack calibration) would diverge from the
+    /// same run repeated warm.
+    fn cleanup(&self, catalog: &IsaCatalog, core: &Core) -> CleanupResult {
         let key = aegis_par::fingerprint(&(
             format!("{:?}", catalog.vendor()),
             catalog.seed(),
@@ -176,7 +182,8 @@ impl EventFuzzer {
         if let Some(hit) = self.cache.get::<CleanupResult>("cleanup", key) {
             return hit;
         }
-        let result = run_cleanup(catalog, core);
+        let mut scratch = core.clone();
+        let result = run_cleanup(catalog, &mut scratch);
         let _ = self.cache.put("cleanup", key, &result);
         result
     }

@@ -11,7 +11,7 @@
 //!
 //! as the vulnerability metric: more bits means a more dangerous event.
 
-use aegis_attack::{Gaussian, Pca};
+use aegis_attack::{Gaussian, Mat, Pca};
 use aegis_microarch::{EventId, OriginFilter};
 use aegis_sev::{Host, HostError, PlanSource, VmId};
 use aegis_workloads::SecretApp;
@@ -159,8 +159,11 @@ pub fn rank_events(
 /// PCA-reduce the measured series of one event and compute the Gaussian
 /// mixture MI over secrets.
 fn event_mi(per_secret: &[Vec<Vec<f64>>]) -> f64 {
-    let all: Vec<Vec<f64>> = per_secret.iter().flatten().cloned().collect();
-    if all.len() < 2 || all[0].is_empty() {
+    let mut all = Mat::default();
+    for series in per_secret.iter().flatten() {
+        all.push_row(series);
+    }
+    if all.rows() < 2 || all.cols() == 0 {
         return 0.0;
     }
     let pca = Pca::fit(&all, 1);

@@ -32,5 +32,6 @@ echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="
 # minutes. Does not rewrite the checked-in BENCH_*.json numbers.
 AEGIS_BENCH_SMOKE=1 cargo bench --bench measurement_kernel
 AEGIS_BENCH_SMOKE=1 cargo bench --bench parallel_scaling
+AEGIS_BENCH_SMOKE=1 cargo bench --bench train_kernel
 
 echo "check.sh: all green"

@@ -257,6 +257,90 @@ fn fork_detached_drops_attachments_but_keeps_the_testbed() {
     );
 }
 
+#[test]
+fn sweep_grid_is_bit_identical_under_workers_obs_and_cache() {
+    // The Fig. 9 (ε, mechanism) grid must produce the same accuracy
+    // table no matter how it is executed: serial or wide, quiet or
+    // under AEGIS_OBS=full, recomputed cold or replayed from a warm
+    // artifact cache. Cell seeds derive from (ε, mechanism), never from
+    // grid position or worker id, so every combination is one result.
+    use aegis::fuzzer::Gadget;
+    use aegis::obfuscator::{GadgetStack, ObfuscatorConfig};
+    use aegis::sweep::{classification_sweep, SweepConfig};
+    use aegis::workloads::KeystrokeApp;
+    use aegis::{DefenseDeployment, MechanismChoice};
+    use aegis_isa::WellKnown;
+
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let cache_dir = std::env::temp_dir().join(format!(
+        "aegis-sweep-grid-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 3);
+    let vm = host.launch_vm(1, SevMode::SevSnp).unwrap();
+    let core = host.core_of(vm, 0).unwrap();
+    let events = host.core(core).catalog().attack_events().to_vec();
+    let app = KeystrokeApp::with_window(300_000_000);
+    let collect = CollectConfig {
+        traces_per_secret: 3,
+        window_ns: 300_000_000,
+        interval_ns: 2_000_000,
+        pool: 25,
+        seed: 7,
+        per_secret_noise: false,
+    };
+    let deployment = DefenseDeployment {
+        stack: GadgetStack::calibrate(
+            &IsaCatalog::synthetic(Vendor::Amd, 7),
+            &mut {
+                let mut c = Core::new(MicroArch::AmdEpyc7252, 9);
+                c.set_interference(InterferenceConfig::isolated());
+                c
+            },
+            vec![Gadget::new(WellKnown::Clflush.id(), WellKnown::Load64.id())],
+            64,
+        ),
+        mechanism: MechanismChoice::Laplace { epsilon: 0.25 },
+        obfuscator: ObfuscatorConfig::default(),
+    };
+    let cfg = SweepConfig {
+        eps_grid: vec![0.25, 4.0],
+        seed: 11,
+        host_seed: 3,
+        train: aegis::attack::TrainConfig::default(),
+        victim_traces_per_secret: 2,
+        robust_traces_per_secret: 2,
+        victim_runs_per_model: 1,
+    };
+    let run = |threads: usize, cache: &ArtifactCache| {
+        set_threads(threads);
+        classification_sweep(
+            &host, vm, 0, &app, &events, &collect, &deployment, None, &cfg, cache,
+        )
+        .unwrap()
+    };
+
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Off));
+    let serial = run(1, &ArtifactCache::disabled());
+    let wide = run(4, &ArtifactCache::disabled());
+    aegis::obs::set_level(Some(aegis::obs::ObsLevel::Full));
+    let cache = ArtifactCache::new(&cache_dir);
+    let cold = run(4, &cache);
+    let warm = run(1, &cache);
+    aegis::obs::set_level(None);
+    aegis::obs::reset();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    assert_eq!(serial.cells, wide.cells, "worker count leaked into the grid");
+    assert_eq!(serial.cells, cold.cells, "obs or caching leaked into the grid");
+    assert_eq!(serial.cells, warm.cells, "warm replay diverged from recompute");
+    assert_eq!(cold.cache_hits, 0, "cold run on a fresh cache");
+    assert_eq!(warm.cache_misses, 0, "warm run must replay every artifact");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+}
+
 use rand::SeedableRng;
 
 mod seed_collisions {

@@ -144,7 +144,7 @@ proptest! {
             2..64,
         ),
     ) {
-        let st = Standardizer::fit(&rows);
+        let st = Standardizer::fit(&aegis::attack::Mat::from_rows(&rows));
         let mut transformed = rows.clone();
         for r in &mut transformed {
             st.apply(r);
@@ -163,7 +163,7 @@ proptest! {
             4..64,
         ),
     ) {
-        let pca = Pca::fit(&rows, 2);
+        let pca = Pca::fit(&aegis::attack::Mat::from_rows(&rows), 2);
         for r in &rows {
             let p = pca.transform(r);
             prop_assert_eq!(p.len(), 2);
