@@ -1,9 +1,11 @@
-//! Simulator throughput: instruction-level execution (the fuzzer's inner
-//! loop), rate-based mix execution (the VM fast path), and whole-host
-//! scheduler ticks.
+//! Simulator throughput above the instruction level: rate-based mix
+//! execution (the VM fast path) and whole-host scheduler ticks.
+//!
+//! Instruction-level and session-level core execution is covered by
+//! `benches/core_kernel.rs`, which times the scalar reference against
+//! the batched struct-of-arrays engine with bit-equal traces asserted.
 
-use aegis::isa::{well_known, WellKnown};
-use aegis::microarch::{ActivityVector, Core, Feature, InterferenceConfig, MicroArch, Origin};
+use aegis::microarch::{ActivityVector, Core, Feature, MicroArch, Origin};
 use aegis::sev::{Host, PlanSource, SevMode};
 use aegis::workloads::{MixSpec, Segment, WorkloadPlan};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -12,24 +14,6 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
 
     g.throughput(Throughput::Elements(1));
-    g.bench_function("core_execute_instr", |b| {
-        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
-        core.set_interference(InterferenceConfig::isolated());
-        let add = well_known(WellKnown::Add64);
-        b.iter(|| black_box(core.execute_instr(&add, Origin::Host)));
-    });
-
-    g.bench_function("core_execute_flush_load_gadget", |b| {
-        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
-        core.set_interference(InterferenceConfig::isolated());
-        let flush = well_known(WellKnown::Clflush);
-        let load = well_known(WellKnown::Load64);
-        b.iter(|| {
-            let _ = black_box(core.execute_instr(&flush, Origin::Host));
-            black_box(core.execute_instr(&load, Origin::Host))
-        });
-    });
-
     g.bench_function("core_run_mix_100us", |b| {
         let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
         let rate = ActivityVector::from_pairs(&[

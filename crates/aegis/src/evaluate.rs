@@ -96,12 +96,18 @@ pub fn collect_dataset(
     let rows: Vec<Result<(Vec<f64>, usize), aegis_perf::PerfError>> = Executor::from_config()
         .map_with(
             units,
-            |_worker| snapshot.fork_detached(),
-            |pristine, unit, (secret, _rep)| {
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), unit, (secret, _rep)| {
             // A fresh fork per unit: leftover clock/cache/PMU state from
             // a previous unit on this worker must not leak in, or results
-            // would depend on the work distribution.
-            let mut replica = pristine.fork_detached();
+            // would depend on the work distribution. The fork reuses the
+            // worker's replica arena — an in-place overwrite, identical
+            // to a fresh fork but allocation-free in steady state.
+            pristine.fork_detached_into(replica);
             let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_PLAN, unit as u64));
             let plan = app.sample_plan(secret, &mut rng);
             replica
@@ -114,7 +120,7 @@ pub fn collect_dataset(
                     unit as u64
                 };
                 d.deploy(
-                    &mut replica,
+                    replica,
                     vm,
                     vcpu,
                     derive_seed(cfg.seed, STREAM_NOISE, noise_unit),
@@ -278,9 +284,15 @@ pub fn collect_mea_runs(
     let runs: Vec<Result<(usize, MeaRun), aegis_perf::PerfError>> = Executor::from_config()
         .map_with(
             units,
-            |_worker| snapshot.fork_detached(),
-            |pristine, unit, (model, _rep)| {
-            let mut replica = pristine.fork_detached();
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), unit, (model, _rep)| {
+            // In-place fork into the worker's reusable replica arena —
+            // identical to a fresh fork, allocation-free in steady state.
+            pristine.fork_detached_into(replica);
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_MEA_PLAN, unit as u64));
             let (pass, spans) = zoo.sample_inference(model, &mut rng);
@@ -298,7 +310,7 @@ pub fn collect_mea_runs(
                 .expect("ids were validated on the original host");
             if let Some(d) = defense {
                 d.deploy(
-                    &mut replica,
+                    replica,
                     vm,
                     vcpu,
                     derive_seed(cfg.seed, STREAM_MEA_NOISE, unit as u64),

@@ -217,8 +217,12 @@ pub fn classification_sweep(
     let snapshot: &Host = host;
     let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
         units.clone(),
-        |_worker| snapshot.fork_detached(),
-        |pristine, _unit, (eps, mech_idx)| {
+        |_worker| {
+            let pristine = snapshot.fork_detached();
+            let arena = pristine.fork_detached();
+            (pristine, arena)
+        },
+        |(pristine, replica), _unit, (eps, mech_idx)| {
             let _cell = obs::span("sweep.cell");
             let mut stats = CellStats::default();
             let seed = cell_seed(cfg, eps, mech_idx);
@@ -227,7 +231,8 @@ pub fn classification_sweep(
                 mechanism: mechanism(mech_idx, eps),
                 obfuscator: base.obfuscator,
             };
-            let mut replica = pristine.fork_detached();
+            // In-place fork into the worker's reusable replica arena.
+            pristine.fork_detached_into(replica);
 
             // Defended victim (test) traces.
             let mut victim_cfg = *collect;
@@ -238,7 +243,7 @@ pub fn classification_sweep(
                 "noisy-dataset",
                 dataset_key(cfg, app, events, &victim_cfg, &deployment),
                 &mut stats,
-                || collect_dataset(&mut replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
+                || collect_dataset(&mut *replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
             )?;
 
             let accuracy = match clean_attacker {
@@ -258,7 +263,7 @@ pub fn classification_sweep(
                         &mut stats,
                         || {
                             collect_dataset(
-                                &mut replica,
+                                &mut *replica,
                                 vm,
                                 vcpu,
                                 app,
@@ -313,8 +318,12 @@ pub fn mea_sweep(
     let snapshot: &Host = host;
     let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
         units.clone(),
-        |_worker| snapshot.fork_detached(),
-        |pristine, _unit, (eps, mech_idx)| {
+        |_worker| {
+            let pristine = snapshot.fork_detached();
+            let arena = pristine.fork_detached();
+            (pristine, arena)
+        },
+        |(pristine, replica), _unit, (eps, mech_idx)| {
             let _cell = obs::span("sweep.cell");
             let mut stats = CellStats::default();
             let seed = cell_seed(cfg, eps, mech_idx);
@@ -323,7 +332,8 @@ pub fn mea_sweep(
                 mechanism: mechanism(mech_idx, eps),
                 obfuscator: base.obfuscator,
             };
-            let mut replica = pristine.fork_detached();
+            // In-place fork into the worker's reusable replica arena.
+            pristine.fork_detached_into(replica);
 
             let mut victim_cfg = *collect;
             victim_cfg.runs_per_model = cfg.victim_runs_per_model;
@@ -333,7 +343,7 @@ pub fn mea_sweep(
                 "noisy-mea-runs",
                 mea_key(cfg, zoo, events, &victim_cfg, &deployment),
                 &mut stats,
-                || collect_mea_runs(&mut replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
+                || collect_mea_runs(&mut *replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
             )?;
 
             let accuracy = match clean_attacker {
@@ -351,7 +361,7 @@ pub fn mea_sweep(
                         &mut stats,
                         || {
                             collect_mea_runs(
-                                &mut replica,
+                                &mut *replica,
                                 vm,
                                 vcpu,
                                 zoo,

@@ -100,15 +100,20 @@ pub fn run(cfg: &ExpConfig) {
         let snapshot: &Host = &host;
         let cells = Executor::from_config().map_with(
             units,
-            |_worker| snapshot.fork_detached(),
-            |pristine, _unit, (name, eps, mech)| {
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), _unit, (name, eps, mech)| {
                 let deployment = deployment_for(cfg, app, mech);
-                let mut replica = pristine.fork_detached();
+                // In-place fork into the worker's reusable replica arena.
+                pristine.fork_detached_into(replica);
                 let mut lat = 0.0;
                 let mut cpu = 0.0;
                 for (i, plan) in plans.iter().enumerate() {
                     let m = measure_app_run(
-                        &mut replica,
+                        &mut *replica,
                         vm,
                         0,
                         plan.clone(),

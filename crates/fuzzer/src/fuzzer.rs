@@ -3,12 +3,12 @@
 use crate::cleanup::{run_cleanup, CleanupResult};
 use crate::gadget::{ConfirmedGadget, Gadget, GadgetCluster};
 use crate::harness::{
-    measure_median, measure_repeated, program_event, RecordedTrace, TraceEval, TraceRecorder,
+    measure_median, measure_repeated, program_event, BatchTraceRecorder, RecordedTrace, TraceEval,
 };
 use crate::report::FuzzReport;
 use aegis_faults::{self as faults, FaultPlan};
 use aegis_isa::IsaCatalog;
-use aegis_microarch::{noise_base_for_seed, Core, EventId};
+use aegis_microarch::{noise_base_for_seed, Core, CoreBatch, EventId};
 use aegis_obs as obs;
 use aegis_par::{derive_seed, ArtifactCache, Executor};
 use rand::rngs::StdRng;
@@ -28,6 +28,12 @@ const STREAM_SESSION: u64 = 0x12;
 /// Candidates recorded between two [`FuzzCheckpoint`] persists when the
 /// crash-safety harness (an active fault plan) is armed.
 const CKPT_CHUNK: usize = 32;
+
+/// Lanes per [`CoreBatch`] block in the recording pass. Matches
+/// [`CKPT_CHUNK`] so a checkpointed chunk is exactly one batch; lane
+/// seeds are keyed by absolute candidate index, so the block partition
+/// (like the worker count) cannot change any result.
+const LANE_WIDTH: usize = 32;
 
 /// Simulated seconds charged per measurement window when an active fault
 /// plan puts report timing on the simulated clock. Wall-clock timings
@@ -283,32 +289,57 @@ impl EventFuzzer {
         let mut done = resume_from;
         while done < record_units.len() {
             let end = (done + chunk_len).min(record_units.len());
-            let chunk: Vec<(usize, Gadget)> = record_units[done..end].to_vec();
-            let mut chunk_traces: Vec<RecordedTrace> = Executor::from_config().map_with(
-                chunk,
-                |_worker| baseline.clone(),
-                |pristine, _unit, (idx, gadget)| {
-                    let mut session = pristine.clone();
-                    session.reseed(derive_seed(self.config.seed, STREAM_SESSION, idx as u64));
-                    let full = [gadget.reset, gadget.trigger];
-                    let reset_only = [gadget.reset];
-                    let mut rec = TraceRecorder::begin(&mut session, catalog);
+            // Lane-parallel recording: each worker drives a CoreBatch of
+            // up to LANE_WIDTH candidate sessions, reusing one arena
+            // across blocks. Lane seeds are keyed by *absolute* candidate
+            // index, so neither the worker count nor the lane width can
+            // perturb a single trace.
+            let blocks: Vec<Vec<(usize, Gadget)>> = record_units[done..end]
+                .chunks(LANE_WIDTH)
+                .map(<[(usize, Gadget)]>::to_vec)
+                .collect();
+            let block_traces: Vec<Vec<RecordedTrace>> = Executor::from_config().map_with(
+                blocks,
+                |_worker| (baseline.clone(), None::<CoreBatch>),
+                |(pristine, arena), _unit, block| {
+                    let seeds: Vec<u64> = block
+                        .iter()
+                        .map(|(idx, _)| {
+                            derive_seed(self.config.seed, STREAM_SESSION, *idx as u64)
+                        })
+                        .collect();
+                    match arena {
+                        Some(batch) => batch.reset_from(pristine, &seeds),
+                        None => *arena = Some(CoreBatch::from_template(pristine, &seeds)),
+                    }
+                    let batch = arena.as_mut().expect("arena just filled");
+                    let fulls: Vec<[aegis_isa::InstrId; 2]> =
+                        block.iter().map(|(_, g)| [g.reset, g.trigger]).collect();
+                    let resets: Vec<[aegis_isa::InstrId; 1]> =
+                        block.iter().map(|(_, g)| [g.reset]).collect();
+                    let full_seqs: Vec<&[aegis_isa::InstrId]> =
+                        fulls.iter().map(|s| s.as_slice()).collect();
+                    let reset_seqs: Vec<&[aegis_isa::InstrId]> =
+                        resets.iter().map(|s| s.as_slice()).collect();
+                    let mut rec = BatchTraceRecorder::begin(batch, catalog);
                     for _ in 0..reps {
-                        rec.window(&full); // generation + execution
+                        rec.window(&full_seqs); // generation + execution
                     }
                     for _ in 0..r {
-                        rec.window(&reset_only); // confirmation: cold path
+                        rec.window(&reset_seqs); // confirmation: cold path
                     }
                     for _ in 0..r {
-                        rec.window(&full); // confirmation: hot path
+                        rec.window(&full_seqs); // confirmation: hot path
                     }
                     for _ in 0..reps {
-                        rec.window(&full); // reordering cross-validation
+                        rec.window(&full_seqs); // reordering cross-validation
                     }
                     rec.finish()
                 },
             );
-            traces.append(&mut chunk_traces);
+            for mut block in block_traces {
+                traces.append(&mut block);
+            }
             done = end;
             if checkpointing {
                 let _ = self.cache.put(

@@ -8,10 +8,10 @@
 //! median taken to suppress external interference.
 
 use aegis_attack_stats::median;
-use aegis_isa::{well_known, InstrId, IsaCatalog, WellKnown};
+use aegis_isa::{well_known, InstrId, InstructionSpec, IsaCatalog, WellKnown};
 use aegis_microarch::{
-    read_counter, ActivityVector, Core, CounterConfig, EventId, Origin, OriginFilter,
-    ResponseMatrix,
+    read_counter, ActivityVector, Core, CoreBatch, CounterConfig, EventId, Feature, Origin,
+    OriginFilter, ResponseMatrix,
 };
 use serde::{Deserialize, Serialize};
 
@@ -104,24 +104,21 @@ pub fn measure_repeated(
     (0..r).map(|_| measure_once(core, catalog, seq)).collect()
 }
 
-/// One recorded measurement window: the activity accumulated between the
-/// counter reset and the RDPMC read, pre-summed in step order.
+/// Flat f64s per recorded window: the all-origins fold followed by the
+/// host-only fold, `Feature::COUNT` values each.
 ///
 /// Two folds are kept because the SEV observability boundary partitions
 /// events into two accumulation behaviours: guest-visible counters fold
 /// every step, guest-invisible counters fold only host-origin steps. The
 /// folds use the same component-wise `+=` in the same step order as a
-/// live [`aegis_microarch::CounterLane`], so the sums are bit-identical to what a
-/// programmed counter would have accumulated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct WindowSum {
-    all: ActivityVector,
-    host: ActivityVector,
-}
+/// live [`aegis_microarch::CounterLane`], so the sums are bit-identical
+/// to what a programmed counter would have accumulated.
+const WINDOW_STRIDE: usize = 2 * Feature::COUNT;
 
 /// A recorded measurement session: per-window activity sums at the
 /// fence-delimited positions where the scalar protocol resets and reads
-/// the counter.
+/// the counter, stored flat ([`WINDOW_STRIDE`] f64s per window) so the
+/// batched recorder's `finish` is a buffer move rather than a re-copy.
 ///
 /// Recording pays the core simulation once; any number of events can then
 /// be evaluated against the trace through the dense response kernel
@@ -130,7 +127,7 @@ struct WindowSum {
 /// protocol with that event programmed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordedTrace {
-    sums: Vec<WindowSum>,
+    flat: Vec<f64>,
     steps: usize,
     support: u32,
 }
@@ -138,7 +135,7 @@ pub struct RecordedTrace {
 impl RecordedTrace {
     /// Number of recorded measurement windows.
     pub fn windows(&self) -> usize {
-        self.sums.len()
+        self.flat.len() / WINDOW_STRIDE
     }
 
     /// Number of activity steps the recording folded into window sums.
@@ -155,6 +152,20 @@ impl RecordedTrace {
     pub fn support(&self) -> u32 {
         self.support
     }
+}
+
+/// Union feature-support bitmask over a session's flat window sums —
+/// shared by the scalar and batched recorders so the two can never drift.
+fn support_of(flat: &[f64]) -> u32 {
+    let mut mask = 0u32;
+    for w in flat.chunks_exact(WINDOW_STRIDE) {
+        for i in 0..Feature::COUNT {
+            if w[i] != 0.0 || w[Feature::COUNT + i] != 0.0 {
+                mask |= 1 << i;
+            }
+        }
+    }
+    mask
 }
 
 /// Records fenced measurement windows on a core — the write side of the
@@ -198,48 +209,156 @@ impl<'a> TraceRecorder<'a> {
     /// Stops recording and folds the step log into per-window sums.
     pub fn finish(self) -> RecordedTrace {
         let steps = self.core.take_recording();
-        let sums = self
-            .marks
-            .iter()
-            .map(|&(reset, read)| {
-                // Same `+=` fold, same step order as a live lane.
-                let mut all = ActivityVector::ZERO;
-                let mut any_guest = false;
+        let mut flat = Vec::with_capacity(self.marks.len() * WINDOW_STRIDE);
+        for &(reset, read) in &self.marks {
+            // Same `+=` fold, same step order as a live lane.
+            let mut all = ActivityVector::ZERO;
+            let mut any_guest = false;
+            for (origin, delta) in &steps[reset..read] {
+                all += *delta;
+                any_guest |= origin.is_guest();
+            }
+            // With no guest steps the host-only fold is the same
+            // sequence of adds, so the full fold is reused verbatim —
+            // the common case for host-driven fuzzing windows.
+            let host = if any_guest {
+                let mut host = ActivityVector::ZERO;
                 for (origin, delta) in &steps[reset..read] {
-                    all += *delta;
-                    any_guest |= origin.is_guest();
-                }
-                // With no guest steps the host-only fold is the same
-                // sequence of adds, so the full fold is reused verbatim —
-                // the common case for host-driven fuzzing windows.
-                let host = if any_guest {
-                    let mut host = ActivityVector::ZERO;
-                    for (origin, delta) in &steps[reset..read] {
-                        if !origin.is_guest() {
-                            host += *delta;
-                        }
+                    if !origin.is_guest() {
+                        host += *delta;
                     }
-                    host
-                } else {
-                    all
-                };
-                WindowSum { all, host }
-            })
-            .collect::<Vec<WindowSum>>();
-        let support = sums.iter().fold(0u32, |m, s| {
-            let nonzero = |v: &ActivityVector| {
-                v.0.iter()
-                    .enumerate()
-                    .filter(|(_, &x)| x != 0.0)
-                    .fold(0u32, |m, (i, _)| m | 1 << i)
+                }
+                host
+            } else {
+                all
             };
-            m | nonzero(&s.all) | nonzero(&s.host)
-        });
+            flat.extend_from_slice(&all.0);
+            flat.extend_from_slice(&host.0);
+        }
+        let support = support_of(&flat);
         RecordedTrace {
-            sums,
+            flat,
             steps: steps.len(),
             support,
         }
+    }
+}
+
+/// Records fenced measurement windows on every lane of a [`CoreBatch`]
+/// at once — the lane-parallel write side of the single-pass trace
+/// protocol.
+///
+/// Lane `l` of the batch records one candidate's session; the traces
+/// returned by [`BatchTraceRecorder::finish`] are bit-identical to what a
+/// scalar [`TraceRecorder`] produces on lane `l`'s scalar twin
+/// (`template.clone()` + `reseed(seeds[l])`) driven through the same
+/// window sequence. The batch folds window sums as it executes, so there
+/// is no per-step activity log and no end-of-session re-fold pass.
+#[derive(Debug)]
+pub struct BatchTraceRecorder<'a> {
+    batch: &'a mut CoreBatch,
+    catalog: &'a IsaCatalog,
+    /// Step counts at `begin`, subtracted so traces count only recorded
+    /// steps — the analogue of the scalar recorder's fresh activity log.
+    base_steps: Vec<usize>,
+    /// Per-lane window sums in window order, flat: each window appends
+    /// `2 × Feature::COUNT` values (the all-origins fold, then the
+    /// host-only fold). Flat storage keeps the per-window hot path to two
+    /// slice appends and moves straight into the trace at `finish`.
+    sums: Vec<Vec<f64>>,
+    /// Per-lane running support union, folded window by window from
+    /// [`CoreBatch::fenced_window`]'s return value — bit-identical to
+    /// [`support_of`] over the finished sums, without the finish-time
+    /// rescan.
+    support: Vec<u32>,
+    /// The serializing fence, built once — [`well_known`] allocates its
+    /// mnemonic, which must not happen per window.
+    fence: InstructionSpec,
+    /// Scratch for resolved specs, reused across lanes and windows.
+    specs: Vec<&'a InstructionSpec>,
+}
+
+/// Flat f64s reserved per lane up front: enough for a typical recording
+/// protocol (~64 windows) without reallocating mid-session.
+const SUMS_RESERVE: usize = 2 * Feature::COUNT * 64;
+
+impl<'a> BatchTraceRecorder<'a> {
+    /// Starts recording on every lane of the batch.
+    pub fn begin(batch: &'a mut CoreBatch, catalog: &'a IsaCatalog) -> Self {
+        let n = batch.n_lanes();
+        let base_steps = (0..n).map(|l| batch.steps(l)).collect();
+        BatchTraceRecorder {
+            batch,
+            catalog,
+            base_steps,
+            sums: (0..n).map(|_| Vec::with_capacity(SUMS_RESERVE)).collect(),
+            support: vec![0; n],
+            fence: well_known(WellKnown::Cpuid),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Executes one fenced window on every lane — lane `l` running
+    /// `seqs[l]` — exactly like [`TraceRecorder::window`] on each lane's
+    /// scalar twin: serializing CPUID, the sequence with faulting
+    /// instructions skipped, CPUID. The fences execute outside the window
+    /// sums, mirroring the scalar protocol's reset/read marks. Window
+    /// execution goes through [`CoreBatch::fenced_window`], whose memoized
+    /// replay path makes repeated windows (the whole recording protocol)
+    /// cost O(features) instead of a per-instruction re-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs.len()` differs from the batch's lane count.
+    pub fn window(&mut self, seqs: &[&[InstrId]]) {
+        assert_eq!(
+            seqs.len(),
+            self.batch.n_lanes(),
+            "one sequence per lane"
+        );
+        let mut resolved: Option<&[InstrId]> = None;
+        for (lane, seq) in seqs.iter().enumerate() {
+            // The protocol's calibration windows hand every lane the same
+            // sequence (often literally the same slice); resolve specs
+            // once per distinct sequence instead of once per lane.
+            if resolved != Some(*seq) {
+                self.specs.clear();
+                self.specs
+                    .extend(seq.iter().filter_map(|&id| self.catalog.get(id)));
+                resolved = Some(*seq);
+            }
+            self.support[lane] |= self.batch.fenced_window(
+                lane,
+                &self.fence,
+                &self.specs,
+                Origin::Host,
+                &mut self.sums[lane],
+            );
+        }
+    }
+
+    /// Stops recording and returns one trace per lane, in lane order.
+    /// Each lane's flat sum buffer moves into its trace unchanged — no
+    /// per-window re-copy.
+    pub fn finish(self) -> Vec<RecordedTrace> {
+        let BatchTraceRecorder {
+            batch,
+            base_steps,
+            sums,
+            support,
+            ..
+        } = self;
+        sums.into_iter()
+            .enumerate()
+            .map(|(lane, flat)| {
+                debug_assert_eq!(support[lane], support_of(&flat));
+                RecordedTrace {
+                    steps: batch.steps(lane) - base_steps[lane],
+                    flat,
+                    support: support[lane],
+                }
+            })
+            .collect()
     }
 }
 
@@ -294,27 +413,23 @@ impl<'a> TraceEval<'a> {
         self.window
     }
 
-    /// One counter read over a window sum — the exact arithmetic a live
-    /// lane would apply at this read index.
-    #[inline]
-    fn read_window(&mut self, sum: &WindowSum) -> f64 {
-        let acc = if self.guest_visible {
-            &sum.all
-        } else {
-            &sum.host
-        };
-        let draw = self.draws;
-        self.draws += 1;
-        read_counter(self.matrix, self.event, self.noise_base, draw, acc) as f64
-    }
-
     /// Returns the next window's counter delta, bit-identical to what the
     /// scalar [`measure_once`] would have read, or `None` when every
     /// recorded window has been consumed.
     pub fn next_window(&mut self) -> Option<f64> {
-        let sum = self.trace.sums.get(self.window)?;
+        let at = self.window * WINDOW_STRIDE;
+        let w = self.trace.flat.get(at..at + WINDOW_STRIDE)?;
         self.window += 1;
-        Some(self.read_window(sum))
+        // The exact arithmetic a live lane would apply at this read
+        // index, borrowing the fold straight out of flat storage.
+        let acc = if self.guest_visible {
+            ActivityVector::from_slice(&w[..Feature::COUNT])
+        } else {
+            ActivityVector::from_slice(&w[Feature::COUNT..])
+        };
+        let draw = self.draws;
+        self.draws += 1;
+        Some(read_counter(self.matrix, self.event, self.noise_base, draw, acc) as f64)
     }
 
     /// Consumes the next `n` windows and returns their median —
@@ -465,6 +580,44 @@ mod tests {
                     assert_eq!(s.to_bits(), b.to_bits(), "event {name}: {s} vs {b}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batch_recorder_bit_matches_scalar_recorder_per_lane() {
+        // Lane l of the batched recorder must produce the exact trace a
+        // scalar TraceRecorder produces on `baseline.clone()` +
+        // `reseed(seeds[l])` driven through the same window schedule —
+        // sums, step counts, and support masks all bit-identical.
+        let (catalog, baseline) = setup();
+        let seeds = [11u64, 0x5eed_cafe, 42, 7];
+        let lane_seqs: [&[InstrId]; 4] = [
+            &[WellKnown::Clflush.id(), WellKnown::Load64.id()],
+            &[WellKnown::Add64.id()],
+            &[WellKnown::Store64.id(), WellKnown::Load64.id()],
+            &[WellKnown::BranchBiased.id(), WellKnown::Nop.id()],
+        ];
+        let reps = 6;
+
+        let mut batch = CoreBatch::from_template(&baseline, &seeds);
+        let mut rec = BatchTraceRecorder::begin(&mut batch, &catalog);
+        for _ in 0..reps {
+            rec.window(&lane_seqs);
+        }
+        let batched = rec.finish();
+        assert_eq!(batched.len(), seeds.len());
+
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut session = baseline.clone();
+            session.reseed(seed);
+            let mut rec = TraceRecorder::begin(&mut session, &catalog);
+            for _ in 0..reps {
+                rec.window(lane_seqs[lane]);
+            }
+            let scalar = rec.finish();
+            assert_eq!(scalar, batched[lane], "lane {lane} diverged");
+            assert_eq!(scalar.steps(), batched[lane].steps());
+            assert_eq!(scalar.support(), batched[lane].support());
         }
     }
 

@@ -35,7 +35,7 @@ pub use fuzzer::{
 };
 pub use gadget::{ConfirmedGadget, Gadget, GadgetCluster};
 pub use harness::{
-    measure_median, measure_once, measure_repeated, program_event, RecordedTrace, TraceEval,
-    TraceRecorder,
+    measure_median, measure_once, measure_repeated, program_event, BatchTraceRecorder,
+    RecordedTrace, TraceEval, TraceRecorder,
 };
 pub use report::FuzzReport;

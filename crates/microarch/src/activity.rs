@@ -160,11 +160,28 @@ impl fmt::Display for Feature {
 /// Used both as an *amount* (activity produced by an execution) and as a
 /// *rate* (activity per microsecond, in workload segment descriptions).
 #[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct ActivityVector(pub [f64; Feature::COUNT]);
 
 impl ActivityVector {
     /// The zero vector.
     pub const ZERO: ActivityVector = ActivityVector([0.0; Feature::COUNT]);
+
+    /// Borrows a `Feature::COUNT`-long slice as an activity vector
+    /// without copying — the view flat trace storage hands to the dense
+    /// read kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() != Feature::COUNT`.
+    pub fn from_slice(slice: &[f64]) -> &ActivityVector {
+        let arr: &[f64; Feature::COUNT] = slice
+            .try_into()
+            .expect("activity slice must be Feature::COUNT long");
+        // SAFETY: `ActivityVector` is `repr(transparent)` over
+        // `[f64; Feature::COUNT]`, so the reference cast is layout-exact.
+        unsafe { &*(arr as *const [f64; Feature::COUNT] as *const ActivityVector) }
+    }
 
     /// Creates a zero vector.
     pub fn new() -> Self {

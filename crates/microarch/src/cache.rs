@@ -7,6 +7,13 @@
 //! a subsequent load misses and refills from the system (trigger to `S1`).
 //! This model tracks exactly those lines, plus a probabilistic background
 //! hit model for accesses outside the page.
+//!
+//! The 64 lines of the page are packed into three `u64` bitmasks (one per
+//! residency bit) instead of an array of per-line structs: a whole cache is
+//! three words, so cloning a core, resetting a batch lane, or snapshotting
+//! a session costs three register moves, and `resident_lines` is a single
+//! popcount. The struct-of-arrays batch engine stores one such triple per
+//! lane.
 
 use serde::{Deserialize, Serialize};
 
@@ -36,28 +43,25 @@ impl CacheOutcome {
     }
 }
 
-/// Per-line L1D state for the fuzzer's scratch data page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-struct LineState {
-    /// Present in L1D.
-    l1: bool,
-    /// Present in L2 (inclusive of L1 in this model).
-    l2: bool,
-    /// Written since last refill.
-    dirty: bool,
-}
-
-/// L1D/L2 cache state restricted to the scratch data page.
-#[derive(Debug, Clone, PartialEq)]
+/// L1D/L2 cache state restricted to the scratch data page: bit `i` of each
+/// mask is the state of page line `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DataPageCache {
-    lines: [LineState; PAGE_LINES],
+    /// Present in L1D.
+    l1: u64,
+    /// Present in L2 (inclusive of L1 in this model).
+    l2: u64,
+    /// Written since last refill.
+    dirty: u64,
 }
 
 impl DataPageCache {
     /// A cold cache: no scratch-page line resident anywhere.
     pub fn cold() -> Self {
         DataPageCache {
-            lines: [LineState::default(); PAGE_LINES],
+            l1: 0,
+            l2: 0,
+            dirty: 0,
         }
     }
 
@@ -68,16 +72,17 @@ impl DataPageCache {
     ///
     /// Panics if `line >= PAGE_LINES`.
     pub fn read(&mut self, line: usize) -> CacheOutcome {
-        let state = &mut self.lines[line];
-        let outcome = if state.l1 {
+        assert!(line < PAGE_LINES, "line {line} out of range");
+        let mask = 1u64 << line;
+        let outcome = if self.l1 & mask != 0 {
             CacheOutcome::L1Hit
-        } else if state.l2 {
+        } else if self.l2 & mask != 0 {
             CacheOutcome::L2Hit
         } else {
             CacheOutcome::SystemRefill
         };
-        state.l1 = true;
-        state.l2 = true;
+        self.l1 |= mask;
+        self.l2 |= mask;
         outcome
     }
 
@@ -91,7 +96,7 @@ impl DataPageCache {
     /// [`read`]: DataPageCache::read
     pub fn write(&mut self, line: usize) -> CacheOutcome {
         let outcome = self.read(line);
-        self.lines[line].dirty = true;
+        self.dirty |= 1u64 << line;
         outcome
     }
 
@@ -102,14 +107,37 @@ impl DataPageCache {
     ///
     /// Panics if `line >= PAGE_LINES`.
     pub fn flush(&mut self, line: usize) -> bool {
-        let was_dirty = self.lines[line].dirty;
-        self.lines[line] = LineState::default();
+        assert!(line < PAGE_LINES, "line {line} out of range");
+        let mask = 1u64 << line;
+        let was_dirty = self.dirty & mask != 0;
+        self.l1 &= !mask;
+        self.l2 &= !mask;
+        self.dirty &= !mask;
         was_dirty
     }
 
     /// Number of scratch-page lines resident in L1D.
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.l1).count()
+        self.l1.count_ones() as usize
+    }
+
+    /// The state of the low four page lines packed into 12 bits — the
+    /// only cache context an instruction step can read or write (the
+    /// scratch operand line 0 and the rep-string lines 1–3), which makes
+    /// it the cache component of a memoized-window key.
+    pub(crate) fn low_lines_key(&self) -> u16 {
+        const LOW: u64 = 0xF;
+        ((self.l1 & LOW) | (self.l2 & LOW) << 4 | (self.dirty & LOW) << 8) as u16
+    }
+
+    /// Overwrites the low four page lines from `other`, leaving lines 4+
+    /// untouched — the replay side of a memoized window's cache
+    /// transition (window execution never touches higher lines).
+    pub(crate) fn adopt_low_lines(&mut self, other: &DataPageCache) {
+        const LOW: u64 = 0xF;
+        self.l1 = (self.l1 & !LOW) | (other.l1 & LOW);
+        self.l2 = (self.l2 & !LOW) | (other.l2 & LOW);
+        self.dirty = (self.dirty & !LOW) | (other.dirty & LOW);
     }
 }
 
@@ -122,6 +150,7 @@ impl Default for DataPageCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn cold_read_refills_from_system() {
@@ -171,5 +200,99 @@ mod tests {
     #[should_panic]
     fn out_of_range_line_panics() {
         DataPageCache::cold().read(PAGE_LINES);
+    }
+
+    /// The per-line struct-array model the bitmask version replaced. Kept
+    /// as the executable specification the packed representation is
+    /// equivalence-tested against.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    struct RefLine {
+        l1: bool,
+        l2: bool,
+        dirty: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    struct RefCache {
+        lines: [RefLine; PAGE_LINES],
+    }
+
+    impl RefCache {
+        fn cold() -> Self {
+            RefCache {
+                lines: [RefLine::default(); PAGE_LINES],
+            }
+        }
+
+        fn read(&mut self, line: usize) -> CacheOutcome {
+            let state = &mut self.lines[line];
+            let outcome = if state.l1 {
+                CacheOutcome::L1Hit
+            } else if state.l2 {
+                CacheOutcome::L2Hit
+            } else {
+                CacheOutcome::SystemRefill
+            };
+            state.l1 = true;
+            state.l2 = true;
+            outcome
+        }
+
+        fn write(&mut self, line: usize) -> CacheOutcome {
+            let outcome = self.read(line);
+            self.lines[line].dirty = true;
+            outcome
+        }
+
+        fn flush(&mut self, line: usize) -> bool {
+            let was_dirty = self.lines[line].dirty;
+            self.lines[line] = RefLine::default();
+            was_dirty
+        }
+
+        fn resident_lines(&self) -> usize {
+            self.lines.iter().filter(|l| l.l1).count()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read(usize),
+        Write(usize),
+        Flush(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0usize..PAGE_LINES, 0u8..3).prop_map(|(line, kind)| match kind {
+            0 => Op::Read(line),
+            1 => Op::Write(line),
+            _ => Op::Flush(line),
+        })
+    }
+
+    proptest! {
+        /// Any operation sequence drives the packed cache and the
+        /// struct-array reference through identical outcomes and identical
+        /// observable state.
+        #[test]
+        fn packed_matches_struct_array_reference(ops in proptest::collection::vec(op_strategy(), 0..256)) {
+            let mut packed = DataPageCache::cold();
+            let mut reference = RefCache::cold();
+            for op in &ops {
+                match *op {
+                    Op::Read(l) => prop_assert_eq!(packed.read(l), reference.read(l)),
+                    Op::Write(l) => prop_assert_eq!(packed.write(l), reference.write(l)),
+                    Op::Flush(l) => prop_assert_eq!(packed.flush(l), reference.flush(l)),
+                }
+                prop_assert_eq!(packed.resident_lines(), reference.resident_lines());
+                for line in 0..PAGE_LINES {
+                    let r = reference.lines[line];
+                    let mask = 1u64 << line;
+                    prop_assert_eq!(packed.l1 & mask != 0, r.l1);
+                    prop_assert_eq!(packed.l2 & mask != 0, r.l2);
+                    prop_assert_eq!(packed.dirty & mask != 0, r.dirty);
+                }
+            }
+        }
     }
 }

@@ -40,6 +40,7 @@
 
 mod activity;
 mod arch;
+mod batch;
 mod cache;
 mod core;
 mod events;
@@ -49,6 +50,7 @@ mod response;
 
 pub use crate::core::{Core, ExecError, InterferenceConfig};
 pub use activity::{ActivityVector, Feature, Origin};
+pub use batch::CoreBatch;
 pub use arch::MicroArch;
 pub use cache::{CacheOutcome, DataPageCache, PAGE_LINES};
 pub use events::{named, EventCatalog, EventDesc, EventId, EventKind, KindStats};

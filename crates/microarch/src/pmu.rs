@@ -26,7 +26,7 @@ pub enum OriginFilter {
 }
 
 impl OriginFilter {
-    fn matches(self, origin: Origin) -> bool {
+    pub(crate) fn matches(self, origin: Origin) -> bool {
         match (self, origin) {
             (OriginFilter::Any, _) => true,
             (OriginFilter::GuestOnly(vm), Origin::Guest(g)) => vm == g,
@@ -216,6 +216,12 @@ impl Pmu {
     /// Event programmed in a slot, if any.
     pub fn programmed_event(&self, slot: usize) -> Option<EventId> {
         self.slots.get(slot)?.as_ref().map(|c| c.config.event)
+    }
+
+    /// Full configuration and lane state of a programmed slot — the batch
+    /// engine's template view when seeding lanes from an existing core.
+    pub(crate) fn slot_state(&self, slot: usize) -> Option<(CounterConfig, &CounterLane)> {
+        self.slots.get(slot)?.as_ref().map(|c| (c.config, &c.lane))
     }
 
     /// Accumulates an activity delta into all matching counters.

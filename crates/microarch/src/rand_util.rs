@@ -5,6 +5,7 @@
 //! uniform distribution" rather than library APIs (Section VII-C), so the
 //! few distributions we need are implemented here from uniform draws.
 
+use aegis_par::splitmix64;
 use rand::Rng;
 
 /// Samples a standard normal via the Box–Muller transform.
@@ -77,6 +78,17 @@ fn inv_norm_cdf(p: f64) -> f64 {
     }
 }
 
+/// Maps one uniform 64-bit word to a uniform draw on `[0, 1)` (top 53
+/// bits, the standard double-precision construction).
+///
+/// The stateless counterpart of `Rng::gen::<f64>()`: feed it a
+/// `derive_seed(base, site, instance)` word and the draw depends only on
+/// the key, never on how many other draws happened first — the property
+/// the batched core engine needs for lane order-independence.
+pub fn unit_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / 9007199254740992.0)
+}
+
 /// Samples a normal with the given mean and standard deviation.
 ///
 /// # Panics
@@ -102,6 +114,30 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     let mut count = 0u64;
     while product > limit {
         product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Keyed Poisson sampler: the stateless counterpart of [`poisson`], driven
+/// by a SplitMix64 chain rooted at `seed` instead of a stateful generator.
+/// Same branch structure (Knuth's product method for small rates, normal
+/// approximation above 64), so the two stay distribution-identical.
+pub fn poisson_from_seed(seed: u64, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let mut state = splitmix64(seed);
+    if lambda > 64.0 {
+        let x = lambda + lambda.sqrt() * gauss_from_bits(state);
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product = unit_from_bits(state);
+    let mut count = 0u64;
+    while product > limit {
+        state = splitmix64(state);
+        product *= unit_from_bits(state);
         count += 1;
     }
     count
@@ -182,6 +218,48 @@ mod tests {
         let n = 5_000;
         let mean = (0..n).map(|_| poisson(&mut rng, 400.0)).sum::<u64>() as f64 / n as f64;
         assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_from_bits_covers_the_half_open_interval() {
+        let n = 50_000u64;
+        let mut lo: f64 = 1.0;
+        let mut hi: f64 = 0.0;
+        let mut sum = 0.0;
+        for k in 0..n {
+            let u = unit_from_bits(splitmix64(k));
+            assert!((0.0..1.0).contains(&u), "u {u}");
+            lo = lo.min(u);
+            hi = hi.max(u);
+            sum += u;
+        }
+        assert!(lo < 0.001 && hi > 0.999, "range [{lo}, {hi}]");
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn keyed_poisson_mean_small_lambda() {
+        let n = 20_000u64;
+        let mean =
+            (0..n).map(|k| poisson_from_seed(splitmix64(k), 3.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn keyed_poisson_mean_large_lambda() {
+        let n = 5_000u64;
+        let mean = (0..n)
+            .map(|k| poisson_from_seed(splitmix64(k), 400.0))
+            .sum::<u64>() as f64
+            / n as f64;
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn keyed_poisson_is_pure_and_zero_below_zero_rate() {
+        assert_eq!(poisson_from_seed(9, 3.0), poisson_from_seed(9, 3.0));
+        assert_eq!(poisson_from_seed(9, 0.0), 0);
+        assert_eq!(poisson_from_seed(9, -1.0), 0);
     }
 
     #[test]

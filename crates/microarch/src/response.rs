@@ -290,6 +290,16 @@ impl CounterLane {
         self.guest_visible
     }
 
+    /// The raw accumulation (batch-engine template view).
+    pub(crate) fn acc(&self) -> &ActivityVector {
+        &self.acc
+    }
+
+    /// Draws consumed so far (batch-engine template view).
+    pub(crate) fn draws_consumed(&self) -> u64 {
+        self.draws.load(Ordering::Relaxed)
+    }
+
     /// Accumulates one activity delta, applying the SEV observability
     /// boundary (guest activity only moves guest-visible events). A
     /// component-wise fold — no dot product, no noise.

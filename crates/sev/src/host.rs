@@ -338,31 +338,51 @@ impl Host {
             arch: self.arch,
             cores: self.cores.clone(),
             assignment: self.assignment.clone(),
-            vms: self
-                .vms
-                .iter()
-                .map(|vm| Vm {
-                    id: vm.id,
-                    mode: vm.mode,
-                    vcpus: vm
-                        .vcpus
-                        .iter()
-                        .map(|vc| Vcpu {
-                            core: vc.core,
-                            app: None,
-                            injector: None,
-                            stats: vc.stats,
-                        })
-                        .collect(),
-                    launched_at_ns: vm.launched_at_ns,
-                })
-                .collect(),
+            vms: self.vms.iter().map(Host::detached_vm).collect(),
             clock_ns: self.clock_ns,
             host_bg: self.host_bg,
             faults: self.faults,
             // Stream state forks with the host: a replica replays the
             // same fault schedule from the same point.
             fault_state: self.fault_state.clone(),
+        }
+    }
+
+    /// [`Host::fork_detached`] into an existing `Host`, reusing its
+    /// allocations (core vectors, VM topology, fault-stream state)
+    /// instead of building a fresh replica. The result is identical to
+    /// `*out = self.fork_detached()` — this is the arena-reuse form the
+    /// collection loops call once per (secret, rep) unit, where the
+    /// replica's buffers survive across thousands of forks per worker.
+    pub fn fork_detached_into(&self, out: &mut Host) {
+        out.arch = self.arch;
+        out.cores.clone_from(&self.cores);
+        out.assignment.clone_from(&self.assignment);
+        out.vms.clear();
+        out.vms.extend(self.vms.iter().map(Host::detached_vm));
+        out.clock_ns = self.clock_ns;
+        out.host_bg = self.host_bg;
+        out.faults = self.faults;
+        out.fault_state.clone_from(&self.fault_state);
+    }
+
+    /// A VM replicated without its process-unique activity sources (see
+    /// [`Host::fork_detached`]).
+    fn detached_vm(vm: &Vm) -> Vm {
+        Vm {
+            id: vm.id,
+            mode: vm.mode,
+            vcpus: vm
+                .vcpus
+                .iter()
+                .map(|vc| Vcpu {
+                    core: vc.core,
+                    app: None,
+                    injector: None,
+                    stats: vc.stats,
+                })
+                .collect(),
+            launched_at_ns: vm.launched_at_ns,
         }
     }
 
@@ -1009,6 +1029,53 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fork_detached_into_matches_fork_detached() {
+        let (mut host, vm) = host_with_vm();
+        host.attach_app(
+            vm,
+            0,
+            Box::new(PlanSource::new(steady_plan(300.0, 20_000_000))),
+        )
+        .unwrap();
+        for _ in 0..50 {
+            host.tick(|_, _, _| {});
+        }
+        let core = host.core_of(vm, 0).unwrap();
+        let ev = host
+            .core(core)
+            .catalog()
+            .lookup(named::RETIRED_UOPS)
+            .unwrap();
+
+        let mut fresh = host.fork_detached();
+        // A dirty arena — a replica that already ran its own measurements
+        // — must be overwritten completely by the in-place fork.
+        let mut arena = host.fork_detached();
+        arena
+            .attach_app(
+                vm,
+                0,
+                Box::new(PlanSource::new(steady_plan(900.0, 5_000_000))),
+            )
+            .unwrap();
+        let _ = arena.record_trace(core, &[ev], OriginFilter::Any, 500_000, 3_000_000);
+        host.fork_detached_into(&mut arena);
+        assert_eq!(fresh.clock_ns(), arena.clock_ns());
+
+        let mut measure = |h: &mut Host| {
+            h.attach_app(
+                vm,
+                0,
+                Box::new(PlanSource::new(steady_plan(300.0, 20_000_000))),
+            )
+            .unwrap();
+            h.record_trace(core, &[ev], OriginFilter::Any, 1_000_000, 10_000_000)
+                .unwrap()
+        };
+        assert_eq!(measure(&mut fresh), measure(&mut arena));
     }
 
     #[test]

@@ -163,6 +163,64 @@ fn vectorized_fuzzing_is_bit_identical_under_obs_cache_and_workers() {
 }
 
 #[test]
+fn batched_core_recording_is_invariant_to_workers_and_lane_width() {
+    // The batched struct-of-arrays engine keys every lane's noise by its
+    // session seed alone, so one set of sessions must record identical
+    // traces no matter how it is partitioned into CoreBatch blocks or
+    // how many workers drive the blocks — including ragged tails where
+    // the last block is narrower than the lane width.
+    use aegis::fuzzer::{BatchTraceRecorder, RecordedTrace};
+    use aegis::microarch::CoreBatch;
+    use aegis::par::Executor;
+    use aegis_isa::{InstrId, WellKnown};
+
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+    let mut template = Core::new(MicroArch::AmdEpyc7252, 7);
+    template.set_interference(InterferenceConfig::isolated());
+    let template = template; // freeze: every batch forks from one state
+    let seq: Vec<InstrId> = vec![WellKnown::Clflush.id(), WellKnown::Load64.id()];
+    const SESSIONS: u64 = 24;
+    let seeds: Vec<u64> = (0..SESSIONS).map(|i| derive_seed(3, 0x5e55, i)).collect();
+
+    let record = |threads: usize, lane_width: usize| -> Vec<RecordedTrace> {
+        set_threads(threads);
+        let blocks: Vec<Vec<u64>> = seeds.chunks(lane_width).map(<[u64]>::to_vec).collect();
+        let template = &template;
+        let catalog = &catalog;
+        let seq = &seq;
+        let out: Vec<Vec<RecordedTrace>> = Executor::from_config().map_with(
+            blocks,
+            |_worker| None::<CoreBatch>,
+            |arena, _unit, block| {
+                match arena {
+                    Some(batch) => batch.reset_from(template, &block),
+                    None => *arena = Some(CoreBatch::from_template(template, &block)),
+                }
+                let batch = arena.as_mut().expect("arena just filled");
+                let seqs: Vec<&[InstrId]> = vec![seq.as_slice(); block.len()];
+                let mut rec = BatchTraceRecorder::begin(batch, catalog);
+                for _ in 0..5 {
+                    rec.window(&seqs);
+                }
+                rec.finish()
+            },
+        );
+        out.into_iter().flatten().collect()
+    };
+
+    let baseline = record(1, 1);
+    assert_eq!(baseline.len(), SESSIONS as usize);
+    for (threads, width) in [(1, 24), (4, 8), (8, 5), (2, 32), (8, 1)] {
+        assert_eq!(
+            baseline,
+            record(threads, width),
+            "threads={threads} lane_width={width} leaked into the traces"
+        );
+    }
+}
+
+#[test]
 fn cleanup_cache_hit_is_exact() {
     let dir = std::env::temp_dir().join(format!(
         "aegis-cleanup-cache-test-{}",

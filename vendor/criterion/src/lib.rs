@@ -114,6 +114,26 @@ impl Criterion {
         }
         let samples = sample_size.unwrap_or(self.sample_size);
 
+        // Smoke mode: one iteration, no calibration or sampling. Proves
+        // the bench function still runs end to end without burning
+        // minutes; the recorded number is not a measurement.
+        if std::env::var("AEGIS_BENCH_SMOKE").as_deref() == Ok("1") {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_secs_f64() * 1e9;
+            println!("{id:<48} smoke: [{} x1]", fmt_ns(ns));
+            self.results.push(Sampled {
+                id,
+                median_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            });
+            return;
+        }
+
         // Calibrate: grow the iteration count until one sample takes
         // roughly `sample_target`.
         let mut iters: u64 = 1;
