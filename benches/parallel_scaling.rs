@@ -12,7 +12,7 @@ use aegis::microarch::{named, Core, InterferenceConfig, MicroArch};
 use aegis::par::{set_threads, ArtifactCache};
 use aegis::sev::{Host, SevMode};
 use aegis::workloads::WebsiteCatalog;
-use aegis::{collect_dataset, CollectConfig};
+use aegis::{CollectConfig, Collector};
 use aegis_isa::{IsaCatalog, Vendor};
 use criterion::{black_box, Criterion};
 
@@ -39,7 +39,8 @@ fn bench_collect(c: &mut Criterion) {
                 let app = WebsiteCatalog::new(3);
                 let events = host.core(core).catalog().attack_events();
                 black_box(
-                    collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None)
+                    Collector::for_traces(cfg)
+                        .dataset(&mut host, vm, 0, &app, &events, None)
                         .unwrap()
                         .samples
                         .rows(),

@@ -16,7 +16,7 @@ use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::sev::{Host, SevMode, VmId};
 use aegis::workloads::{CryptoApp, DnnZoo, KeystrokeApp, SecretApp, WebsiteCatalog};
 use aegis::{
-    collect_dataset, measure_app_run, AegisConfig, AegisPipeline, ClassifierAttack, CollectConfig,
+    measure_app_run, AegisConfig, AegisPipeline, ClassifierAttack, CollectConfig, Collector,
     DefenseDeployment, DefensePlan, MechanismChoice,
 };
 use rand::rngs::StdRng;
@@ -267,7 +267,8 @@ fn evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let cfg = collect_cfg(app.as_ref(), s);
 
     eprintln!("training the attacker on clean traces ...");
-    let clean = collect_dataset(&mut host, vm, 0, app.as_ref(), &events, &cfg, None)
+    let clean = Collector::for_traces(cfg)
+        .dataset(&mut host, vm, 0, app.as_ref(), &events, None)
         .map_err(|e| e.to_string())?;
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), s);
     println!(
@@ -279,16 +280,9 @@ fn evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let deployment = DefenseDeployment::new(&plan, mech);
     let mut victim = cfg;
     victim.seed = s ^ 0xc11;
-    let defended = collect_dataset(
-        &mut host,
-        vm,
-        0,
-        app.as_ref(),
-        &events,
-        &victim,
-        Some(&deployment),
-    )
-    .map_err(|e| e.to_string())?;
+    let defended = Collector::for_traces(victim)
+        .dataset(&mut host, vm, 0, app.as_ref(), &events, Some(&deployment))
+        .map_err(|e| e.to_string())?;
     println!(
         "defended attack accuracy: {:6.2}%  under {}",
         attacker.accuracy(&defended) * 100.0,

@@ -56,6 +56,28 @@ pub enum AegisError {
         /// What failed.
         message: String,
     },
+    /// A service-plane operation failed: an unknown or non-running
+    /// session, a hot reload that would not land within its retry
+    /// budget, a poisoned ε-ledger, or a session whose restart budget is
+    /// spent.
+    Service {
+        /// What was being done, e.g. `"reload session 0"`.
+        context: String,
+        /// Why it failed.
+        message: String,
+    },
+    /// A tenant's ε budget cannot cover a requested deployment epoch;
+    /// the service refuses and the guest's counters stay fail-closed.
+    BudgetExhausted {
+        /// The tenant whose budget is spent.
+        tenant: String,
+        /// The ε the epoch would have drawn.
+        requested: f64,
+        /// ε still unspent in the tenant's account.
+        remaining: f64,
+        /// The tenant's total provisioned ε.
+        total: f64,
+    },
 }
 
 impl AegisError {
@@ -90,6 +112,14 @@ impl AegisError {
             message: err.to_string(),
         }
     }
+
+    /// Convenience constructor for service-plane failures.
+    pub fn service(context: impl Into<String>, message: impl Into<String>) -> Self {
+        AegisError::Service {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for AegisError {
@@ -109,6 +139,19 @@ impl fmt::Display for AegisError {
             AegisError::Fault { site, message } => {
                 write!(f, "injected fault at {site}: {message}")
             }
+            AegisError::Service { context, message } => {
+                write!(f, "service error {context}: {message}")
+            }
+            AegisError::BudgetExhausted {
+                tenant,
+                requested,
+                remaining,
+                total,
+            } => write!(
+                f,
+                "privacy budget exhausted for tenant {tenant:?}: \
+                 requested {requested:.4}, remaining {remaining:.4} of {total:.4}"
+            ),
         }
     }
 }
@@ -151,5 +194,15 @@ mod tests {
         );
         assert!(e.to_string().contains("reading plan.json"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = AegisError::service("reload session 0", "3 consecutive torn swaps");
+        assert!(e.to_string().contains("reload session 0"));
+        let e = AegisError::BudgetExhausted {
+            tenant: "acme".into(),
+            requested: 1.0,
+            remaining: 0.2,
+            total: 4.2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("acme") && s.contains("exhausted"), "{s}");
     }
 }

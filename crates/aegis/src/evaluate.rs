@@ -3,7 +3,7 @@
 //! VIII). Used by the examples and the experiment harness.
 
 use crate::error::AegisError;
-use crate::pipeline::DefenseDeployment;
+use crate::pipeline::{AegisConfig, DefenseDeployment};
 use aegis_attack::{
     ctc_collapse, layer_match_accuracy, trace_features, Dataset, EpochStats, GaussianNb,
     Standardizer, TrainConfig, TrainingCurve,
@@ -57,22 +57,151 @@ impl Default for CollectConfig {
     }
 }
 
-/// Collects a labeled HPC-trace dataset of `app` running in `vm`, as
-/// observed by the *host* (the attacker's view: every counter on the
-/// guest's core, app and injected noise indistinguishable).
+/// The trace-collection handle: one place that owns the collection and
+/// MEA settings and measures apps, datasets, and extraction runs against
+/// a host. Build one from the same [`AegisConfig`] that drives the
+/// pipeline — collection settings live alongside the mechanism and
+/// profiling settings instead of being threaded as loose arguments.
 ///
-/// With `defense` set, a fresh obfuscator is deployed per trace.
-///
-/// The (secret, rep) units are independent measurements, so they are
-/// sharded across the configured worker pool: each unit replays against
-/// a pristine fork of `host` with plan and noise RNGs derived from
-/// `(cfg.seed, unit index)`. The dataset is therefore bit-identical for
-/// any worker count, including 1.
+/// Replaces the free functions [`collect_dataset`] and
+/// [`collect_mea_runs`] (kept as deprecated wrappers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Collector {
+    collect: CollectConfig,
+    mea: MeaConfig,
+}
+
+impl Collector {
+    /// Builds a collector from the pipeline configuration.
+    pub fn new(cfg: &AegisConfig) -> Collector {
+        Collector {
+            collect: cfg.collect,
+            mea: cfg.mea,
+        }
+    }
+
+    /// Builds a collector from explicit settings (for callers that never
+    /// construct an [`AegisConfig`]).
+    pub fn from_parts(collect: CollectConfig, mea: MeaConfig) -> Collector {
+        Collector { collect, mea }
+    }
+
+    /// A collector with the given trace settings and default MEA
+    /// settings.
+    pub fn for_traces(collect: CollectConfig) -> Collector {
+        Collector {
+            collect,
+            mea: MeaConfig::default(),
+        }
+    }
+
+    /// A collector with the given MEA settings and default trace
+    /// settings.
+    pub fn for_mea(mea: MeaConfig) -> Collector {
+        Collector {
+            collect: CollectConfig::default(),
+            mea,
+        }
+    }
+
+    /// The active trace-collection settings.
+    pub fn collect_config(&self) -> &CollectConfig {
+        &self.collect
+    }
+
+    /// The active MEA-collection settings.
+    pub fn mea_config(&self) -> &MeaConfig {
+        &self.mea
+    }
+
+    /// Collects a labeled HPC-trace dataset of `app` running in `vm`, as
+    /// observed by the *host* (the attacker's view: every counter on the
+    /// guest's core, app and injected noise indistinguishable).
+    ///
+    /// With `defense` set, a fresh obfuscator is deployed per trace.
+    ///
+    /// The (secret, rep) units are independent measurements, so they are
+    /// sharded across the configured worker pool: each unit replays
+    /// against a pristine fork of `host` with plan and noise RNGs derived
+    /// from `(seed, unit index)`. The dataset is therefore bit-identical
+    /// for any worker count, including 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Host`] for invalid ids.
+    pub fn dataset(
+        &self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        app: &dyn SecretApp,
+        events: &[EventId],
+        defense: Option<&DefenseDeployment>,
+    ) -> Result<Dataset, AegisError> {
+        dataset_impl(host, vm, vcpu, app, events, &self.collect, defense)
+    }
+
+    /// Collects model-extraction runs: each run is one padded inference
+    /// pass of one zoo model with per-slice layer labels. Shards across
+    /// the worker pool exactly like [`Collector::dataset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Host`] for invalid ids.
+    pub fn mea_runs(
+        &self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        zoo: &DnnZoo,
+        events: &[EventId],
+        defense: Option<&DefenseDeployment>,
+    ) -> Result<Vec<(usize, MeaRun)>, AegisError> {
+        mea_runs_impl(host, vm, vcpu, zoo, events, &self.mea, defense)
+    }
+
+    /// Runs one app plan to completion and measures latency and CPU
+    /// usage (see [`measure_app_run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Host`] for invalid ids, or if the app fails
+    /// to finish within 10× its nominal duration.
+    pub fn measure(
+        &self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        plan: WorkloadPlan,
+        defense: Option<&DefenseDeployment>,
+        seed: u64,
+    ) -> Result<RunMeasurement, AegisError> {
+        measure_app_run(host, vm, vcpu, plan, defense, seed)
+    }
+}
+
+/// Free-function form of [`Collector::dataset`].
 ///
 /// # Errors
 ///
 /// Returns [`AegisError::Host`] for invalid ids.
+#[deprecated(
+    since = "0.7.0",
+    note = "build a `Collector` from your `AegisConfig` and call `.dataset(..)`"
+)]
 pub fn collect_dataset(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    cfg: &CollectConfig,
+    defense: Option<&DefenseDeployment>,
+) -> Result<Dataset, AegisError> {
+    dataset_impl(host, vm, vcpu, app, events, cfg, defense)
+}
+
+pub(crate) fn dataset_impl(
     host: &mut Host,
     vm: VmId,
     vcpu: usize,
@@ -255,17 +384,34 @@ impl Default for MeaConfig {
     }
 }
 
-/// Collects model-extraction runs: each run is one padded inference pass
-/// of one zoo model with per-slice layer labels.
-///
-/// Like [`collect_dataset`], the (model, rep) units shard across the
-/// configured worker pool with per-unit derived seeds and pristine host
-/// forks — output is independent of the worker count.
+/// Free-function form of [`Collector::mea_runs`].
 ///
 /// # Errors
 ///
 /// Returns [`AegisError::Host`] for invalid ids.
+#[deprecated(
+    since = "0.7.0",
+    note = "build a `Collector` from your `AegisConfig` and call `.mea_runs(..)`"
+)]
 pub fn collect_mea_runs(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    zoo: &DnnZoo,
+    events: &[EventId],
+    cfg: &MeaConfig,
+    defense: Option<&DefenseDeployment>,
+) -> Result<Vec<(usize, MeaRun)>, AegisError> {
+    mea_runs_impl(host, vm, vcpu, zoo, events, cfg, defense)
+}
+
+/// Collects model-extraction runs: each run is one padded inference pass
+/// of one zoo model with per-slice layer labels.
+///
+/// The (model, rep) units shard across the configured worker pool with
+/// per-unit derived seeds and pristine host forks — output is independent
+/// of the worker count.
+pub(crate) fn mea_runs_impl(
     host: &mut Host,
     vm: VmId,
     vcpu: usize,
@@ -550,7 +696,9 @@ pub fn measure_app_run(
     let nominal = plan.duration_ns();
     host.attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))?;
     match defense {
-        Some(d) => d.deploy(host, vm, vcpu, seed)?,
+        Some(d) => {
+            d.deploy(host, vm, vcpu, seed)?;
+        }
         None => host.detach_injector(vm, vcpu)?,
     }
     host.reset_vm_stats(vm)?;
@@ -620,7 +768,8 @@ mod tests {
         let events = host.core(core).catalog().attack_events().to_vec();
         let cfg = quick_collect();
 
-        let clean = collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+        let collector = Collector::from_parts(cfg, MeaConfig::default());
+        let clean = collector.dataset(&mut host, vm, 0, &app, &events, None).unwrap();
         assert_eq!(clean.len(), 10 * cfg.traces_per_secret);
         let attack = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
         let clean_acc = attack.curve.final_val_acc();
@@ -630,16 +779,10 @@ mod tests {
         let deployment = test_deployment(&host);
         let mut victim_cfg = cfg;
         victim_cfg.seed = 99;
-        let defended = collect_dataset(
-            &mut host,
-            vm,
-            0,
-            &app,
-            &events,
-            &victim_cfg,
-            Some(&deployment),
-        )
-        .unwrap();
+        let victim = Collector::from_parts(victim_cfg, MeaConfig::default());
+        let defended = victim
+            .dataset(&mut host, vm, 0, &app, &events, Some(&deployment))
+            .unwrap();
         let def_acc = attack.accuracy(&defended);
         assert!(
             def_acc < clean_acc * 0.6,

@@ -52,17 +52,23 @@ mod error;
 mod evaluate;
 mod pipeline;
 mod plan;
+pub mod service;
 pub mod sweep;
 
 pub use error::AegisError;
+#[allow(deprecated)]
 pub use evaluate::{
-    collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, MeaAttack,
-    MeaConfig, MeaRun, RunMeasurement, BLANK,
+    collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, Collector,
+    MeaAttack, MeaConfig, MeaRun, RunMeasurement, BLANK,
 };
 pub use pipeline::{
-    AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, MechanismChoice,
+    AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, Deployment, MechanismChoice,
 };
 pub use plan::DefensePlan;
+pub use service::{
+    AegisService, EpsilonLedger, HealthReport, ServiceConfig, ServiceHandle, ServiceReport,
+    SessionHealth, SessionId, SessionReport, Status, SupervisorConfig,
+};
 pub use sweep::{SweepCell, SweepConfig, SweepOutcome};
 
 // Observability: re-export the level type for builder callers, and the

@@ -2,17 +2,17 @@
 
 use crate::error::AegisError;
 use crate::plan::DefensePlan;
+use crate::service::{AegisService, ServiceConfig};
 use aegis_dp::{DStarMechanism, LaplaceMechanism, NoiseMechanism};
 use aegis_faults::FaultPlan;
-use aegis_fuzzer::{cluster_gadgets, covering_set, EventFuzzer, FuzzerConfig, GadgetStats};
-use aegis_isa::IsaCatalog;
-use aegis_microarch::{Core, InterferenceConfig};
+use aegis_fuzzer::FuzzerConfig;
 use aegis_obfuscator::{
     ConstantOutput, GadgetStack, Obfuscator, ObfuscatorConfig, SecretConstantNoise,
     UniformRandomNoise,
 };
 use aegis_obs::{self as obs, ObsLevel};
-use aegis_profiler::{rank_events, warmup_profile, RankConfig, WarmupConfig};
+use aegis_par::fingerprint;
+use aegis_profiler::{RankConfig, WarmupConfig};
 use aegis_sev::{Host, HostError, VmId};
 use aegis_workloads::SecretApp;
 use serde::{Deserialize, Serialize};
@@ -52,6 +52,12 @@ pub struct AegisConfig {
     /// environment variable (then no faults). Takes effect via
     /// [`AegisConfig::apply_runtime`].
     pub faults: Option<FaultPlan>,
+    /// Trace-collection settings, consumed through
+    /// [`Collector`](crate::Collector).
+    pub collect: crate::evaluate::CollectConfig,
+    /// Model-extraction collection settings, consumed through
+    /// [`Collector`](crate::Collector).
+    pub mea: crate::evaluate::MeaConfig,
 }
 
 impl Default for AegisConfig {
@@ -66,6 +72,8 @@ impl Default for AegisConfig {
             threads: 0,
             obs: None,
             faults: None,
+            collect: crate::evaluate::CollectConfig::default(),
+            mea: crate::evaluate::MeaConfig::default(),
         }
     }
 }
@@ -157,6 +165,20 @@ impl AegisConfigBuilder {
     /// Sets the ISA-specification seed.
     pub fn isa_seed(mut self, seed: u64) -> Self {
         self.cfg.isa_seed = seed;
+        self
+    }
+
+    /// Replaces the trace-collection settings (see
+    /// [`Collector`](crate::Collector)).
+    pub fn collect(mut self, collect: crate::evaluate::CollectConfig) -> Self {
+        self.cfg.collect = collect;
+        self
+    }
+
+    /// Replaces the MEA-collection settings (see
+    /// [`Collector`](crate::Collector)).
+    pub fn mea(mut self, mea: crate::evaluate::MeaConfig) -> Self {
+        self.cfg.mea = mea;
         self
     }
 
@@ -258,6 +280,22 @@ impl MechanismChoice {
         }
     }
 
+    /// The ε a single deployment epoch of this mechanism releases, under
+    /// the conservative sequential-composition reading the service
+    /// plane's ledger uses. The d* mechanism provides (d*, 2ε)-privacy,
+    /// so an epoch costs 2ε; the non-DP baselines (uniform random,
+    /// constant output, secret constant) make no privacy claim and draw
+    /// nothing from the budget.
+    pub fn epsilon_cost(&self) -> f64 {
+        match *self {
+            MechanismChoice::Laplace { epsilon } => epsilon,
+            MechanismChoice::DStar { epsilon } => 2.0 * epsilon,
+            MechanismChoice::UniformRandom { .. }
+            | MechanismChoice::ConstantOutput { .. }
+            | MechanismChoice::SecretConstant { .. } => 0.0,
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> String {
         match *self {
@@ -268,6 +306,29 @@ impl MechanismChoice {
             MechanismChoice::SecretConstant { bound } => format!("secret-constant(bound={bound})"),
         }
     }
+}
+
+/// A typed receipt for a completed deployment: which plan went where,
+/// under which mechanism, and what the epoch cost in ε. Returned by
+/// [`DefenseDeployment::deploy`], [`DefenseDeployment::deploy_all`], and
+/// `ServiceHandle::reload`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Content fingerprint of the deployed gadget stack
+    /// ([`DefenseDeployment::plan_id`]).
+    pub plan_id: u64,
+    /// The protected VM.
+    pub vm: VmId,
+    /// The vCPUs that received an obfuscator.
+    pub vcpus: Vec<usize>,
+    /// Mechanism label, e.g. `laplace(eps=1)`.
+    pub mechanism: String,
+    /// ε this deployment epoch releases per protected vCPU
+    /// ([`MechanismChoice::epsilon_cost`]); in service mode this is what
+    /// the tenant's ledger was charged.
+    pub epsilon_charged: f64,
+    /// Base seed of the deployment's noise streams.
+    pub seed: u64,
 }
 
 /// A deployable defense: the calibrated gadget stack plus the chosen
@@ -303,7 +364,14 @@ impl DefenseDeployment {
         )
     }
 
-    /// Installs the obfuscator on the protected vCPU — the online stage.
+    /// Content fingerprint of the deployed gadget stack — stable across
+    /// runs, so receipts and ledgers can name a plan without carrying it.
+    pub fn plan_id(&self) -> u64 {
+        fingerprint(&self.stack)
+    }
+
+    /// Installs the obfuscator on the protected vCPU — the online stage —
+    /// and returns the typed receipt.
     ///
     /// # Errors
     ///
@@ -314,20 +382,33 @@ impl DefenseDeployment {
         vm: VmId,
         vcpu: usize,
         seed: u64,
-    ) -> Result<(), AegisError> {
+    ) -> Result<Deployment, AegisError> {
         host.attach_injector(vm, vcpu, Box::new(self.make_obfuscator(seed)))?;
-        Ok(())
+        Ok(Deployment {
+            plan_id: self.plan_id(),
+            vm,
+            vcpus: vec![vcpu],
+            mechanism: self.mechanism.label(),
+            epsilon_charged: self.mechanism.epsilon_cost(),
+            seed,
+        })
     }
 
     /// Installs an independent obfuscator on *every* vCPU of the VM — the
     /// deployment for multi-vCPU guests (the paper's victim VM has four
     /// vCPUs; protected applications may be scheduled onto any of them).
-    /// Each vCPU gets its own noise stream derived from `seed`.
+    /// Each vCPU gets its own noise stream derived from `seed`. The
+    /// receipt lists every covered vCPU.
     ///
     /// # Errors
     ///
     /// Returns [`AegisError::Host`] for an unknown VM.
-    pub fn deploy_all(&self, host: &mut Host, vm: VmId, seed: u64) -> Result<(), AegisError> {
+    pub fn deploy_all(
+        &self,
+        host: &mut Host,
+        vm: VmId,
+        seed: u64,
+    ) -> Result<Deployment, AegisError> {
         let mut vcpu = 0;
         loop {
             match host.attach_injector(
@@ -336,7 +417,16 @@ impl DefenseDeployment {
                 Box::new(self.make_obfuscator(seed ^ ((vcpu as u64) << 32))),
             ) {
                 Ok(()) => vcpu += 1,
-                Err(HostError::UnknownVcpu(..)) if vcpu > 0 => return Ok(()),
+                Err(HostError::UnknownVcpu(..)) if vcpu > 0 => {
+                    return Ok(Deployment {
+                        plan_id: self.plan_id(),
+                        vm,
+                        vcpus: (0..vcpu).collect(),
+                        mechanism: self.mechanism.label(),
+                        epsilon_charged: self.mechanism.epsilon_cost(),
+                        seed,
+                    })
+                }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -353,6 +443,11 @@ impl AegisPipeline {
     /// top-ranked events, gadget clustering and covering-set extraction,
     /// and stack calibration.
     ///
+    /// This is a thin start → profile → shutdown sequence over the
+    /// service plane ([`AegisService`]): batch profiling and service-mode
+    /// profiling execute the exact same stages, so the two paths cannot
+    /// drift.
+    ///
     /// # Errors
     ///
     /// Returns [`AegisError::Host`] for invalid vm/vcpu ids.
@@ -364,57 +459,10 @@ impl AegisPipeline {
         cfg: &AegisConfig,
     ) -> Result<DefensePlan, AegisError> {
         let _pipeline = obs::span("pipeline.offline");
-
-        // Module 1a: warm-up profiling.
-        let warmup = {
-            let _s = obs::span("profile.warmup");
-            warmup_profile(template, vm, vcpu, app, &cfg.warmup)?
-        };
-
-        // Module 1b: vulnerability ranking by mutual information.
-        let rankings = {
-            let _s = obs::span("profile.rank");
-            rank_events(template, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?
-        };
-
-        // Module 2: fuzz the most vulnerable events on an isolated core of
-        // the same microarchitecture.
-        let arch = template.arch();
-        let isa = IsaCatalog::shared(arch.vendor(), cfg.isa_seed);
-        let mut fuzz_core = Core::new(arch, cfg.fuzzer.seed);
-        fuzz_core.set_interference(InterferenceConfig::isolated());
-        let targets: Vec<_> = rankings
-            .iter()
-            .take(cfg.fuzz_top_events)
-            .map(|r| r.event)
-            .collect();
-        let fuzzer = EventFuzzer::new(cfg.fuzzer);
-        let mut outcome = fuzzer.run(&isa, &mut fuzz_core, &targets);
-
-        // Module 2 filtering + covering set.
-        let gadget_stats = GadgetStats::from_events(&outcome.per_event);
-        cluster_gadgets(&mut outcome);
-        let covering = {
-            let _s = obs::span("plan.cover");
-            covering_set(&outcome.per_event)
-        };
-
-        // Calibrate the injection unit.
-        let stack = {
-            let _s = obs::span("plan.calibrate");
-            fuzz_core.reset_cache();
-            GadgetStack::from_covering(&isa, &mut fuzz_core, &covering)
-        };
-
-        Ok(DefensePlan {
-            template_arch: arch,
-            vulnerable_events: warmup.vulnerable,
-            rankings,
-            covering,
-            stack,
-            fuzz_report: outcome.report,
-            gadget_stats,
-        })
+        let mut svc = AegisService::start(template, ServiceConfig::new(*cfg))?;
+        let plan = svc.profile(vm, vcpu, app)?;
+        svc.shutdown()?;
+        Ok(plan)
     }
 }
 

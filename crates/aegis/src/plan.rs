@@ -10,6 +10,19 @@ use aegis_sev::{verify_attestation, AttestationError, AttestationReport};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Version of the on-disk plan file format written by
+/// [`DefensePlan::save`]. Bump when the serialized shape changes
+/// incompatibly; files from *older* versions (including the unversioned
+/// pre-versioning format) keep loading.
+pub const PLAN_SCHEMA_VERSION: u32 = 1;
+
+/// The on-disk envelope: the schema version plus the plan itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PlanFile {
+    schema_version: u32,
+    plan: DefensePlan,
+}
+
 /// Output of Aegis's offline stage (Application Profiler + Event Fuzzer):
 /// the vulnerable events, their ranking, and the calibrated covering
 /// gadget stack to inject at runtime.
@@ -58,7 +71,14 @@ impl DefensePlan {
         verify_attestation(report, self.template_arch)
     }
 
-    /// Writes the plan as pretty-printed JSON, creating parent
+    /// Content fingerprint of this plan's gadget stack — the stable id
+    /// deployment receipts carry (see `Deployment::plan_id`).
+    pub fn plan_id(&self) -> u64 {
+        aegis_par::fingerprint(&self.stack)
+    }
+
+    /// Writes the plan as pretty-printed JSON inside a versioned envelope
+    /// (`schema_version` [`PLAN_SCHEMA_VERSION`]), creating parent
     /// directories as needed.
     ///
     /// # Errors
@@ -73,7 +93,11 @@ impl DefensePlan {
                     .map_err(|e| AegisError::io(format!("creating {}", dir.display()), e))?;
             }
         }
-        let json = serde_json::to_string_pretty(self)
+        let envelope = PlanFile {
+            schema_version: PLAN_SCHEMA_VERSION,
+            plan: self.clone(),
+        };
+        let json = serde_json::to_string_pretty(&envelope)
             .map_err(|e| AegisError::serde("encoding defense plan", e))?;
         std::fs::write(path, json)
             .map_err(|e| AegisError::io(format!("writing plan {}", path.display()), e))
@@ -81,16 +105,43 @@ impl DefensePlan {
 
     /// Reads a plan previously written with [`DefensePlan::save`].
     ///
+    /// Both formats load: the current versioned envelope and the bare
+    /// pre-versioning plan JSON (treated as schema version 0). Files
+    /// stamped with a *future* schema version are refused rather than
+    /// misread.
+    ///
     /// # Errors
     ///
     /// Returns [`AegisError::Io`] if the file is unreadable and
-    /// [`AegisError::Serde`] if its contents do not parse as a plan.
+    /// [`AegisError::Serde`] if its contents do not parse as a plan or
+    /// were written by a newer format version.
     pub fn load(path: impl AsRef<Path>) -> Result<DefensePlan, AegisError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| AegisError::io(format!("reading plan {}", path.display()), e))?;
-        serde_json::from_str(&text)
-            .map_err(|e| AegisError::serde(format!("decoding plan {}", path.display()), e))
+        let value: serde::Value = serde_json::from_str(&text)
+            .map_err(|e| AegisError::serde(format!("decoding plan {}", path.display()), e))?;
+        match value.get("schema_version") {
+            // Unversioned legacy file: the plan object itself.
+            None => Deserialize::from_value(&value)
+                .map_err(|e| AegisError::serde(format!("decoding plan {}", path.display()), e)),
+            Some(v) => {
+                let version = v.as_u64().unwrap_or(u64::MAX);
+                if version > u64::from(PLAN_SCHEMA_VERSION) {
+                    return Err(AegisError::serde(
+                        format!("decoding plan {}", path.display()),
+                        format!(
+                            "schema_version {version} is newer than this build's \
+                             {PLAN_SCHEMA_VERSION}; refusing to misread it"
+                        ),
+                    ));
+                }
+                let envelope: PlanFile = Deserialize::from_value(&value).map_err(|e| {
+                    AegisError::serde(format!("decoding plan {}", path.display()), e)
+                })?;
+                Ok(envelope.plan)
+            }
+        }
     }
 }
 
@@ -156,6 +207,10 @@ mod tests {
         plan.save(&path).unwrap();
         assert_eq!(DefensePlan::load(&path).unwrap(), plan);
 
+        // The on-disk form is the versioned envelope.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("schema_version"), "{text}");
+
         // A missing file is an Io error; garbage is a Serde error.
         assert!(matches!(
             DefensePlan::load(dir.join("absent.json")),
@@ -167,5 +222,48 @@ mod tests {
             Err(AegisError::Serde { .. })
         ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unversioned_plan_files_still_load() {
+        let dir = std::env::temp_dir().join(format!("aegis-plan-v0-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let plan = tiny_plan();
+        // The pre-versioning format: the bare plan object, no envelope.
+        std::fs::write(&path, serde_json::to_string_pretty(&plan).unwrap()).unwrap();
+        assert_eq!(DefensePlan::load(&path).unwrap(), plan);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_schema_versions_are_refused() {
+        let dir = std::env::temp_dir().join(format!("aegis-plan-vN-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let plan = tiny_plan();
+        plan.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        std::fs::write(&path, text).unwrap();
+        let err = DefensePlan::load(&path).unwrap_err();
+        assert!(
+            matches!(&err, AegisError::Serde { message, .. } if message.contains("newer")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_id_is_a_stack_fingerprint() {
+        let plan = tiny_plan();
+        assert_eq!(plan.plan_id(), aegis_par::fingerprint(&plan.stack));
+        let mut other = plan.clone();
+        other.stack.gadgets.clear();
+        other.stack.per_gadget.clear();
+        assert_ne!(plan.plan_id(), other.plan_id());
     }
 }

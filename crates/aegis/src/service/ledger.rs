@@ -1,0 +1,304 @@
+//! The per-tenant ε-budget ledger.
+//!
+//! Every deployment *epoch* — the first attach, each hot reload, each
+//! watchdog restart — mints a fresh noise stream for the tenant's guest,
+//! and the ledger accounts that release against the tenant's provisioned
+//! ε under sequential composition (the conservative reading: a new epoch
+//! is a new ε-draw even when the mechanism's stream merely continues).
+//! The ledger persists through [`ArtifactCache`] so spend survives
+//! service restarts, and it fails *closed* in both directions:
+//!
+//! - a charge that does not fit returns
+//!   [`AegisError::BudgetExhausted`] and the caller latches the guest's
+//!   counters to read zero;
+//! - a persisted record that exists but does not parse poisons the
+//!   ledger — every tenant is refused until an operator repairs the
+//!   record, because silently restarting from zero spend would launder
+//!   an unbounded privacy release.
+
+use crate::error::AegisError;
+use aegis_dp::PrivacyBudget;
+use aegis_faults::{self as faults, site, FaultPlan, FaultStream};
+use aegis_obs as obs;
+use aegis_par::{fingerprint, ArtifactCache};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Artifact kind under which the ledger record is stored.
+pub const LEDGER_KIND: &str = "service-ledger";
+
+/// Version of the on-disk ledger record.
+const LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// The on-disk shape: versioned, with accounts in sorted order so the
+/// record is byte-stable across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LedgerRecord {
+    schema_version: u32,
+    accounts: Vec<(String, PrivacyBudget)>,
+}
+
+/// Where a ledger persists, plus the fault stream that can tear its
+/// writes (`ledger_corrupt`).
+struct LedgerStore {
+    cache: ArtifactCache,
+    key: u64,
+    faults: FaultPlan,
+    corrupt_stream: Option<FaultStream>,
+}
+
+/// Per-tenant ε accounts with optional on-disk persistence.
+pub struct EpsilonLedger {
+    default_budget: f64,
+    accounts: BTreeMap<String, PrivacyBudget>,
+    store: Option<LedgerStore>,
+    poisoned: bool,
+}
+
+impl EpsilonLedger {
+    /// Opens a ledger. With a `store`, any record persisted under
+    /// `(cache, scope)` is loaded first; a record that exists but does
+    /// not parse (torn write, truncation) poisons the ledger instead of
+    /// resetting spend to zero. Tenants seen for the first time are
+    /// provisioned `default_budget` ε (`f64::INFINITY` = unmetered).
+    pub fn open(
+        default_budget: f64,
+        store: Option<(ArtifactCache, &str)>,
+        plan: FaultPlan,
+    ) -> EpsilonLedger {
+        let mut ledger = EpsilonLedger {
+            default_budget,
+            accounts: BTreeMap::new(),
+            store: None,
+            poisoned: false,
+        };
+        let Some((cache, scope)) = store else {
+            return ledger;
+        };
+        let key = fingerprint(&(LEDGER_KIND, scope));
+        // Read the raw file rather than `cache.get`, which deliberately
+        // flattens corrupt artifacts into misses — for the ledger,
+        // corrupt and absent are opposite outcomes (fail-closed vs
+        // fresh).
+        let path = cache.path_for(LEDGER_KIND, key);
+        match std::fs::read_to_string(&path) {
+            Err(_) => {} // absent: a fresh ledger
+            Ok(text) => match serde_json::from_str::<LedgerRecord>(&text) {
+                Ok(rec) if rec.schema_version <= LEDGER_SCHEMA_VERSION => {
+                    ledger.accounts = rec.accounts.into_iter().collect();
+                }
+                _ => {
+                    ledger.poisoned = true;
+                    obs::counter_add("service.ledger.poisoned", 1.0);
+                    obs::event(
+                        "service.ledger.corrupt",
+                        &[("path", &path.display().to_string())],
+                    );
+                }
+            },
+        }
+        ledger.store = Some(LedgerStore {
+            corrupt_stream: plan
+                .is_active()
+                .then(|| FaultStream::new(&plan, site::SERVICE_LEDGER, key)),
+            cache,
+            key,
+            faults: plan,
+        });
+        ledger
+    }
+
+    /// Whether the persisted record was unreadable. A poisoned ledger
+    /// refuses every charge.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// ε still unspent for `tenant`; `None` for tenants never charged.
+    pub fn remaining(&self, tenant: &str) -> Option<f64> {
+        self.accounts.get(tenant).map(PrivacyBudget::remaining)
+    }
+
+    /// ε spent so far by `tenant` (0 for tenants never charged).
+    pub fn spent(&self, tenant: &str) -> f64 {
+        self.accounts.get(tenant).map_or(0.0, PrivacyBudget::spent)
+    }
+
+    /// Charges `eps` against `tenant`'s account (provisioning it at the
+    /// default budget on first contact), persists the updated record,
+    /// and returns the remaining ε.
+    ///
+    /// # Errors
+    ///
+    /// [`AegisError::Service`] if the ledger is poisoned,
+    /// [`AegisError::BudgetExhausted`] if the charge does not fit (the
+    /// account is unchanged), and [`AegisError::Io`] if the updated
+    /// record cannot be written.
+    pub fn charge(&mut self, tenant: &str, eps: f64) -> Result<f64, AegisError> {
+        if self.poisoned {
+            return Err(AegisError::service(
+                format!("charging tenant {tenant:?}"),
+                "persisted ledger record is corrupt; refusing all service (fail closed)",
+            ));
+        }
+        let account = self
+            .accounts
+            .entry(tenant.to_string())
+            .or_insert_with(|| PrivacyBudget::new(self.default_budget));
+        account
+            .charge(eps)
+            .map_err(|e| AegisError::BudgetExhausted {
+                tenant: tenant.to_string(),
+                requested: e.requested,
+                remaining: (e.total - e.spent).max(0.0),
+                total: e.total,
+            })?;
+        let remaining = account.remaining();
+        obs::counter_add("service.ledger.charges", 1.0);
+        obs::gauge_set(&format!("service.ledger.remaining.{tenant}"), remaining);
+        self.persist()?;
+        Ok(remaining)
+    }
+
+    /// Writes the current accounts to the store, if any. Under an active
+    /// `ledger_corrupt` rate the write can tear — truncated JSON lands
+    /// at the final path, which the next [`EpsilonLedger::open`] must
+    /// treat as poisoned, never as a fresh ledger.
+    fn persist(&mut self) -> Result<(), AegisError> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let record = LedgerRecord {
+            schema_version: LEDGER_SCHEMA_VERSION,
+            // Unmetered (infinite) accounts are not persisted: JSON has
+            // no finite encoding for them and there is no spend to
+            // protect — they re-provision identically on reopen.
+            accounts: self
+                .accounts
+                .iter()
+                .filter(|(_, v)| v.total().is_finite())
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        };
+        let torn = store
+            .corrupt_stream
+            .as_mut()
+            .is_some_and(|s| s.chance(store.faults.ledger_corrupt));
+        if torn {
+            let path = store.cache.path_for(LEDGER_KIND, store.key);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| AegisError::io(format!("creating {}", dir.display()), e))?;
+            }
+            let json = serde_json::to_string_pretty(&record)
+                .map_err(|e| AegisError::serde("encoding ε-ledger record", e))?;
+            std::fs::write(&path, &json.as_bytes()[..json.len() / 2])
+                .map_err(|e| AegisError::io(format!("writing ledger {}", path.display()), e))?;
+            faults::report("service", "ledger_corrupt", &[("key", store.key)]);
+            return Ok(());
+        }
+        store
+            .cache
+            .put(LEDGER_KIND, store.key, &record)
+            .map_err(|e| AegisError::io("persisting ε-ledger record", e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aegis-ledger-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn charges_compose_and_exhaust() {
+        let mut ledger = EpsilonLedger::open(2.5, None, FaultPlan::none());
+        assert_eq!(ledger.remaining("a"), None);
+        assert_eq!(ledger.charge("a", 1.0).unwrap(), 1.5);
+        assert_eq!(ledger.charge("a", 1.0).unwrap(), 0.5);
+        // Tenants are isolated.
+        assert_eq!(ledger.charge("b", 1.0).unwrap(), 1.5);
+        let err = ledger.charge("a", 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            AegisError::BudgetExhausted { requested, .. } if requested == 1.0
+        ));
+        // Refused charge leaves the account unchanged.
+        assert_eq!(ledger.remaining("a"), Some(0.5));
+        assert_eq!(ledger.spent("a"), 2.0);
+    }
+
+    #[test]
+    fn unmetered_ledger_never_exhausts() {
+        let mut ledger = EpsilonLedger::open(f64::INFINITY, None, FaultPlan::none());
+        for _ in 0..100 {
+            ledger.charge("t", 8.0).unwrap();
+        }
+        assert_eq!(ledger.remaining("t"), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn spend_persists_across_opens() {
+        let dir = temp_dir("persist");
+        let cache = ArtifactCache::new(&dir);
+        let mut a = EpsilonLedger::open(3.0, Some((cache.clone(), "prod")), FaultPlan::none());
+        a.charge("acme", 2.0).unwrap();
+        drop(a);
+        let mut b = EpsilonLedger::open(3.0, Some((cache.clone(), "prod")), FaultPlan::none());
+        assert_eq!(b.remaining("acme"), Some(1.0));
+        assert!(b.charge("acme", 2.0).is_err(), "spend survived the restart");
+        // A different scope is a different ledger.
+        let c = EpsilonLedger::open(3.0, Some((cache, "staging")), FaultPlan::none());
+        assert_eq!(c.remaining("acme"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_poisons_and_refuses_fail_closed() {
+        let dir = temp_dir("poison");
+        let plan = FaultPlan {
+            seed: 5,
+            ledger_corrupt: 1.0,
+            ..FaultPlan::none()
+        };
+        let cache = ArtifactCache::new(&dir);
+        let mut a = EpsilonLedger::open(3.0, Some((cache.clone(), "prod")), plan);
+        a.charge("acme", 1.0).unwrap();
+        drop(a);
+        // The persist tore: reopening must poison, not reset to zero.
+        let mut b = EpsilonLedger::open(3.0, Some((cache, "prod")), FaultPlan::none());
+        assert!(b.poisoned());
+        assert!(matches!(
+            b.charge("acme", 0.5),
+            Err(AegisError::Service { .. })
+        ));
+        assert!(
+            matches!(b.charge("other", 0.0), Err(AegisError::Service { .. })),
+            "a poisoned ledger refuses every tenant, even zero-cost epochs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_schema_version_poisons() {
+        let dir = temp_dir("schema");
+        let cache = ArtifactCache::new(&dir);
+        let key = fingerprint(&(LEDGER_KIND, "prod"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            cache.path_for(LEDGER_KIND, key),
+            r#"{"schema_version": 99, "accounts": []}"#,
+        )
+        .unwrap();
+        let ledger = EpsilonLedger::open(1.0, Some((cache, "prod")), FaultPlan::none());
+        assert!(ledger.poisoned());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,8 +26,7 @@
 
 use crate::error::AegisError;
 use crate::evaluate::{
-    collect_dataset, collect_mea_runs, ClassifierAttack, CollectConfig, MeaAttack, MeaConfig,
-    MeaRun,
+    dataset_impl, mea_runs_impl, ClassifierAttack, CollectConfig, MeaAttack, MeaConfig, MeaRun,
 };
 use crate::pipeline::{DefenseDeployment, MechanismChoice};
 use aegis_attack::TrainConfig;
@@ -243,7 +242,7 @@ pub fn classification_sweep(
                 "noisy-dataset",
                 dataset_key(cfg, app, events, &victim_cfg, &deployment),
                 &mut stats,
-                || collect_dataset(&mut *replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
+                || dataset_impl(&mut *replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
             )?;
 
             let accuracy = match clean_attacker {
@@ -262,7 +261,7 @@ pub fn classification_sweep(
                         dataset_key(cfg, app, events, &train_collect, &deployment),
                         &mut stats,
                         || {
-                            collect_dataset(
+                            dataset_impl(
                                 &mut *replica,
                                 vm,
                                 vcpu,
@@ -343,7 +342,7 @@ pub fn mea_sweep(
                 "noisy-mea-runs",
                 mea_key(cfg, zoo, events, &victim_cfg, &deployment),
                 &mut stats,
-                || collect_mea_runs(&mut *replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
+                || mea_runs_impl(&mut *replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
             )?;
 
             let accuracy = match clean_attacker {
@@ -360,7 +359,7 @@ pub fn mea_sweep(
                         mea_key(cfg, zoo, events, &train_collect, &deployment),
                         &mut stats,
                         || {
-                            collect_mea_runs(
+                            mea_runs_impl(
                                 &mut *replica,
                                 vm,
                                 vcpu,
@@ -552,7 +551,7 @@ mod tests {
             per_secret_noise: false,
         };
         let mut clean_host = host.fork_detached();
-        let clean = collect_dataset(&mut clean_host, vm, 0, &app, &events, &collect, None).unwrap();
+        let clean = dataset_impl(&mut clean_host, vm, 0, &app, &events, &collect, None).unwrap();
         let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
         let deployment = test_deployment(&host);
         let cfg = quick_sweep_cfg();

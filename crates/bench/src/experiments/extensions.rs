@@ -11,7 +11,7 @@ use aegis::isa::IsaCatalog;
 use aegis::microarch::{named, Core, InterferenceConfig};
 use aegis::obfuscator::ObfuscatorConfig;
 use aegis::workloads::{CryptoApp, SecretApp};
-use aegis::{collect_dataset, ClassifierAttack, MechanismChoice};
+use aegis::{ClassifierAttack, Collector, MechanismChoice};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,9 @@ pub fn ext_crypto(cfg: &ExpConfig) {
         seed: cfg.seed,
         per_secret_noise: false,
     };
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
     print_kv(
         "clean key-recovery accuracy",
@@ -58,8 +60,9 @@ pub fn ext_crypto(cfg: &ExpConfig) {
         let mut victim = collect;
         victim.seed = cfg.seed ^ 0xc2f9;
         victim.traces_per_secret = 8;
-        let defended =
-            collect_dataset(&mut host, vm, 0, &app, &events, &victim, Some(&deployment)).unwrap();
+        let defended = Collector::for_traces(victim)
+            .dataset(&mut host, vm, 0, &app, &events, Some(&deployment))
+            .unwrap();
         t.row_strings(vec![label.to_string(), pct(attacker.accuracy(&defended))]);
     }
     t.print();
@@ -131,7 +134,9 @@ fn ablation_learners(cfg: &ExpConfig) {
     let core = host.core_of(vm, 0).unwrap();
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.wfa_collect();
-    let ds = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let ds = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let (mut train, mut val) = ds.split(0.7, &mut rng);
@@ -168,7 +173,9 @@ fn ablation_lanes(cfg: &ExpConfig) {
     let core = host.core_of(vm, 0).unwrap();
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.wfa_collect();
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
 
     // A weak budget where the attack partially survives, so injector
@@ -183,7 +190,9 @@ fn ablation_lanes(cfg: &ExpConfig) {
         let mut victim = collect;
         victim.seed = cfg.seed ^ 0x1a9e ^ label.len() as u64;
         victim.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
-        let defended = collect_dataset(&mut host, vm, 0, &app, &events, &victim, Some(d)).unwrap();
+        let defended = Collector::for_traces(victim)
+            .dataset(&mut host, vm, 0, &app, &events, Some(d))
+            .unwrap();
         t.row_strings(vec![label.to_string(), pct(attacker.accuracy(&defended))]);
     }
     t.print();
@@ -203,7 +212,9 @@ fn ablation_interval(cfg: &ExpConfig) {
     let core = host.core_of(vm, 0).unwrap();
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.wfa_collect();
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
 
     let fine = deployment_for(cfg, &app, MechanismChoice::Laplace { epsilon: 8.0 });
@@ -221,7 +232,9 @@ fn ablation_interval(cfg: &ExpConfig) {
         victim.seed = cfg.seed ^ 0x417e ^ label.len() as u64;
         victim.traces_per_secret = cfg.sweep_traces_per_secret(app.n_secrets());
         let before = host.vcpu_stats(vm, 0).unwrap().injected_uops;
-        let defended = collect_dataset(&mut host, vm, 0, &app, &events, &victim, Some(d)).unwrap();
+        let defended = Collector::for_traces(victim)
+            .dataset(&mut host, vm, 0, &app, &events, Some(d))
+            .unwrap();
         let injected = host.vcpu_stats(vm, 0).unwrap().injected_uops - before;
         t.row_strings(vec![
             label.to_string(),

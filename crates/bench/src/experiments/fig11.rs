@@ -12,7 +12,7 @@ use crate::output::{pct, print_header, print_kv, Table};
 use crate::scenarios::{deployment_for, new_host, wfa_app, ExpConfig};
 use aegis::attack::{Dataset, TrainConfig};
 use aegis::workloads::SecretApp;
-use aegis::{collect_dataset, ClassifierAttack, MechanismChoice};
+use aegis::{ClassifierAttack, Collector, MechanismChoice};
 
 /// Fig. 11: attack accuracy under uniform random noise of increasing
 /// bound, against the Laplace (ε = 2⁰) reference.
@@ -24,7 +24,9 @@ pub fn fig11(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.wfa_collect();
 
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
 
     // Peak normalized value of the clean leakage trace: the `p` of the
@@ -39,7 +41,9 @@ pub fn fig11(cfg: &ExpConfig) {
         let mut c = victim_cfg;
         c.seed = seed;
         let before = host.vcpu_stats(vm, 0).unwrap().injected_uops;
-        let ds = collect_dataset(host, vm, 0, &app, &events, &c, Some(&deployment)).unwrap();
+        let ds = Collector::for_traces(c)
+            .dataset(host, vm, 0, &app, &events, Some(&deployment))
+            .unwrap();
         let injected = host.vcpu_stats(vm, 0).unwrap().injected_uops - before;
         (attacker.accuracy(&ds), injected)
     };
@@ -174,7 +178,9 @@ pub fn constout(cfg: &ExpConfig) {
     let mut volume = |mech: MechanismChoice| {
         let deployment = deployment_for(cfg, &app, mech);
         let before = host.vcpu_stats(vm, 0).unwrap().injected_uops;
-        collect_dataset(&mut host, vm, 0, &one, &events, &collect, Some(&deployment)).unwrap();
+        Collector::for_traces(collect)
+            .dataset(&mut host, vm, 0, &one, &events, Some(&deployment))
+            .unwrap();
         host.vcpu_stats(vm, 0).unwrap().injected_uops - before
     };
     let constant = volume(MechanismChoice::ConstantOutput { peak: p_norm });
@@ -199,7 +205,9 @@ pub fn multitries(cfg: &ExpConfig) {
     let events = host.core(core).catalog().attack_events().to_vec();
     let collect = cfg.ksa_collect();
 
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &collect, None).unwrap();
+    let clean = Collector::for_traces(collect)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), cfg.seed);
 
     // A strong budget whose per-trace variance defeats single traces even
@@ -257,8 +265,9 @@ pub fn multitries(cfg: &ExpConfig) {
         c.traces_per_secret = m_traces;
         c.per_secret_noise = per_secret;
         c.seed = cfg.seed ^ 0x3117 ^ u64::from(per_secret);
-        let defended =
-            collect_dataset(&mut host, vm, 0, &app, &events, &c, Some(deployment)).unwrap();
+        let defended = Collector::for_traces(c)
+            .dataset(&mut host, vm, 0, &app, &events, Some(deployment))
+            .unwrap();
         let mut t = Table::new(&["averaged traces k", "accuracy"]);
         for k in [1usize, 2, 4, 8, 16] {
             t.row_strings(vec![

@@ -125,7 +125,7 @@ pub fn mea_zoo(cfg: &ExpConfig) -> DnnZoo {
 }
 
 use aegis::attack::Dataset;
-use aegis::{collect_dataset, collect_mea_runs, MeaRun};
+use aegis::{Collector, MeaRun};
 use aegis::fuzzer::FuzzerConfig;
 use aegis::microarch::EventId;
 use aegis::par::{fingerprint, ArtifactCache};
@@ -160,7 +160,8 @@ pub fn clean_dataset_cached(
     if let Some(hit) = cache.get::<Dataset>("clean-dataset", key) {
         return hit;
     }
-    let ds = collect_dataset(host, vm, vcpu, app, events, collect, None)
+    let ds = Collector::for_traces(*collect)
+        .dataset(host, vm, vcpu, app, events, None)
         .expect("clean collection uses validated ids");
     let _ = cache.put("clean-dataset", key, &ds);
     ds
@@ -188,7 +189,8 @@ pub fn clean_mea_runs_cached(
     if let Some(hit) = cache.get::<Vec<(usize, MeaRun)>>("clean-mea-runs", key) {
         return hit;
     }
-    let runs = collect_mea_runs(host, vm, vcpu, zoo, events, collect, None)
+    let runs = Collector::for_mea(*collect)
+        .mea_runs(host, vm, vcpu, zoo, events, None)
         .expect("clean collection uses validated ids");
     let _ = cache.put("clean-mea-runs", key, &runs);
     runs

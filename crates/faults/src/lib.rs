@@ -57,6 +57,15 @@ pub mod site {
     pub const FUZZ: u64 = 0xFA07;
     /// Netlink-style sample drop between kernel module and daemon.
     pub const NETLINK: u64 = 0xFA08;
+    /// Service-plane health check flap (healthy session reported
+    /// unhealthy for one check).
+    pub const SERVICE_HEALTH: u64 = 0xFA09;
+    /// Service-plane hot-reload torn swap (pending plan lost before the
+    /// interval-boundary apply).
+    pub const SERVICE_RELOAD: u64 = 0xFA0A;
+    /// Service-plane ε-ledger persistence corruption (torn ledger
+    /// write).
+    pub const SERVICE_LEDGER: u64 = 0xFA0B;
 }
 
 /// A serializable fault-injection plan: per-site rates plus the fault
@@ -105,6 +114,16 @@ pub struct FaultPlan {
     /// (panics) after this many recording sessions — used to exercise
     /// checkpoint/resume.
     pub fuzz_kill_after: u64,
+    /// Probability per service-plane health check that a healthy
+    /// session is spuriously reported unhealthy (watchdog flap).
+    pub health_flap: f64,
+    /// Probability per hot-reload swap attempt that the pending plan is
+    /// lost before the interval-boundary apply (torn swap; the old plan
+    /// stays fully attached).
+    pub reload_torn: f64,
+    /// Probability per ε-ledger persist that the on-disk record is torn
+    /// (truncated JSON; the next service start must fail closed).
+    pub ledger_corrupt: f64,
 }
 
 impl Default for FaultPlan {
@@ -131,6 +150,9 @@ impl FaultPlan {
             sample_drop: 0.0,
             cache_torn: 0.0,
             fuzz_kill_after: 0,
+            health_flap: 0.0,
+            reload_torn: 0.0,
+            ledger_corrupt: 0.0,
         }
     }
 
@@ -153,6 +175,9 @@ impl FaultPlan {
             sample_drop: 0.05,
             cache_torn: 0.1,
             fuzz_kill_after: 0,
+            health_flap: 0.05,
+            reload_torn: 0.1,
+            ledger_corrupt: 0.05,
         }
     }
 
@@ -170,6 +195,9 @@ impl FaultPlan {
             || self.sample_drop > 0.0
             || self.cache_torn > 0.0
             || self.fuzz_kill_after > 0
+            || self.health_flap > 0.0
+            || self.reload_torn > 0.0
+            || self.ledger_corrupt > 0.0
     }
 
     /// Parses an `AEGIS_FAULTS` value: `off|none|0` → [`FaultPlan::none`],
@@ -214,6 +242,9 @@ impl FaultPlan {
                 "sample_drop" => plan.sample_drop = f()?,
                 "cache_torn" => plan.cache_torn = f()?,
                 "fuzz_kill_after" => plan.fuzz_kill_after = u()?,
+                "health_flap" => plan.health_flap = f()?,
+                "reload_torn" => plan.reload_torn = f()?,
+                "ledger_corrupt" => plan.ledger_corrupt = f()?,
                 other => return Err(format!("AEGIS_FAULTS: unknown field {other:?}")),
             }
         }
@@ -385,6 +416,34 @@ mod tests {
         assert_eq!(p.pmc_program_fail, 0.5);
         assert_eq!(p.counter_corrupt, 0.0);
         assert!(FaultPlan::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn service_sites_parse_and_activate() {
+        let p = FaultPlan::parse(
+            r#"{"health_flap": 0.25, "reload_torn": 0.5, "ledger_corrupt": 1.0}"#,
+        )
+        .unwrap();
+        assert_eq!(p.health_flap, 0.25);
+        assert_eq!(p.reload_torn, 0.5);
+        assert_eq!(p.ledger_corrupt, 1.0);
+        assert!(p.is_active());
+        for only in [
+            FaultPlan {
+                health_flap: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                reload_torn: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                ledger_corrupt: 0.1,
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(only.is_active(), "service-site rate alone activates");
+        }
     }
 
     #[test]

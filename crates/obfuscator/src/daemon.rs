@@ -124,9 +124,13 @@ pub struct Obfuscator {
     t: usize,
     current_rate: ActivityVector,
     injected_counts: f64,
+    // Hot reload: a staged stack waiting for the next interval boundary.
+    pending_stack: Option<GadgetStack>,
+    generation: u64,
     // Fault injection + self-supervision.
     faults: FaultPlan,
     drop_stream: Option<FaultStream>,
+    reload_stream: Option<FaultStream>,
     starved_ticks: u32,
     stale_intervals: u32,
 }
@@ -179,10 +183,15 @@ impl Obfuscator {
             t: 0,
             current_rate: ActivityVector::ZERO,
             injected_counts: 0.0,
+            pending_stack: None,
+            generation: 0,
             faults: plan,
             drop_stream: plan
                 .is_active()
                 .then(|| FaultStream::new(&plan, site::NETLINK, seed)),
+            reload_stream: plan
+                .is_active()
+                .then(|| FaultStream::new(&plan, site::SERVICE_RELOAD, seed)),
             starved_ticks: 0,
             stale_intervals: 0,
         }
@@ -209,6 +218,40 @@ impl Obfuscator {
         &self.stack
     }
 
+    /// Stages `stack` to replace the live gadget stack at the next
+    /// interval boundary. The swap is atomic from the injection plane's
+    /// point of view: the interval in flight drains under the old
+    /// stack's lanes, the next interval injects through the new ones,
+    /// and the mechanism's noise series, the interval counter, and the
+    /// accumulated kernel-module samples all continue gapless. Staging
+    /// again before the boundary replaces the previously staged stack.
+    ///
+    /// Under an active fault plan the apply itself can tear
+    /// (`reload_torn`): the staged stack is lost at the boundary and
+    /// [`Obfuscator::stack_generation`] does not advance — the old plan
+    /// stays fully attached, which is what lets a supervisor detect the
+    /// torn swap and restage.
+    pub fn begin_reload(&mut self, stack: GadgetStack) {
+        self.pending_stack = Some(stack);
+    }
+
+    /// Number of plan swaps applied so far. A supervisor staging a
+    /// reload watches this advance to confirm the swap landed.
+    pub fn stack_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether a staged stack is still waiting for its boundary.
+    pub fn reload_pending(&self) -> bool {
+        self.pending_stack.is_some()
+    }
+
+    /// Completed noise intervals so far (the daemon's `t` counter). The
+    /// service plane's reload test pins this gapless across swaps.
+    pub fn intervals(&self) -> usize {
+        self.t
+    }
+
     /// Whether the obfuscator currently considers its own protection
     /// degraded (starved of cycles or running on a stale sample feed).
     pub fn degraded(&self) -> bool {
@@ -227,6 +270,27 @@ impl Obfuscator {
     }
 
     fn close_interval(&mut self) {
+        // Interval boundary: apply a staged plan swap before computing
+        // the next interval's injection, so the closing interval drained
+        // entirely under the old stack and the next one is entirely new.
+        if let Some(stack) = self.pending_stack.take() {
+            let torn = self
+                .reload_stream
+                .as_mut()
+                .is_some_and(|s| s.chance(self.faults.reload_torn));
+            if torn {
+                faults::report(
+                    "service",
+                    "reload_torn",
+                    &[("t", self.t as u64), ("generation", self.generation)],
+                );
+            } else {
+                self.lanes = build_lanes(&stack);
+                self.stack = stack;
+                self.generation += 1;
+                aegis_obs::counter_add("obfuscator.plan_swaps", 1.0);
+            }
+        }
         self.t += 1;
         let x_norm = self.app_counts_accum / self.cfg.noise_scale_counts;
         self.app_counts_accum = 0.0;
@@ -372,6 +436,12 @@ impl ActivitySource for Obfuscator {
         } else {
             ProtectionStatus::Healthy
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        // The service plane drives hot reloads through this after the
+        // obfuscator has been boxed into the host.
+        Some(self)
     }
 }
 
@@ -564,6 +634,99 @@ mod tests {
         let rb = drive(&mut b, 500, 300.0);
         assert_eq!(ra, rb);
         assert_eq!(a.injected_counts(), b.injected_counts());
+    }
+
+    fn stack2() -> GadgetStack {
+        let catalog = IsaCatalog::synthetic(Vendor::Amd, 7);
+        let mut core = Core::new(MicroArch::AmdEpyc7252, 7);
+        core.set_interference(InterferenceConfig::isolated());
+        GadgetStack::calibrate(
+            &catalog,
+            &mut core,
+            vec![
+                Gadget::new(WellKnown::Clflush.id(), WellKnown::Load64.id()),
+                Gadget::new(WellKnown::Load64.id(), WellKnown::Store64.id()),
+            ],
+            100,
+        )
+    }
+
+    #[test]
+    fn reload_with_identical_stack_is_invisible() {
+        // A swap to a bit-identical stack must leave every injected rate
+        // unchanged vs an untouched twin: the mechanism stream, lane
+        // RNG, interval counter, and sample accumulator all continue
+        // gapless through the boundary.
+        let cfg = ObfuscatorConfig::default();
+        let mut a = Obfuscator::new(stack(), Box::new(LaplaceMechanism::new(1.0, 3)), cfg);
+        let mut b = Obfuscator::new(stack(), Box::new(LaplaceMechanism::new(1.0, 3)), cfg);
+        let ra0 = drive(&mut a, 500, 300.0);
+        let rb0 = drive(&mut b, 500, 300.0);
+        assert_eq!(ra0, rb0);
+        b.begin_reload(stack());
+        assert!(b.reload_pending());
+        let ra1 = drive(&mut a, 500, 300.0);
+        let rb1 = drive(&mut b, 500, 300.0);
+        assert_eq!(ra1, rb1, "identical-stack swap must be invisible");
+        assert!(!b.reload_pending());
+        assert_eq!(b.stack_generation(), 1);
+        assert_eq!(a.stack_generation(), 0);
+        assert_eq!(a.intervals(), b.intervals(), "t stays gapless");
+    }
+
+    #[test]
+    fn reload_swaps_lanes_without_dropping_intervals() {
+        let cfg = ObfuscatorConfig::default();
+        let mut obf = Obfuscator::new(stack(), Box::new(LaplaceMechanism::new(1.0, 9)), cfg);
+        drive(&mut obf, 300, 300.0);
+        let t_before = obf.intervals();
+        let counts_before = obf.injected_counts();
+        assert_eq!(obf.stack().len(), 1);
+        obf.begin_reload(stack2());
+        drive(&mut obf, 300, 300.0);
+        assert_eq!(obf.stack_generation(), 1);
+        assert_eq!(obf.stack().len(), 2, "new stack attached");
+        // 300 ticks of 100 µs = 30 ms = 150 more 200 µs intervals: no
+        // interval was lost to the swap, and injection kept flowing.
+        assert_eq!(obf.intervals(), t_before + 150);
+        assert!(obf.injected_counts() > counts_before);
+    }
+
+    #[test]
+    fn torn_reload_keeps_old_plan_fully_attached() {
+        let cfg = ObfuscatorConfig::default();
+        let plan = FaultPlan {
+            seed: 11,
+            reload_torn: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut clean = Obfuscator::new(stack(), Box::new(LaplaceMechanism::new(1.0, 4)), cfg);
+        let mut torn = Obfuscator::with_faults(
+            stack(),
+            Box::new(LaplaceMechanism::new(1.0, 4)),
+            cfg,
+            0,
+            plan,
+        );
+        drive(&mut clean, 200, 300.0);
+        drive(&mut torn, 200, 300.0);
+        torn.begin_reload(stack2());
+        let rc = drive(&mut clean, 400, 300.0);
+        let rt = drive(&mut torn, 400, 300.0);
+        // The staged stack was lost at the boundary: generation did not
+        // advance, the old stack is still attached, and the injected
+        // rates match the untouched twin exactly (the torn draw lives on
+        // its own fault stream).
+        assert_eq!(torn.stack_generation(), 0);
+        assert!(!torn.reload_pending(), "staged stack was consumed");
+        assert_eq!(torn.stack().len(), 1);
+        assert_eq!(rc, rt);
+        // A supervisor restages; with the schedule's next draw also torn
+        // under p=1.0 the swap keeps failing — which is exactly the
+        // signal the service plane's retry loop keys on.
+        torn.begin_reload(stack2());
+        drive(&mut torn, 400, 300.0);
+        assert_eq!(torn.stack_generation(), 0);
     }
 
     #[test]

@@ -413,6 +413,82 @@ impl Host {
         Ok(())
     }
 
+    /// Whether an injector is currently attached to a vCPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn has_injector(&self, vm: VmId, vcpu: usize) -> Result<bool, HostError> {
+        let v = self.vm(vm)?;
+        let vc = v.vcpus.get(vcpu).ok_or(HostError::UnknownVcpu(vm, vcpu))?;
+        Ok(vc.injector.is_some())
+    }
+
+    /// The attached injector's self-reported protection health, or
+    /// `None` when no injector is attached. This is the same poll the
+    /// per-tick watchdog performs; the service plane samples it at its
+    /// own (coarser) health-check cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn injector_status(
+        &self,
+        vm: VmId,
+        vcpu: usize,
+    ) -> Result<Option<ProtectionStatus>, HostError> {
+        let v = self.vm(vm)?;
+        let vc = v.vcpus.get(vcpu).ok_or(HostError::UnknownVcpu(vm, vcpu))?;
+        Ok(vc.injector.as_ref().map(|i| i.protection_status()))
+    }
+
+    /// Mutable [`std::any::Any`] access to the attached injector, for
+    /// supervisors that must drive a concrete source type after it was
+    /// boxed into the host (the service plane downcasts this to the
+    /// obfuscator daemon to stage hot reloads). `None` when no injector
+    /// is attached or the source does not opt into supervision via
+    /// [`ActivitySource::as_any_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError`] for unknown ids.
+    pub fn injector_any_mut(
+        &mut self,
+        vm: VmId,
+        vcpu: usize,
+    ) -> Result<Option<&mut dyn std::any::Any>, HostError> {
+        Ok(self
+            .vcpu_mut(vm, vcpu)?
+            .injector
+            .as_mut()
+            .and_then(|i| i.as_any_mut()))
+    }
+
+    /// Forces a core's fail-closed latch on or off, bypassing the
+    /// watchdog's own unhealthy-tick accounting. The service plane uses
+    /// this to deny a guest clean counter reads while no injector is
+    /// attached (restart backoff, ε-budget exhaustion) — states the
+    /// per-tick watchdog cannot see because it only supervises attached
+    /// injectors. A forced latch obeys the normal release rule: it
+    /// clears only through this call or once an attached injector runs
+    /// healthy again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idx` is out of range.
+    pub fn set_core_fail_closed(&mut self, core_idx: usize, on: bool) {
+        let fs = &mut self.fault_state[core_idx];
+        if fs.fail_closed == on {
+            return;
+        }
+        fs.fail_closed = on;
+        fs.unhealthy_ticks = 0;
+        self.cores[core_idx].pmu_mut().set_fail_closed(on);
+        if on {
+            aegis_obs::counter_add("host.fail_closed_latches", 1.0);
+        }
+    }
+
     /// Whether the vCPU's app plan has completed.
     ///
     /// # Errors
@@ -1076,6 +1152,53 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(measure(&mut fresh), measure(&mut arena));
+    }
+
+    #[test]
+    fn forced_fail_closed_latch_is_permanent_without_injector() {
+        let (mut host, vm) = host_with_vm();
+        let core = host.core_of(vm, 0).unwrap();
+        assert_eq!(host.has_injector(vm, 0).unwrap(), false);
+        assert_eq!(host.injector_status(vm, 0).unwrap(), None);
+
+        // Force the latch with nothing attached: no watchdog poll ever
+        // runs on this core, so the latch holds indefinitely.
+        host.set_core_fail_closed(core, true);
+        for _ in 0..100 {
+            host.tick(|_, _, _| {});
+            assert!(host.core_fail_closed(core));
+            assert!(host.core(core).pmu().fail_closed());
+        }
+
+        // A healthy injector releases the forced latch through the
+        // normal watchdog path: demonstrated health, not mere attach.
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(50.0))))
+            .unwrap();
+        assert_eq!(host.has_injector(vm, 0).unwrap(), true);
+        assert_eq!(
+            host.injector_status(vm, 0).unwrap(),
+            Some(ProtectionStatus::Healthy)
+        );
+        host.tick(|_, _, _| {});
+        assert!(!host.core_fail_closed(core), "healthy run releases");
+
+        // Idempotent off.
+        host.set_core_fail_closed(core, false);
+        assert!(!host.core_fail_closed(core));
+    }
+
+    #[test]
+    fn injector_any_mut_is_none_for_opaque_sources() {
+        let (mut host, vm) = host_with_vm();
+        assert!(host.injector_any_mut(vm, 0).unwrap().is_none());
+        host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(10.0))))
+            .unwrap();
+        // PlanSource does not opt into supervision.
+        assert!(host.injector_any_mut(vm, 0).unwrap().is_none());
+        assert!(matches!(
+            host.injector_any_mut(VmId(99), 0),
+            Err(HostError::UnknownVm(_))
+        ));
     }
 
     #[test]

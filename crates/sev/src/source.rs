@@ -54,6 +54,15 @@ pub trait ActivitySource: Send + Sync {
     fn protection_status(&self) -> ProtectionStatus {
         ProtectionStatus::Healthy
     }
+
+    /// Concrete-type escape hatch for supervisors that must reach a
+    /// source *after* it has been boxed into the host (the service
+    /// plane's hot-reload path drives the attached obfuscator through
+    /// this). Sources that support supervision return `Some(self)`;
+    /// the default is `None` — opaque sources stay opaque.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 impl<T: ActivitySource + ?Sized> ActivitySource for Box<T> {
@@ -75,6 +84,10 @@ impl<T: ActivitySource + ?Sized> ActivitySource for Box<T> {
 
     fn protection_status(&self) -> ProtectionStatus {
         (**self).protection_status()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
     }
 }
 

@@ -71,10 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ship the plan into the production VM and start the Event Obfuscator
     // with the Laplace mechanism at the paper's operating point ε = 2⁰.
     let deployment = DefenseDeployment::new(&plan, cfg.mechanism);
-    deployment.deploy(&mut template, vm, 0, 42)?;
+    let receipt = deployment.deploy(&mut template, vm, 0, 42)?;
     println!(
-        "[3/3] obfuscator deployed: {} at ε = 1",
-        deployment.mechanism.label()
+        "[3/3] obfuscator deployed: {} at ε = 1 (plan {:#018x}, ε-cost {})",
+        receipt.mechanism, receipt.plan_id, receipt.epsilon_charged
     );
 
     // Let the VM run and show that noise is being injected.

@@ -1,0 +1,138 @@
+//! Service mode: the supervised defense plane over a whole guest
+//! lifetime — spawn, hot reloads, an injected health flap that trips the
+//! watchdog, and finally ε-budget exhaustion refusing service
+//! fail-closed.
+//!
+//! Every line printed here is a pure function of the configuration and
+//! seeds: the run is bit-identical at any worker count.
+//!
+//! ```sh
+//! cargo run --release --example service_mode
+//! ```
+
+use aegis::fuzzer::FuzzerConfig;
+use aegis::microarch::MicroArch;
+use aegis::profiler::{RankConfig, WarmupConfig};
+use aegis::sev::{Host, SevMode};
+use aegis::workloads::KeystrokeApp;
+use aegis::{
+    AegisConfig, AegisService, FaultPlan, MechanismChoice, ServiceConfig, SupervisorConfig,
+};
+
+const TENANT: &str = "acme";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 7);
+    let vm = host.launch_vm(1, SevMode::SevSnp)?;
+    let app = KeystrokeApp::with_window(600_000_000);
+    let core = host.core_of(vm, 0)?;
+
+    // Every health check spuriously reads unhealthy: the deterministic
+    // way to watch the watchdog earn its keep.
+    let faults = FaultPlan {
+        health_flap: 1.0,
+        ..FaultPlan::none()
+    };
+    let cfg = AegisConfig {
+        warmup: WarmupConfig {
+            probe_ns: 2_000_000,
+            passes: 2,
+            ..WarmupConfig::default()
+        },
+        rank: RankConfig {
+            reps_per_secret: 2,
+            window_ns: 60_000_000,
+            ..RankConfig::default()
+        },
+        fuzzer: FuzzerConfig {
+            candidates_per_event: 120,
+            confirm_reps: 10,
+            ..FuzzerConfig::default()
+        },
+        fuzz_top_events: 6,
+        isa_seed: 7,
+        mechanism: MechanismChoice::Laplace { epsilon: 1.0 },
+        faults: Some(faults),
+        ..AegisConfig::default()
+    };
+    cfg.apply_runtime();
+
+    // ε budget 4.2 at ε = 1 per deployment epoch: attach + two reloads +
+    // one watchdog redeploy fit; the next epoch does not.
+    let service_cfg = ServiceConfig::new(cfg)
+        .default_budget(4.2)
+        .seed(7)
+        .supervisor(SupervisorConfig {
+            health_check_interval_ns: 5_000_000,
+            unhealthy_checks_restart: 2,
+            max_restarts: 3,
+            restart_backoff_ns: 2_000_000,
+            ..SupervisorConfig::default()
+        });
+
+    // ── Spawn ───────────────────────────────────────────────────────────
+    let mut svc = AegisService::start(&mut host, service_cfg)?;
+    println!("[1/5] service plane up; profiling the tenant's workload ...");
+    let plan = svc.profile(vm, 0, &app)?;
+    println!(
+        "      plan: {} vulnerable events, {} covering gadgets",
+        plan.vulnerable_events.len(),
+        plan.covering.len()
+    );
+    let id = svc.attach(vm, 0, &plan, TENANT)?;
+    println!(
+        "      session {id} attached for tenant {TENANT:?}; ε remaining {:.1}",
+        svc.epsilon_remaining(TENANT).unwrap_or(f64::NAN)
+    );
+    svc.run(2_000_000);
+    println!(
+        "      status after 2 ms: {} (one flapped check — below the restart threshold)",
+        svc.status(id)?
+    );
+
+    // ── Hot reloads ─────────────────────────────────────────────────────
+    println!("[2/5] two hot reloads (old plan drains, swap at the interval boundary):");
+    for round in 1..=2u32 {
+        let receipt = svc.reload(id, &plan)?;
+        println!(
+            "      reload {round}: plan {:#018x} live, ε charged {:.0}, ε remaining {:.1}",
+            receipt.plan_id,
+            receipt.epsilon_charged,
+            svc.epsilon_remaining(TENANT).unwrap_or(f64::NAN)
+        );
+    }
+
+    // ── Watchdog restart ────────────────────────────────────────────────
+    println!("[3/5] running 10 ms under injected health flaps ...");
+    svc.run(10_000_000);
+    let health = &svc.health().sessions[0];
+    println!(
+        "      watchdog restarted the daemon {} time(s); status {}; ε remaining {:.1}",
+        health.restarts,
+        health.status,
+        svc.epsilon_remaining(TENANT).unwrap_or(f64::NAN)
+    );
+
+    // ── ε exhaustion, fail closed ───────────────────────────────────────
+    println!("[4/5] running 15 ms more: the next restart epoch cannot afford ε = 1 ...");
+    svc.run(15_000_000);
+    println!(
+        "      status {}; ε remaining {:.1}; guest counters latched to zero: {}",
+        svc.status(id)?,
+        svc.epsilon_remaining(TENANT).unwrap_or(f64::NAN),
+        svc.host().core_fail_closed(core)
+    );
+
+    // ── Clean shutdown ──────────────────────────────────────────────────
+    let report = svc.shutdown()?;
+    let s = &report.sessions[0];
+    println!(
+        "[5/5] shutdown: session {} ended {} after {} restart(s), {} reload(s), ε spent {:.0}",
+        s.id, s.status, s.restarts, s.reloads, s.epsilon_charged
+    );
+    println!(
+        "      fail-closed latch survives shutdown: {}",
+        host.core_fail_closed(core)
+    );
+    Ok(())
+}

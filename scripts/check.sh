@@ -26,6 +26,20 @@ echo "== fault matrix (AEGIS_FAULTS=smoke) =="
 # unit suites always see the ambient (fault-free) environment.
 AEGIS_FAULTS=smoke cargo test -q --test fault_injection
 
+echo "== service matrix (AEGIS_FAULTS=smoke) =="
+# The supervised service-plane properties (watchdog restart recovery,
+# gapless hot reload, ε-ledger fail-closed exhaustion, cross-lifetime
+# ledger persistence) re-run under the smoke plan so the service.* fault
+# sites (health-flap, torn reload, ledger corruption) actually fire.
+AEGIS_FAULTS=smoke cargo test -q --test service_plane
+
+echo "== deprecation lint (examples) =="
+# Examples must stay on the current API surface: the deprecated
+# collect_dataset / collect_mea_runs free functions are tolerated in
+# library code (they are the compatibility wrappers themselves) but not
+# in anything we present as a usage model.
+cargo clippy --examples -- -D deprecated
+
 echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="
 # One iteration per bench workload, no criterion sampling: proves every
 # bench harness still compiles and runs end to end without burning

@@ -9,7 +9,7 @@ use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::sev::{Host, SevMode, VmId};
 use aegis::workloads::{KeystrokeApp, SecretApp};
 use aegis::{
-    collect_dataset, measure_app_run, AegisConfig, AegisPipeline, ClassifierAttack, CollectConfig,
+    measure_app_run, AegisConfig, AegisPipeline, ClassifierAttack, CollectConfig, Collector,
     DefenseDeployment, MechanismChoice,
 };
 use rand::rngs::StdRng;
@@ -66,7 +66,9 @@ fn attack_collapses_under_deployed_defense() {
     let cfg = collect_cfg();
 
     // 1. The attack works on the undefended guest.
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+    let clean = Collector::for_traces(cfg)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
     let clean_acc = attacker.curve.final_val_acc();
     assert!(clean_acc > 0.85, "clean attack accuracy {clean_acc}");
@@ -87,16 +89,9 @@ fn attack_collapses_under_deployed_defense() {
     let mut victim_cfg = cfg;
     victim_cfg.seed = 99;
     victim_cfg.traces_per_secret = 8;
-    let defended = collect_dataset(
-        &mut host,
-        vm,
-        0,
-        &app,
-        &events,
-        &victim_cfg,
-        Some(&deployment),
-    )
-    .unwrap();
+    let defended = Collector::for_traces(victim_cfg)
+        .dataset(&mut host, vm, 0, &app, &events, Some(&deployment))
+        .unwrap();
     let def_acc = attacker.accuracy(&defended);
     let chance = 1.0 / app.n_secrets() as f64;
     assert!(
@@ -124,7 +119,9 @@ fn dstar_defends_better_than_laplace_at_equal_epsilon() {
     let events = host.core(core).catalog().attack_events().to_vec();
     let cfg = collect_cfg();
 
-    let clean = collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+    let clean = Collector::for_traces(cfg)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap();
     let attacker = ClassifierAttack::train(&clean, TrainConfig::default(), 7);
     let plan = AegisPipeline::offline(&mut host, vm, 0, &app, &quick_pipeline()).unwrap();
 
@@ -139,16 +136,9 @@ fn dstar_defends_better_than_laplace_at_equal_epsilon() {
         let mut victim_cfg = cfg;
         victim_cfg.seed = 1234;
         victim_cfg.traces_per_secret = 8;
-        let defended = collect_dataset(
-            &mut host,
-            vm,
-            0,
-            &app,
-            &events,
-            &victim_cfg,
-            Some(&deployment),
-        )
-        .unwrap();
+        let defended = Collector::for_traces(victim_cfg)
+            .dataset(&mut host, vm, 0, &app, &events, Some(&deployment))
+            .unwrap();
         accs.push(attacker.accuracy(&defended));
     }
     assert!(

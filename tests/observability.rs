@@ -12,7 +12,7 @@ use aegis::obs::{self, ObsLevel};
 use aegis::par::ArtifactCache;
 use aegis::sev::{Host, SevMode};
 use aegis::workloads::WebsiteCatalog;
-use aegis::{collect_dataset, CollectConfig};
+use aegis::{CollectConfig, Collector};
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
@@ -54,7 +54,9 @@ fn collect_once() -> aegis::attack::Dataset {
         seed: 11,
         per_secret_noise: false,
     };
-    collect_dataset(&mut host, vm, 0, &app, &events, &cfg, None).unwrap()
+    Collector::for_traces(cfg)
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap()
 }
 
 #[test]

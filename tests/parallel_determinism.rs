@@ -11,7 +11,7 @@ use aegis::microarch::{named, InterferenceConfig, MicroArch, Core};
 use aegis::par::{derive_seed, set_threads, ArtifactCache};
 use aegis::sev::{Host, PlanSource, SevMode};
 use aegis::workloads::{SecretApp, WebsiteCatalog};
-use aegis::{collect_dataset, CollectConfig};
+use aegis::{CollectConfig, Collector};
 use aegis_isa::{IsaCatalog, Vendor};
 use std::sync::Mutex;
 
@@ -35,7 +35,9 @@ fn collect_with_threads(n: usize) -> aegis::attack::Dataset {
     let core = host.core_of(vm, 0).unwrap();
     let app = WebsiteCatalog::new(3);
     let events = host.core(core).catalog().attack_events();
-    collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap()
+    Collector::for_traces(small_collect())
+        .dataset(&mut host, vm, 0, &app, &events, None)
+        .unwrap()
 }
 
 #[test]
@@ -275,8 +277,9 @@ fn per_trace_forks_leave_the_original_host_pristine() {
     let core = host.core_of(vm, 0).unwrap();
     let app = WebsiteCatalog::new(3);
     let events = host.core(core).catalog().attack_events();
-    let first = collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap();
-    let second = collect_dataset(&mut host, vm, 0, &app, &events, &small_collect(), None).unwrap();
+    let collector = Collector::for_traces(small_collect());
+    let first = collector.dataset(&mut host, vm, 0, &app, &events, None).unwrap();
+    let second = collector.dataset(&mut host, vm, 0, &app, &events, None).unwrap();
     assert_eq!(first, second);
 }
 
