@@ -10,7 +10,10 @@ use aegis_attack::{
 };
 use aegis_microarch::{EventId, OriginFilter};
 use aegis_obs as obs;
-use aegis_par::{derive_seed, fingerprint, ArtifactCache, Executor};
+use aegis_par::{
+    derive_seed, fingerprint, ArtifactCache, ArtifactKey, ColumnFrame, ColumnSchema, Columnar,
+    Executor, FrameError, FrameReader,
+};
 use aegis_sev::{Host, HostError, PlanSource, VmId};
 use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
 use rand::rngs::StdRng;
@@ -320,20 +323,21 @@ impl ClassifierAttack {
     /// Like [`ClassifierAttack::train`], but memoized through `cache`:
     /// training is a pure function of `(dataset, train_cfg, seed)`, so
     /// the trained model is stored under a fingerprint of exactly those
-    /// inputs. JSON round-trips `f64` exactly (shortest-roundtrip
-    /// encoding), so a warm hit is bit-identical to retraining.
+    /// inputs, in the columnar `.acs` format — a warm hit is one bulk
+    /// read of little-endian pages, bit-identical to retraining. A
+    /// legacy JSON entry under the same key is migrated transparently.
     pub fn train_cached(
         dataset: &Dataset,
         train_cfg: TrainConfig,
         seed: u64,
         cache: &ArtifactCache,
     ) -> Self {
-        let key = fingerprint(&(dataset, &train_cfg, seed));
-        if let Some(model) = cache.get::<ClassifierAttack>("attack-model", key) {
+        let key = ArtifactKey::raw("attack-model", fingerprint(&(dataset, &train_cfg, seed)));
+        if let Some(model) = cache.get_col_or_json::<ClassifierAttack>(&key) {
             return model;
         }
         let trained = Self::train(dataset, train_cfg, seed);
-        let _ = cache.put("attack-model", key, &trained);
+        let _ = cache.put_col(&key, &trained);
         trained
     }
 
@@ -342,6 +346,29 @@ impl ClassifierAttack {
         let mut ds = dataset.clone();
         self.standardizer.apply_dataset(&mut ds);
         self.model.accuracy(&ds)
+    }
+}
+
+/// Columnar layout: the member frames in field order — model,
+/// standardizer, curve — so a trained attacker loads as a handful of
+/// bulk page reads.
+impl Columnar for ClassifierAttack {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("aegis/classifier-attack", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        self.model.encode_columns(frame);
+        self.standardizer.encode_columns(frame);
+        self.curve.encode_columns(frame);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        Ok(ClassifierAttack {
+            model: GaussianNb::decode_columns(reader)?,
+            standardizer: Standardizer::decode_columns(reader)?,
+            curve: TrainingCurve::decode_columns(reader)?,
+        })
     }
 }
 
@@ -355,6 +382,140 @@ pub struct MeaRun {
     pub slice_labels: Vec<usize>,
     /// Ground-truth layer sequence of the model.
     pub truth: Vec<usize>,
+}
+
+/// A collected set of `(model index, run)` extraction runs with a
+/// columnar on-disk encoding. A newtype rather than an impl on the bare
+/// `Vec` — `Columnar` is a foreign trait, so the orphan rule requires a
+/// local carrier — that also gives the artifact a stable schema name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeaRunLog(pub Vec<(usize, MeaRun)>);
+
+/// Columnar layout: one `u64` meta column (`[n_runs]`, then per run
+/// `[model, n_slices, n_labels, truth_len]`), a `u64` column of
+/// per-slice feature lengths, the concatenated slice features as one
+/// `f64` page, and the concatenated slice labels / truth sequences as
+/// `u64` pages. Loading is a handful of bulk page reads with no
+/// per-element parsing.
+impl Columnar for MeaRunLog {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("aegis/mea-runs", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        let mut meta = Vec::with_capacity(1 + self.0.len() * 4);
+        meta.push(self.0.len() as u64);
+        let mut slice_lens = Vec::new();
+        let mut flat = Vec::new();
+        let mut labels = Vec::new();
+        let mut truths = Vec::new();
+        for (model, run) in &self.0 {
+            meta.push(*model as u64);
+            meta.push(run.slices.len() as u64);
+            meta.push(run.slice_labels.len() as u64);
+            meta.push(run.truth.len() as u64);
+            for s in &run.slices {
+                slice_lens.push(s.len() as u64);
+                flat.extend_from_slice(s);
+            }
+            labels.extend(run.slice_labels.iter().map(|&l| l as u64));
+            truths.extend(run.truth.iter().map(|&t| t as u64));
+        }
+        frame.push_u64(meta);
+        frame.push_u64(slice_lens);
+        frame.push_f64(flat);
+        frame.push_u64(labels);
+        frame.push_u64(truths);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        fn idx(v: u64, what: &str) -> Result<usize, FrameError> {
+            usize::try_from(v).map_err(|_| FrameError::new(format!("mea-runs: {what} overflow")))
+        }
+        let meta = reader.u64s()?;
+        let slice_lens = reader.u64s()?;
+        let flat = reader.f64s()?;
+        let labels = reader.u64s()?;
+        let truths = reader.u64s()?;
+        let Some((&n, per_run)) = meta.split_first() else {
+            return Err(FrameError::new("mea-runs: empty meta column"));
+        };
+        let n = idx(n, "run count")?;
+        if per_run.len() != n * 4 {
+            return Err(FrameError::new(format!(
+                "mea-runs: meta column holds {} entries for {n} runs",
+                per_run.len()
+            )));
+        }
+        let mut runs = Vec::with_capacity(n);
+        let (mut s_at, mut f_at, mut l_at, mut t_at) = (0usize, 0usize, 0usize, 0usize);
+        for chunk in per_run.chunks_exact(4) {
+            let model = idx(chunk[0], "model index")?;
+            let n_slices = idx(chunk[1], "slice count")?;
+            let n_labels = idx(chunk[2], "label count")?;
+            let truth_len = idx(chunk[3], "truth length")?;
+            let mut slices = Vec::with_capacity(n_slices);
+            for _ in 0..n_slices {
+                let len = idx(
+                    *slice_lens
+                        .get(s_at)
+                        .ok_or_else(|| FrameError::new("mea-runs: slice-length column short"))?,
+                    "slice length",
+                )?;
+                s_at += 1;
+                let end = f_at
+                    .checked_add(len)
+                    .filter(|&e| e <= flat.len())
+                    .ok_or_else(|| FrameError::new("mea-runs: feature page short"))?;
+                slices.push(flat[f_at..end].to_vec());
+                f_at = end;
+            }
+            let l_end = l_at
+                .checked_add(n_labels)
+                .filter(|&e| e <= labels.len())
+                .ok_or_else(|| FrameError::new("mea-runs: label column short"))?;
+            let slice_labels = labels[l_at..l_end]
+                .iter()
+                .map(|&l| idx(l, "slice label"))
+                .collect::<Result<Vec<_>, _>>()?;
+            l_at = l_end;
+            let t_end = t_at
+                .checked_add(truth_len)
+                .filter(|&e| e <= truths.len())
+                .ok_or_else(|| FrameError::new("mea-runs: truth column short"))?;
+            let truth = truths[t_at..t_end]
+                .iter()
+                .map(|&t| idx(t, "truth label"))
+                .collect::<Result<Vec<_>, _>>()?;
+            t_at = t_end;
+            runs.push((
+                model,
+                MeaRun {
+                    slices,
+                    slice_labels,
+                    truth,
+                },
+            ));
+        }
+        if s_at != slice_lens.len() || f_at != flat.len() || l_at != labels.len()
+            || t_at != truths.len()
+        {
+            return Err(FrameError::new("mea-runs: trailing data beyond meta"));
+        }
+        Ok(MeaRunLog(runs))
+    }
+}
+
+impl Serialize for MeaRunLog {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for MeaRunLog {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(MeaRunLog(Deserialize::from_value(v)?))
+    }
 }
 
 /// The CTC blank symbol (idle / between inferences).
@@ -566,19 +727,20 @@ impl MeaAttack {
 
     /// Like [`MeaAttack::train`], but memoized through `cache` under a
     /// fingerprint of `(runs, train_cfg, seed)` — the complete set of
-    /// training inputs.
+    /// training inputs — in the columnar `.acs` format. A legacy JSON
+    /// entry under the same key is migrated transparently.
     pub fn train_cached(
         runs: &[(usize, MeaRun)],
         train_cfg: TrainConfig,
         seed: u64,
         cache: &ArtifactCache,
     ) -> Self {
-        let key = fingerprint(&(runs, &train_cfg, seed));
-        if let Some(model) = cache.get::<MeaAttack>("mea-model", key) {
+        let key = ArtifactKey::raw("mea-model", fingerprint(&(runs, &train_cfg, seed)));
+        if let Some(model) = cache.get_col_or_json::<MeaAttack>(&key) {
             return model;
         }
         let trained = Self::train(runs, train_cfg, seed);
-        let _ = cache.put("mea-model", key, &trained);
+        let _ = cache.put_col(&key, &trained);
         trained
     }
 
@@ -637,6 +799,28 @@ impl MeaAttack {
             .map(|(_, run)| layer_match_accuracy(&self.extract(run), &run.truth))
             .sum::<f64>()
             / runs.len() as f64
+    }
+}
+
+/// Columnar layout: member frames in field order, exactly like
+/// [`ClassifierAttack`].
+impl Columnar for MeaAttack {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("aegis/mea-attack", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        self.model.encode_columns(frame);
+        self.standardizer.encode_columns(frame);
+        self.curve.encode_columns(frame);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        Ok(MeaAttack {
+            model: GaussianNb::decode_columns(reader)?,
+            standardizer: Standardizer::decode_columns(reader)?,
+            curve: TrainingCurve::decode_columns(reader)?,
+        })
     }
 }
 
@@ -788,6 +972,64 @@ mod tests {
             def_acc < clean_acc * 0.6,
             "defense must hurt the attack: clean {clean_acc} defended {def_acc}"
         );
+    }
+
+    #[test]
+    fn attack_models_and_mea_runs_roundtrip_columnar_bit_exactly() {
+        // A small separable dataset trains a real attacker whose frames
+        // must decode to bit-identical predictions.
+        let mut ds = Dataset::new(Vec::new(), Vec::new(), 3);
+        for i in 0..30 {
+            let c = i % 3;
+            let f: Vec<f64> = (0..4)
+                .map(|j| c as f64 + (i as f64) * 0.013 + (j as f64) * 0.07)
+                .collect();
+            ds.push(f, c);
+        }
+        let attack = ClassifierAttack::train(&ds, TrainConfig::default(), 7);
+        let back = ClassifierAttack::from_frame(attack.to_frame()).unwrap();
+        assert_eq!(attack, back);
+        assert_eq!(attack.accuracy(&ds).to_bits(), back.accuracy(&ds).to_bits());
+
+        // The MEA composite shares the layout.
+        let mea = MeaAttack {
+            model: attack.model.clone(),
+            standardizer: attack.standardizer.clone(),
+            curve: attack.curve.clone(),
+        };
+        let mea_back = MeaAttack::from_frame(mea.to_frame()).unwrap();
+        assert_eq!(mea, mea_back);
+
+        // Ragged hand-built runs exercise the meta/cursor layout,
+        // including an empty run.
+        let runs = MeaRunLog(vec![
+            (
+                2,
+                MeaRun {
+                    slices: vec![vec![1.0, -0.5], vec![f64::MIN_POSITIVE]],
+                    slice_labels: vec![0, BLANK],
+                    truth: vec![0, 3, 1],
+                },
+            ),
+            (
+                0,
+                MeaRun {
+                    slices: Vec::new(),
+                    slice_labels: Vec::new(),
+                    truth: vec![2],
+                },
+            ),
+        ]);
+        let runs_back = MeaRunLog::from_frame(runs.to_frame()).unwrap();
+        assert_eq!(runs, runs_back);
+
+        // A frame whose pages disagree with its meta column is rejected,
+        // never silently misread: replace the truth column with a short
+        // page.
+        let mut rebuilt = runs.to_frame();
+        rebuilt.pop();
+        rebuilt.push_u64(vec![0]);
+        assert!(MeaRunLog::from_frame(rebuilt).is_err());
     }
 
     #[test]

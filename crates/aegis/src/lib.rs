@@ -59,7 +59,7 @@ pub use error::AegisError;
 #[allow(deprecated)]
 pub use evaluate::{
     collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, Collector,
-    MeaAttack, MeaConfig, MeaRun, RunMeasurement, BLANK,
+    MeaAttack, MeaConfig, MeaRun, MeaRunLog, RunMeasurement, BLANK,
 };
 pub use pipeline::{
     AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, Deployment, MechanismChoice,

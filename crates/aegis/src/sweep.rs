@@ -12,9 +12,14 @@
 //!   worker count;
 //! * its expensive artifacts — collected noisy datasets / MEA runs and
 //!   trained models — are memoized through [`ArtifactCache`] under a
-//!   fingerprint of their complete inputs. JSON round-trips `f64`
-//!   exactly (shortest-roundtrip encoding), so a warm-cache run is
-//!   bit-identical to a cold one;
+//!   content-addressed [`ArtifactKey`] of their complete inputs, in the
+//!   columnar `.acs` format whose pages are bit-exact images of the
+//!   in-memory `f64`/`u64` buffers — a warm-cache run is bit-identical
+//!   to a cold one and loads each artifact as a handful of bulk reads;
+//! * under an active fault plan the grid is chunked through a generic
+//!   [`Checkpoint`] (the same machinery the fuzzer's recording pass
+//!   uses), so a run killed mid-grid resumes to a bit-identical
+//!   [`SweepOutcome`];
 //! * its wall time is attributed by `aegis-obs` spans: `sweep.cell`
 //!   around the whole cell, with the nested `collect.dataset` /
 //!   `collect.mea` / `attack.train` spans and a `sweep.eval` span
@@ -26,13 +31,17 @@
 
 use crate::error::AegisError;
 use crate::evaluate::{
-    dataset_impl, mea_runs_impl, ClassifierAttack, CollectConfig, MeaAttack, MeaConfig, MeaRun,
+    dataset_impl, mea_runs_impl, ClassifierAttack, CollectConfig, MeaAttack, MeaConfig, MeaRunLog,
 };
 use crate::pipeline::{DefenseDeployment, MechanismChoice};
 use aegis_attack::TrainConfig;
+use aegis_faults as faults;
 use aegis_microarch::EventId;
 use aegis_obs as obs;
-use aegis_par::{derive_seed, fingerprint, ArtifactCache, Executor};
+use aegis_par::{
+    derive_seed, fingerprint, ArtifactCache, ArtifactKey, Checkpoint, ColumnFrame, ColumnSchema,
+    Columnar, Executor, FrameError, FrameReader,
+};
 use aegis_sev::{Host, VmId};
 use aegis_workloads::{DnnZoo, SecretApp};
 
@@ -118,26 +127,169 @@ struct CellStats {
     misses: u64,
 }
 
-/// Memoizes `compute` under `(kind, key)`, counting the hit or miss.
-fn cached<T, F>(
+/// Memoizes `compute` under a content-addressed key in the columnar
+/// store, counting the hit or miss. A legacy JSON entry under the same
+/// key (from a pre-columnar cache) is migrated transparently on first
+/// read.
+fn cached_col<T, F>(
     cache: &ArtifactCache,
-    kind: &str,
-    key: u64,
+    key: &ArtifactKey,
     stats: &mut CellStats,
     compute: F,
 ) -> Result<T, AegisError>
 where
-    T: serde::Serialize + serde::Deserialize,
+    T: Columnar + serde::Deserialize,
     F: FnOnce() -> Result<T, AegisError>,
 {
-    if let Some(hit) = cache.get::<T>(kind, key) {
+    if let Some(hit) = cache.get_col_or_json::<T>(key) {
         stats.hits += 1;
         return Ok(hit);
     }
     stats.misses += 1;
     let value = compute()?;
-    let _ = cache.put(kind, key, &value);
+    let _ = cache.put_col(key, &value);
     Ok(value)
+}
+
+/// The checkpointable payload of a partially evaluated grid: per-cell
+/// accuracy and cache traffic, in unit order. Only fully evaluated
+/// (all-`Ok`) prefixes are ever persisted.
+struct CellLog {
+    acc: Vec<f64>,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+impl CellLog {
+    fn of(results: &[Result<(f64, CellStats), AegisError>]) -> CellLog {
+        let mut log = CellLog {
+            acc: Vec::with_capacity(results.len()),
+            hits: Vec::with_capacity(results.len()),
+            misses: Vec::with_capacity(results.len()),
+        };
+        for (acc, stats) in results.iter().flatten() {
+            log.acc.push(*acc);
+            log.hits.push(stats.hits);
+            log.misses.push(stats.misses);
+        }
+        log
+    }
+
+    fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    fn into_results(self) -> impl Iterator<Item = Result<(f64, CellStats), AegisError>> {
+        self.acc
+            .into_iter()
+            .zip(self.hits)
+            .zip(self.misses)
+            .map(|((acc, hits), misses)| Ok((acc, CellStats { hits, misses })))
+    }
+}
+
+impl Columnar for CellLog {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("aegis/sweep-cells", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        frame.push_f64(self.acc.clone());
+        frame.push_u64(self.hits.clone());
+        frame.push_u64(self.misses.clone());
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let acc = reader.f64s()?;
+        let hits = reader.u64s()?;
+        let misses = reader.u64s()?;
+        if hits.len() != acc.len() || misses.len() != acc.len() {
+            return Err(FrameError::new(format!(
+                "sweep-cells: misaligned columns ({} acc, {} hits, {} misses)",
+                acc.len(),
+                hits.len(),
+                misses.len()
+            )));
+        }
+        Ok(CellLog { acc, hits, misses })
+    }
+}
+
+/// A stable fingerprint of the sweep-wide settings, folded into the
+/// checkpoint key so a changed grid or budget never resumes a stale
+/// checkpoint.
+fn sweep_fingerprint(cfg: &SweepConfig) -> u64 {
+    fingerprint(&(
+        &cfg.eps_grid,
+        cfg.seed,
+        cfg.host_seed,
+        &cfg.train,
+        cfg.victim_traces_per_secret as u64,
+        cfg.robust_traces_per_secret as u64,
+        cfg.victim_runs_per_model as u64,
+    ))
+}
+
+/// Evaluates `units` through `eval_chunk`, checkpointing under an
+/// active fault plan: the grid is split into worker-count-sized chunks
+/// and a [`Checkpoint`]`<`[`CellLog`]`>` is persisted after each, so a
+/// killed run resumes where it died with bit-identical results (cell
+/// results are pure functions of their unit, never of the chunking).
+/// The plan's `sweep_kill_after` site aborts the run after that many
+/// completed cells — only on a run starting *before* the kill point, so
+/// the resumed run sails past it and completes.
+fn run_cells<F>(
+    cache: &ArtifactCache,
+    ckpt_key: &ArtifactKey,
+    units: &[(f64, usize)],
+    eval_chunk: F,
+) -> Vec<Result<(f64, CellStats), AegisError>>
+where
+    F: Fn(Vec<(f64, usize)>) -> Vec<Result<(f64, CellStats), AegisError>>,
+{
+    let plan = cache.fault_plan();
+    let checkpointing = plan.is_active() && !units.is_empty();
+    let mut results: Vec<Result<(f64, CellStats), AegisError>> = Vec::with_capacity(units.len());
+    let mut resume_from = 0usize;
+    if checkpointing {
+        if let Some(ck) = cache.get_col::<Checkpoint<CellLog>>(ckpt_key) {
+            let completed = ck.completed as usize;
+            if ck.payload.len() == completed && completed <= units.len() {
+                resume_from = completed;
+                results.extend(ck.payload.into_results());
+                obs::counter_add("sweep.ckpt_resumed", 1.0);
+                faults::report("sweep", "resume", &[("completed", resume_from as u64)]);
+            }
+        }
+    }
+    let kill_at = plan.sweep_kill_after as usize;
+    let kill_armed = checkpointing && kill_at > 0 && resume_from < kill_at;
+    let chunk_len = if checkpointing {
+        Executor::from_config().threads().max(1)
+    } else {
+        units.len().max(1)
+    };
+    let mut done = resume_from;
+    while done < units.len() {
+        let end = (done + chunk_len).min(units.len());
+        let chunk = eval_chunk(units[done..end].to_vec());
+        let failed = chunk.iter().any(Result::is_err);
+        results.extend(chunk);
+        if failed {
+            // `assemble` surfaces the error; a failed chunk is never
+            // checkpointed (errors are not serializable results).
+            break;
+        }
+        done = end;
+        if checkpointing {
+            let _ = cache.put_col(ckpt_key, &Checkpoint::new(done as u64, CellLog::of(&results)));
+            if kill_armed && done >= kill_at {
+                faults::report("sweep", "kill", &[("completed", done as u64)]);
+                panic!("aegis-faults: injected sweep kill after {done} completed cells");
+            }
+        }
+    }
+    results
 }
 
 /// The seed of one grid cell: a pure function of the sweep seed, the ε
@@ -214,81 +366,109 @@ pub fn classification_sweep(
 ) -> Result<SweepOutcome, AegisError> {
     let units = grid_units(cfg);
     let snapshot: &Host = host;
-    let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
-        units.clone(),
-        |_worker| {
-            let pristine = snapshot.fork_detached();
-            let arena = pristine.fork_detached();
-            (pristine, arena)
-        },
-        |(pristine, replica), _unit, (eps, mech_idx)| {
-            let _cell = obs::span("sweep.cell");
-            let mut stats = CellStats::default();
-            let seed = cell_seed(cfg, eps, mech_idx);
-            let deployment = DefenseDeployment {
-                stack: base.stack.clone(),
-                mechanism: mechanism(mech_idx, eps),
-                obfuscator: base.obfuscator,
-            };
-            // In-place fork into the worker's reusable replica arena.
-            pristine.fork_detached_into(replica);
-
-            // Defended victim (test) traces.
-            let mut victim_cfg = *collect;
-            victim_cfg.traces_per_secret = cfg.victim_traces_per_secret;
-            victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
-            let victim = cached(
-                cache,
-                "noisy-dataset",
-                dataset_key(cfg, app, events, &victim_cfg, &deployment),
-                &mut stats,
-                || dataset_impl(&mut *replica, vm, vcpu, app, events, &victim_cfg, Some(&deployment)),
-            )?;
-
-            let accuracy = match clean_attacker {
-                Some(attacker) => {
-                    let _eval = obs::span("sweep.eval");
-                    attacker.accuracy(&victim)
-                }
-                None => {
-                    // Robust attacker: trains AND tests on defended traces.
-                    let mut train_collect = *collect;
-                    train_collect.traces_per_secret = cfg.robust_traces_per_secret;
-                    train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
-                    let noisy = cached(
-                        cache,
-                        "noisy-dataset",
-                        dataset_key(cfg, app, events, &train_collect, &deployment),
-                        &mut stats,
-                        || {
-                            dataset_impl(
-                                &mut *replica,
-                                vm,
-                                vcpu,
-                                app,
-                                events,
-                                &train_collect,
-                                Some(&deployment),
-                            )
-                        },
-                    )?;
-                    let model_seed = derive_seed(seed, STREAM_MODEL, 0);
-                    // Same key recipe as `ClassifierAttack::train_cached`,
-                    // so both paths share artifacts.
-                    let attacker = cached(
-                        cache,
-                        "attack-model",
-                        fingerprint(&(&noisy, &cfg.train, model_seed)),
-                        &mut stats,
-                        || Ok(ClassifierAttack::train(&noisy, cfg.train, model_seed)),
-                    )?;
-                    let _eval = obs::span("sweep.eval");
-                    attacker.accuracy(&victim)
-                }
-            };
-            Ok((accuracy, stats))
-        },
+    let ckpt_key = ArtifactKey::of(
+        "sweep-ckpt",
+        &(
+            "classification",
+            clean_attacker.is_some(),
+            dataset_key(cfg, app, events, collect, base),
+            sweep_fingerprint(cfg),
+        ),
     );
+    let eval = |chunk: Vec<(f64, usize)>| {
+        Executor::from_config().map_with(
+            chunk,
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), _unit, (eps, mech_idx)| {
+                let _cell = obs::span("sweep.cell");
+                let mut stats = CellStats::default();
+                let seed = cell_seed(cfg, eps, mech_idx);
+                let deployment = DefenseDeployment {
+                    stack: base.stack.clone(),
+                    mechanism: mechanism(mech_idx, eps),
+                    obfuscator: base.obfuscator,
+                };
+                // In-place fork into the worker's reusable replica arena.
+                pristine.fork_detached_into(replica);
+
+                // Defended victim (test) traces.
+                let mut victim_cfg = *collect;
+                victim_cfg.traces_per_secret = cfg.victim_traces_per_secret;
+                victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
+                let victim = cached_col(
+                    cache,
+                    &ArtifactKey::raw(
+                        "noisy-dataset",
+                        dataset_key(cfg, app, events, &victim_cfg, &deployment),
+                    ),
+                    &mut stats,
+                    || {
+                        dataset_impl(
+                            &mut *replica,
+                            vm,
+                            vcpu,
+                            app,
+                            events,
+                            &victim_cfg,
+                            Some(&deployment),
+                        )
+                    },
+                )?;
+
+                let accuracy = match clean_attacker {
+                    Some(attacker) => {
+                        let _eval = obs::span("sweep.eval");
+                        attacker.accuracy(&victim)
+                    }
+                    None => {
+                        // Robust attacker: trains AND tests on defended traces.
+                        let mut train_collect = *collect;
+                        train_collect.traces_per_secret = cfg.robust_traces_per_secret;
+                        train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
+                        let noisy = cached_col(
+                            cache,
+                            &ArtifactKey::raw(
+                                "noisy-dataset",
+                                dataset_key(cfg, app, events, &train_collect, &deployment),
+                            ),
+                            &mut stats,
+                            || {
+                                dataset_impl(
+                                    &mut *replica,
+                                    vm,
+                                    vcpu,
+                                    app,
+                                    events,
+                                    &train_collect,
+                                    Some(&deployment),
+                                )
+                            },
+                        )?;
+                        let model_seed = derive_seed(seed, STREAM_MODEL, 0);
+                        // Same key recipe as `ClassifierAttack::train_cached`,
+                        // so both paths share artifacts.
+                        let attacker = cached_col(
+                            cache,
+                            &ArtifactKey::raw(
+                                "attack-model",
+                                fingerprint(&(&noisy, &cfg.train, model_seed)),
+                            ),
+                            &mut stats,
+                            || Ok(ClassifierAttack::train(&noisy, cfg.train, model_seed)),
+                        )?;
+                        let _eval = obs::span("sweep.eval");
+                        attacker.accuracy(&victim)
+                    }
+                };
+                Ok((accuracy, stats))
+            },
+        )
+    };
+    let results = run_cells(cache, &ckpt_key, &units, eval);
     assemble(units, results)
 }
 
@@ -315,77 +495,105 @@ pub fn mea_sweep(
 ) -> Result<SweepOutcome, AegisError> {
     let units = grid_units(cfg);
     let snapshot: &Host = host;
-    let results: Vec<Result<(f64, CellStats), AegisError>> = Executor::from_config().map_with(
-        units.clone(),
-        |_worker| {
-            let pristine = snapshot.fork_detached();
-            let arena = pristine.fork_detached();
-            (pristine, arena)
-        },
-        |(pristine, replica), _unit, (eps, mech_idx)| {
-            let _cell = obs::span("sweep.cell");
-            let mut stats = CellStats::default();
-            let seed = cell_seed(cfg, eps, mech_idx);
-            let deployment = DefenseDeployment {
-                stack: base.stack.clone(),
-                mechanism: mechanism(mech_idx, eps),
-                obfuscator: base.obfuscator,
-            };
-            // In-place fork into the worker's reusable replica arena.
-            pristine.fork_detached_into(replica);
-
-            let mut victim_cfg = *collect;
-            victim_cfg.runs_per_model = cfg.victim_runs_per_model;
-            victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
-            let victim: Vec<(usize, MeaRun)> = cached(
-                cache,
-                "noisy-mea-runs",
-                mea_key(cfg, zoo, events, &victim_cfg, &deployment),
-                &mut stats,
-                || mea_runs_impl(&mut *replica, vm, vcpu, zoo, events, &victim_cfg, Some(&deployment)),
-            )?;
-
-            let accuracy = match clean_attacker {
-                Some(attacker) => {
-                    let _eval = obs::span("sweep.eval");
-                    attacker.sequence_accuracy(&victim)
-                }
-                None => {
-                    let mut train_collect = *collect;
-                    train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
-                    let noisy: Vec<(usize, MeaRun)> = cached(
-                        cache,
-                        "noisy-mea-runs",
-                        mea_key(cfg, zoo, events, &train_collect, &deployment),
-                        &mut stats,
-                        || {
-                            mea_runs_impl(
-                                &mut *replica,
-                                vm,
-                                vcpu,
-                                zoo,
-                                events,
-                                &train_collect,
-                                Some(&deployment),
-                            )
-                        },
-                    )?;
-                    let model_seed = derive_seed(seed, STREAM_MODEL, 0);
-                    // Same key recipe as `MeaAttack::train_cached`.
-                    let attacker = cached(
-                        cache,
-                        "mea-model",
-                        fingerprint(&(&noisy, &cfg.train, model_seed)),
-                        &mut stats,
-                        || Ok(MeaAttack::train(&noisy, cfg.train, model_seed)),
-                    )?;
-                    let _eval = obs::span("sweep.eval");
-                    attacker.sequence_accuracy(&victim)
-                }
-            };
-            Ok((accuracy, stats))
-        },
+    let ckpt_key = ArtifactKey::of(
+        "sweep-ckpt",
+        &(
+            "mea",
+            clean_attacker.is_some(),
+            mea_key(cfg, zoo, events, collect, base),
+            sweep_fingerprint(cfg),
+        ),
     );
+    let eval = |chunk: Vec<(f64, usize)>| {
+        Executor::from_config().map_with(
+            chunk,
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), _unit, (eps, mech_idx)| {
+                let _cell = obs::span("sweep.cell");
+                let mut stats = CellStats::default();
+                let seed = cell_seed(cfg, eps, mech_idx);
+                let deployment = DefenseDeployment {
+                    stack: base.stack.clone(),
+                    mechanism: mechanism(mech_idx, eps),
+                    obfuscator: base.obfuscator,
+                };
+                // In-place fork into the worker's reusable replica arena.
+                pristine.fork_detached_into(replica);
+
+                let mut victim_cfg = *collect;
+                victim_cfg.runs_per_model = cfg.victim_runs_per_model;
+                victim_cfg.seed = derive_seed(seed, STREAM_VICTIM, 0);
+                let victim: MeaRunLog = cached_col(
+                    cache,
+                    &ArtifactKey::raw(
+                        "noisy-mea-runs",
+                        mea_key(cfg, zoo, events, &victim_cfg, &deployment),
+                    ),
+                    &mut stats,
+                    || {
+                        Ok(MeaRunLog(mea_runs_impl(
+                            &mut *replica,
+                            vm,
+                            vcpu,
+                            zoo,
+                            events,
+                            &victim_cfg,
+                            Some(&deployment),
+                        )?))
+                    },
+                )?;
+
+                let accuracy = match clean_attacker {
+                    Some(attacker) => {
+                        let _eval = obs::span("sweep.eval");
+                        attacker.sequence_accuracy(&victim.0)
+                    }
+                    None => {
+                        let mut train_collect = *collect;
+                        train_collect.seed = derive_seed(seed, STREAM_TRAIN, 0);
+                        let noisy: MeaRunLog = cached_col(
+                            cache,
+                            &ArtifactKey::raw(
+                                "noisy-mea-runs",
+                                mea_key(cfg, zoo, events, &train_collect, &deployment),
+                            ),
+                            &mut stats,
+                            || {
+                                Ok(MeaRunLog(mea_runs_impl(
+                                    &mut *replica,
+                                    vm,
+                                    vcpu,
+                                    zoo,
+                                    events,
+                                    &train_collect,
+                                    Some(&deployment),
+                                )?))
+                            },
+                        )?;
+                        let model_seed = derive_seed(seed, STREAM_MODEL, 0);
+                        // Same key recipe as `MeaAttack::train_cached`.
+                        let attacker = cached_col(
+                            cache,
+                            &ArtifactKey::raw(
+                                "mea-model",
+                                fingerprint(&(&noisy.0, &cfg.train, model_seed)),
+                            ),
+                            &mut stats,
+                            || Ok(MeaAttack::train(&noisy.0, cfg.train, model_seed)),
+                        )?;
+                        let _eval = obs::span("sweep.eval");
+                        attacker.sequence_accuracy(&victim.0)
+                    }
+                };
+                Ok((accuracy, stats))
+            },
+        )
+    };
+    let results = run_cells(cache, &ckpt_key, &units, eval);
     assemble(units, results)
 }
 
@@ -534,6 +742,86 @@ mod tests {
         for cell in &cold.cells {
             assert!((0.0..=1.0).contains(&cell.accuracy), "{cell:?}");
         }
+    }
+
+    #[test]
+    fn cell_log_roundtrips_and_rejects_misaligned_columns() {
+        let log = CellLog {
+            acc: vec![0.5, 0.25, 1.0],
+            hits: vec![0, 2, 1],
+            misses: vec![3, 1, 2],
+        };
+        let back = CellLog::from_frame(log.to_frame()).unwrap();
+        assert_eq!(back.acc, log.acc);
+        assert_eq!(back.hits, log.hits);
+        assert_eq!(back.misses, log.misses);
+
+        let mut frame = ColumnFrame::new();
+        frame.push_f64(vec![0.5, 0.25]);
+        frame.push_u64(vec![1]);
+        frame.push_u64(vec![2, 3]);
+        assert!(CellLog::from_frame(frame).is_err(), "misaligned columns");
+    }
+
+    #[test]
+    fn killed_sweep_resumes_bit_identically() {
+        use aegis_faults::FaultPlan;
+
+        let (host, vm) = host_vm(3);
+        let core = host.core_of(vm, 0).unwrap();
+        let events = host.core(core).catalog().attack_events().to_vec();
+        let app = KeystrokeApp::with_window(300_000_000);
+        let collect = CollectConfig {
+            traces_per_secret: 4,
+            window_ns: 300_000_000,
+            interval_ns: 2_000_000,
+            pool: 25,
+            seed: 7,
+            per_secret_noise: false,
+        };
+        let deployment = test_deployment(&host);
+        let cfg = quick_sweep_cfg();
+        let run_with = |plan: FaultPlan, dir: &std::path::Path| -> SweepOutcome {
+            let cache = ArtifactCache::with_faults(dir, plan);
+            classification_sweep(
+                &host, vm, 0, &app, &events, &collect, &deployment, None, &cfg, &cache,
+            )
+            .unwrap()
+        };
+        let tmp = |tag: &str| {
+            let d = std::env::temp_dir().join(format!(
+                "aegis-sweep-ckpt-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        };
+        // Reference: an active but sweep-irrelevant plan, so checkpointing
+        // is armed in both runs and outcomes stay comparable.
+        let base = FaultPlan {
+            seed: 5,
+            tick_jitter: 0.5,
+            ..FaultPlan::none()
+        };
+        let dir_ref = tmp("ref");
+        let reference = run_with(base, &dir_ref);
+
+        // Kill the grid mid-run, then resume it from the persisted
+        // checkpoint in the same cache.
+        let kill_plan = FaultPlan {
+            sweep_kill_after: 2,
+            ..base
+        };
+        let dir_kill = tmp("kill");
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(kill_plan, &dir_kill)
+        }));
+        assert!(killed.is_err(), "the injected kill must abort the run");
+        let resumed = run_with(kill_plan, &dir_kill);
+        assert_eq!(reference, resumed);
+
+        let _ = std::fs::remove_dir_all(&dir_ref);
+        let _ = std::fs::remove_dir_all(&dir_kill);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Labeled trace datasets and feature extraction.
 
 use crate::mat::Mat;
+use aegis_par::store::usize_from_u64;
+use aegis_par::{ColumnFrame, ColumnSchema, Columnar, FrameError, FrameReader};
 use aegis_perf::Trace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -170,6 +172,48 @@ impl Dataset {
     }
 }
 
+/// The sample matrix rides [`Mat`]'s page encoding; labels are one `u64`
+/// column (they index classes, so the widening is exact); `n_classes`
+/// trails as a one-element bookkeeping column. Decode re-validates the
+/// [`Dataset::from_mat`] invariants as errors, not panics: a corrupt
+/// artifact must read as a miss.
+impl Columnar for Dataset {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("attack/dataset", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        self.samples.encode_columns(frame);
+        frame.push_u64(self.labels.iter().map(|&l| l as u64).collect());
+        frame.push_u64(vec![self.n_classes as u64]);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let samples = Mat::decode_columns(reader)?;
+        let labels: Vec<usize> = reader
+            .u64s()?
+            .into_iter()
+            .map(|l| usize_from_u64(l, "dataset label"))
+            .collect::<Result<_, _>>()?;
+        let tail = reader.u64s()?;
+        let [n_classes] = tail[..] else {
+            return Err(FrameError::new("dataset class-count column malformed"));
+        };
+        let n_classes = usize_from_u64(n_classes, "dataset n_classes")?;
+        if samples.rows() != labels.len() {
+            return Err(FrameError::new("dataset samples/labels mismatch"));
+        }
+        if labels.iter().any(|&l| l >= n_classes) {
+            return Err(FrameError::new("dataset label out of range"));
+        }
+        Ok(Dataset {
+            samples,
+            labels,
+            n_classes,
+        })
+    }
+}
+
 /// Per-feature standardization parameters fitted on a training set and
 /// reused verbatim on validation/attack data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -223,6 +267,26 @@ impl Standardizer {
         for row in &mut ds.samples {
             self.apply(row);
         }
+    }
+}
+
+impl Columnar for Standardizer {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("attack/standardizer", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        frame.push_f64(self.mean.clone());
+        frame.push_f64(self.std.clone());
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let mean = reader.f64s()?;
+        let std = reader.f64s()?;
+        if mean.len() != std.len() {
+            return Err(FrameError::new("standardizer mean/std length mismatch"));
+        }
+        Ok(Standardizer { mean, std })
     }
 }
 
@@ -316,6 +380,26 @@ mod tests {
         let mut x = vec![4.0];
         std.apply(&mut x);
         assert!((x[0] - 3.0).abs() < 1e-9); // (4-1)/1
+    }
+
+    #[test]
+    fn dataset_and_standardizer_columnar_roundtrip() {
+        let ds = Dataset::new(
+            (0..6).map(|i| vec![i as f64, -(i as f64) / 3.0]).collect(),
+            (0..6).map(|i| i % 3).collect(),
+            3,
+        );
+        assert_eq!(Dataset::from_frame(ds.to_frame()).unwrap(), ds);
+
+        let std = Standardizer::fit(&ds.samples);
+        assert_eq!(Standardizer::from_frame(std.to_frame()).unwrap(), std);
+
+        // Labels beyond the decoded class count are an error, not data.
+        let mut frame = ColumnFrame::new();
+        ds.samples.encode_columns(&mut frame);
+        frame.push_u64(vec![0, 1, 2, 0, 1, 9]);
+        frame.push_u64(vec![3]);
+        assert!(Dataset::from_frame(frame).is_err());
     }
 
     #[test]

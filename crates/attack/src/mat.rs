@@ -7,6 +7,7 @@
 //! per-sample arithmetic — and therefore the floating-point accumulation
 //! order — identical to the nested layout it replaces.
 
+use aegis_par::{ColumnFrame, ColumnSchema, Columnar, FrameError, FrameReader};
 use serde::{Deserialize, Serialize};
 
 /// A row-major `rows × cols` matrix backed by one contiguous buffer.
@@ -155,6 +156,36 @@ impl Mat {
             rows: n,
             cols: self.cols,
         }
+    }
+}
+
+/// The columnar encoding is the in-memory layout itself: one `u64`
+/// dims column `[rows, cols]`, then the row-major buffer as a single
+/// `f64` page — a warm load copies the page straight into `data`.
+impl Columnar for Mat {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("attack/mat", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        frame.push_u64(vec![self.rows as u64, self.cols as u64]);
+        frame.push_f64(self.data.clone());
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let dims = reader.u64s()?;
+        let [rows, cols] = dims[..] else {
+            return Err(FrameError::new("mat dims column malformed"));
+        };
+        let rows = aegis_par::store::usize_from_u64(rows, "mat rows")?;
+        let cols = aegis_par::store::usize_from_u64(cols, "mat cols")?;
+        let data = reader.f64s()?;
+        if data.len() != rows.checked_mul(cols).ok_or_else(|| {
+            FrameError::new("mat dims overflow")
+        })? {
+            return Err(FrameError::new("mat buffer/dims mismatch"));
+        }
+        Ok(Mat { data, rows, cols })
     }
 }
 
@@ -307,6 +338,23 @@ mod tests {
         let m = Mat::default();
         assert!(m.is_empty());
         assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn columnar_roundtrip_is_bit_exact() {
+        let m = Mat::from_rows(&[vec![1.5, -0.0], vec![f64::NAN, 2.0f64.powi(-40)]]);
+        let back = Mat::from_frame(m.to_frame()).unwrap();
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back.cols(), 2);
+        assert_eq!(
+            back.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // A frame whose buffer disagrees with its dims must not decode.
+        let mut frame = aegis_par::ColumnFrame::new();
+        frame.push_u64(vec![2, 2]);
+        frame.push_f64(vec![1.0; 3]);
+        assert!(Mat::from_frame(frame).is_err());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use crate::dataset::Dataset;
 use crate::mat::Mat;
+use aegis_par::store::usize_from_u64;
+use aegis_par::{ColumnFrame, ColumnSchema, Columnar, FrameError, FrameReader};
 use serde::{Deserialize, Serialize};
 
 /// A fitted Gaussian class-conditional classifier.
@@ -157,6 +159,39 @@ impl GaussianNb {
     }
 }
 
+impl Columnar for GaussianNb {
+    fn schema() -> ColumnSchema {
+        ColumnSchema::new("attack/gaussian-nb", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        self.means.encode_columns(frame);
+        frame.push_f64(self.pooled_var.clone());
+        frame.push_f64(self.log_prior.clone());
+        frame.push_u64(vec![self.dim as u64]);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let means = Mat::decode_columns(reader)?;
+        let pooled_var = reader.f64s()?;
+        let log_prior = reader.f64s()?;
+        let tail = reader.u64s()?;
+        let [dim] = tail[..] else {
+            return Err(FrameError::new("nb dim column malformed"));
+        };
+        let dim = usize_from_u64(dim, "nb dim")?;
+        if means.cols() != dim || pooled_var.len() != dim || log_prior.len() != means.rows() {
+            return Err(FrameError::new("nb component dimensions disagree"));
+        }
+        Ok(GaussianNb {
+            means,
+            pooled_var,
+            log_prior,
+            dim,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +291,24 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_training_panics() {
         GaussianNb::fit(&Dataset::new(vec![], vec![], 2));
+    }
+
+    #[test]
+    fn columnar_roundtrip_predicts_identically() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = ordinal_dataset(8, 3, &mut rng);
+        let nb = GaussianNb::fit(&ds);
+        let back = GaussianNb::from_frame(nb.to_frame()).unwrap();
+        assert_eq!(back, nb);
+        for x in ds.samples.iter().take(20) {
+            assert_eq!(back.predict(x), nb.predict(x));
+        }
+        // Disagreeing component dimensions must not decode.
+        let mut frame = aegis_par::ColumnFrame::new();
+        nb.means.encode_columns(&mut frame);
+        frame.push_f64(vec![1.0; nb.dim + 1]);
+        frame.push_f64(nb.log_prior.clone());
+        frame.push_u64(vec![nb.dim as u64]);
+        assert!(GaussianNb::from_frame(frame).is_err());
     }
 }

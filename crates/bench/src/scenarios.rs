@@ -125,10 +125,10 @@ pub fn mea_zoo(cfg: &ExpConfig) -> DnnZoo {
 }
 
 use aegis::attack::Dataset;
-use aegis::{Collector, MeaRun};
+use aegis::{Collector, MeaRun, MeaRunLog};
 use aegis::fuzzer::FuzzerConfig;
 use aegis::microarch::EventId;
-use aegis::par::{fingerprint, ArtifactCache};
+use aegis::par::{fingerprint, ArtifactCache, ArtifactKey};
 use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::workloads::SecretApp;
 use aegis::{AegisConfig, AegisPipeline, DefenseDeployment, DefensePlan, MechanismChoice};
@@ -136,10 +136,13 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Collects (or reloads) a *clean* dataset, memoized on disk under
-/// `results/cache/`. Clean collection is a pure function of the host
-/// seed, the app, the event list, and the collection settings — exactly
-/// the tuple fingerprinted here — so a hit is bit-identical to a fresh
-/// collection. Disable with `AEGIS_NO_CACHE=1`.
+/// `results/cache/` in the columnar `.acs` format — a warm hit is one
+/// bulk read of little-endian pages into pre-sized buffers. Clean
+/// collection is a pure function of the host seed, the app, the event
+/// list, and the collection settings — exactly the tuple fingerprinted
+/// here — so a hit is bit-identical to a fresh collection. A legacy
+/// JSON entry under the same key migrates transparently. Disable with
+/// `AEGIS_NO_CACHE=1`.
 pub fn clean_dataset_cached(
     host_seed: u64,
     host: &mut aegis::sev::Host,
@@ -150,20 +153,23 @@ pub fn clean_dataset_cached(
     collect: &CollectConfig,
 ) -> Dataset {
     let cache = ArtifactCache::default_location();
-    let key = fingerprint(&(
-        host_seed,
-        app.name().to_string(),
-        app.n_secrets() as u64,
-        events.to_vec(),
-        *collect,
-    ));
-    if let Some(hit) = cache.get::<Dataset>("clean-dataset", key) {
+    let key = ArtifactKey::raw(
+        "clean-dataset",
+        fingerprint(&(
+            host_seed,
+            app.name().to_string(),
+            app.n_secrets() as u64,
+            events.to_vec(),
+            *collect,
+        )),
+    );
+    if let Some(hit) = cache.get_col_or_json::<Dataset>(&key) {
         return hit;
     }
     let ds = Collector::for_traces(*collect)
         .dataset(host, vm, vcpu, app, events, None)
         .expect("clean collection uses validated ids");
-    let _ = cache.put("clean-dataset", key, &ds);
+    let _ = cache.put_col(&key, &ds);
     ds
 }
 
@@ -179,20 +185,23 @@ pub fn clean_mea_runs_cached(
     collect: &MeaConfig,
 ) -> Vec<(usize, MeaRun)> {
     let cache = ArtifactCache::default_location();
-    let key = fingerprint(&(
-        host_seed,
-        zoo.name().to_string(),
-        zoo.n_secrets() as u64,
-        events.to_vec(),
-        *collect,
-    ));
-    if let Some(hit) = cache.get::<Vec<(usize, MeaRun)>>("clean-mea-runs", key) {
-        return hit;
+    let key = ArtifactKey::raw(
+        "clean-mea-runs",
+        fingerprint(&(
+            host_seed,
+            zoo.name().to_string(),
+            zoo.n_secrets() as u64,
+            events.to_vec(),
+            *collect,
+        )),
+    );
+    if let Some(hit) = cache.get_col_or_json::<MeaRunLog>(&key) {
+        return hit.0;
     }
     let runs = Collector::for_mea(*collect)
         .mea_runs(host, vm, vcpu, zoo, events, None)
         .expect("clean collection uses validated ids");
-    let _ = cache.put("clean-mea-runs", key, &runs);
+    let _ = cache.put_col(&key, &MeaRunLog(runs.clone()));
     runs
 }
 

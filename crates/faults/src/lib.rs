@@ -114,6 +114,10 @@ pub struct FaultPlan {
     /// (panics) after this many recording sessions — used to exercise
     /// checkpoint/resume.
     pub fuzz_kill_after: u64,
+    /// If nonzero, `aegis::sweep` grid runs abort (panic) after this
+    /// many completed cells — used to exercise the generic sweep
+    /// checkpoint/resume path.
+    pub sweep_kill_after: u64,
     /// Probability per service-plane health check that a healthy
     /// session is spuriously reported unhealthy (watchdog flap).
     pub health_flap: f64,
@@ -150,6 +154,7 @@ impl FaultPlan {
             sample_drop: 0.0,
             cache_torn: 0.0,
             fuzz_kill_after: 0,
+            sweep_kill_after: 0,
             health_flap: 0.0,
             reload_torn: 0.0,
             ledger_corrupt: 0.0,
@@ -175,6 +180,7 @@ impl FaultPlan {
             sample_drop: 0.05,
             cache_torn: 0.1,
             fuzz_kill_after: 0,
+            sweep_kill_after: 0,
             health_flap: 0.05,
             reload_torn: 0.1,
             ledger_corrupt: 0.05,
@@ -195,6 +201,7 @@ impl FaultPlan {
             || self.sample_drop > 0.0
             || self.cache_torn > 0.0
             || self.fuzz_kill_after > 0
+            || self.sweep_kill_after > 0
             || self.health_flap > 0.0
             || self.reload_torn > 0.0
             || self.ledger_corrupt > 0.0
@@ -242,6 +249,7 @@ impl FaultPlan {
                 "sample_drop" => plan.sample_drop = f()?,
                 "cache_torn" => plan.cache_torn = f()?,
                 "fuzz_kill_after" => plan.fuzz_kill_after = u()?,
+                "sweep_kill_after" => plan.sweep_kill_after = u()?,
                 "health_flap" => plan.health_flap = f()?,
                 "reload_torn" => plan.reload_torn = f()?,
                 "ledger_corrupt" => plan.ledger_corrupt = f()?,

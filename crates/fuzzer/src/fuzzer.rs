@@ -4,13 +4,14 @@ use crate::cleanup::{run_cleanup, CleanupResult};
 use crate::gadget::{ConfirmedGadget, Gadget, GadgetCluster};
 use crate::harness::{
     measure_median, measure_repeated, program_event, BatchTraceRecorder, RecordedTrace, TraceEval,
+    TraceLog,
 };
 use crate::report::FuzzReport;
 use aegis_faults::{self as faults, FaultPlan};
 use aegis_isa::IsaCatalog;
 use aegis_microarch::{noise_base_for_seed, Core, CoreBatch, EventId};
 use aegis_obs as obs;
-use aegis_par::{derive_seed, ArtifactCache, Executor};
+use aegis_par::{derive_seed, ArtifactCache, ArtifactKey, Checkpoint, Executor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -39,17 +40,6 @@ const LANE_WIDTH: usize = 32;
 /// plan puts report timing on the simulated clock. Wall-clock timings
 /// cannot be bit-identical across a kill/resume pair; window counts are.
 const SIM_SECONDS_PER_WINDOW: f64 = 1e-6;
-
-/// A crash-safety checkpoint of the recording pass: the traces recorded
-/// so far, persisted through the [`ArtifactCache`] at chunk boundaries so
-/// a killed run resumes where it died instead of starting over.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct FuzzCheckpoint {
-    /// Candidates whose recording sessions are complete.
-    completed: usize,
-    /// Their recorded traces, in candidate order.
-    traces: Vec<RecordedTrace>,
-}
 
 /// Fuzzer configuration (defaults follow the paper where it states them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -179,18 +169,21 @@ impl EventFuzzer {
     /// covering sets, gadget-stack calibration) would diverge from the
     /// same run repeated warm.
     fn cleanup(&self, catalog: &IsaCatalog, core: &Core) -> CleanupResult {
-        let key = aegis_par::fingerprint(&(
-            format!("{:?}", catalog.vendor()),
-            catalog.seed(),
-            catalog.len(),
-            format!("{:?}", core.arch()),
-        ));
-        if let Some(hit) = self.cache.get::<CleanupResult>("cleanup", key) {
+        let key = ArtifactKey::of(
+            "cleanup",
+            &(
+                format!("{:?}", catalog.vendor()),
+                catalog.seed(),
+                catalog.len(),
+                format!("{:?}", core.arch()),
+            ),
+        );
+        if let Some(hit) = self.cache.get_json::<CleanupResult>(&key) {
             return hit;
         }
         let mut scratch = core.clone();
         let result = run_cleanup(catalog, &mut scratch);
-        let _ = self.cache.put("cleanup", key, &result);
+        let _ = self.cache.put_json(&key, &result);
         result
     }
 
@@ -255,20 +248,24 @@ impl EventFuzzer {
         // a mid-run kill resumes where it died.
         let record_span = obs::span("fuzz.record");
         let checkpointing = fault_mode && !pool.is_empty();
-        let ckpt_key = aegis_par::fingerprint(&(
-            self.config,
-            format!("{:?}", catalog.vendor()),
-            catalog.seed(),
-            catalog.len(),
-            format!("{:?}", core.arch()),
-        ));
+        let ckpt_key = ArtifactKey::of(
+            "fuzz-ckpt",
+            &(
+                self.config,
+                format!("{:?}", catalog.vendor()),
+                catalog.seed(),
+                catalog.len(),
+                format!("{:?}", core.arch()),
+            ),
+        );
         let mut traces: Vec<RecordedTrace> = Vec::with_capacity(pool.len());
         let mut resume_from = 0usize;
         if checkpointing {
-            if let Some(ck) = self.cache.get::<FuzzCheckpoint>("fuzz-ckpt", ckpt_key) {
-                if ck.traces.len() == ck.completed && ck.completed <= pool.len() {
-                    resume_from = ck.completed;
-                    traces = ck.traces;
+            if let Some(ck) = self.cache.get_col::<Checkpoint<TraceLog>>(&ckpt_key) {
+                let completed = ck.completed as usize;
+                if ck.payload.0.len() == completed && completed <= pool.len() {
+                    resume_from = completed;
+                    traces = ck.payload.0;
                     obs::counter_add("fuzz.ckpt_resumed", 1.0);
                     faults::report("fuzz", "resume", &[("completed", resume_from as u64)]);
                 }
@@ -342,14 +339,9 @@ impl EventFuzzer {
             }
             done = end;
             if checkpointing {
-                let _ = self.cache.put(
-                    "fuzz-ckpt",
-                    ckpt_key,
-                    &FuzzCheckpoint {
-                        completed: done,
-                        traces: traces.clone(),
-                    },
-                );
+                let _ = self
+                    .cache
+                    .put_col(&ckpt_key, &Checkpoint::new(done as u64, TraceLog(traces.clone())));
                 if kill_armed && done >= kill_at {
                     faults::report("fuzz", "kill", &[("completed", done as u64)]);
                     panic!(

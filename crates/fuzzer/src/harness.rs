@@ -132,6 +132,82 @@ pub struct RecordedTrace {
     support: u32,
 }
 
+/// An owned session list with a columnar encoding (the orphan rule keeps
+/// `Vec<RecordedTrace>` itself from implementing the foreign trait).
+///
+/// The list stores as two pages mirroring the flat recording layout: one
+/// `u64` metadata column (`[n, then per trace: flat length, steps,
+/// support]`) and one `f64` column concatenating every trace's window
+/// sums — so a checkpoint of thousands of sessions loads as two
+/// contiguous reads instead of a JSON tree per window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceLog(pub Vec<RecordedTrace>);
+
+impl aegis_par::Columnar for TraceLog {
+    fn schema() -> aegis_par::ColumnSchema {
+        aegis_par::ColumnSchema::new("fuzzer/recorded-traces", 1)
+    }
+
+    fn encode_columns(&self, frame: &mut aegis_par::ColumnFrame) {
+        let traces = &self.0;
+        let mut meta = Vec::with_capacity(1 + traces.len() * 3);
+        meta.push(traces.len() as u64);
+        let total: usize = traces.iter().map(|t| t.flat.len()).sum();
+        let mut flat = Vec::with_capacity(total);
+        for t in traces {
+            meta.push(t.flat.len() as u64);
+            meta.push(t.steps as u64);
+            meta.push(u64::from(t.support));
+            flat.extend_from_slice(&t.flat);
+        }
+        frame.push_u64(meta);
+        frame.push_f64(flat);
+    }
+
+    fn decode_columns(
+        reader: &mut aegis_par::FrameReader,
+    ) -> Result<Self, aegis_par::FrameError> {
+        use aegis_par::store::usize_from_u64;
+        use aegis_par::FrameError;
+        let meta = reader.u64s()?;
+        let mut flat = reader.f64s()?;
+        let (&n, per) = meta
+            .split_first()
+            .ok_or_else(|| FrameError::new("trace meta column empty"))?;
+        let n = usize_from_u64(n, "trace count")?;
+        if per.len() != n * 3 {
+            return Err(FrameError::new("trace meta column length mismatch"));
+        }
+        // Traces are split off the *back* of the concatenated page (in
+        // reverse), so each trace's buffer is the moved tail allocation —
+        // no per-trace copy of the front.
+        let mut traces: Vec<RecordedTrace> = Vec::with_capacity(n);
+        for chunk in per.chunks_exact(3).rev() {
+            let [len, steps, support] = *chunk else { unreachable!() };
+            let len = usize_from_u64(len, "trace flat length")?;
+            if len % WINDOW_STRIDE != 0 {
+                return Err(FrameError::new("trace length not window aligned"));
+            }
+            let support = u32::try_from(support)
+                .map_err(|_| FrameError::new("trace support exceeds u32"))?;
+            let at = flat
+                .len()
+                .checked_sub(len)
+                .ok_or_else(|| FrameError::new("trace page shorter than meta claims"))?;
+            traces.push(RecordedTrace {
+                flat: flat.split_off(at),
+                steps: usize_from_u64(steps, "trace steps")?,
+                support,
+            });
+        }
+        if !flat.is_empty() {
+            return Err(FrameError::new("trace page longer than meta claims"));
+        }
+        traces.reverse();
+        Ok(TraceLog(traces))
+    }
+}
+
 impl RecordedTrace {
     /// Number of recorded measurement windows.
     pub fn windows(&self) -> usize {
@@ -668,6 +744,40 @@ mod tests {
             }
         }
         assert!(disjoint > 0, "nop trace should leave some events disjoint");
+    }
+
+    #[test]
+    fn trace_log_columnar_roundtrip_is_bit_exact() {
+        use aegis_par::Columnar;
+        let (catalog, mut core) = setup();
+        let mut traces = Vec::new();
+        for n in 1..4usize {
+            let mut rec = TraceRecorder::begin(&mut core, &catalog);
+            for _ in 0..n {
+                rec.window(&[WellKnown::Add64.id()]);
+            }
+            traces.push(rec.finish());
+        }
+        let log = TraceLog(traces);
+        let back = TraceLog::from_frame(log.to_frame()).unwrap();
+        assert_eq!(back.0.len(), log.0.len());
+        for (b, t) in back.0.iter().zip(&log.0) {
+            assert_eq!(b.steps, t.steps);
+            assert_eq!(b.support, t.support);
+            assert_eq!(
+                b.flat.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                t.flat.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(
+            TraceLog::from_frame(TraceLog::default().to_frame()).unwrap(),
+            TraceLog::default()
+        );
+        // A meta column that disagrees with the page must not decode.
+        let mut frame = aegis_par::ColumnFrame::new();
+        frame.push_u64(vec![1, WINDOW_STRIDE as u64, 3, 0]);
+        frame.push_f64(vec![0.0; WINDOW_STRIDE - 1]);
+        assert!(TraceLog::from_frame(frame).is_err());
     }
 
     #[test]

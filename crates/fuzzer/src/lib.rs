@@ -36,6 +36,6 @@ pub use fuzzer::{
 pub use gadget::{ConfirmedGadget, Gadget, GadgetCluster};
 pub use harness::{
     measure_median, measure_once, measure_repeated, program_event, BatchTraceRecorder,
-    RecordedTrace, TraceEval, TraceRecorder,
+    RecordedTrace, TraceEval, TraceLog, TraceRecorder,
 };
 pub use report::FuzzReport;

@@ -2,11 +2,18 @@
 //!
 //! Cleanup fuzzing and clean-trace dataset collection are pure functions
 //! of `(configuration, seed)` — the whole point of the determinism
-//! contract — which makes their outputs safely memoizable. Artifacts are
-//! JSON files under a cache directory (`results/cache/` by convention),
-//! named `<kind>-<key>.json` where the key is a fingerprint of the
-//! producing configuration.
+//! contract — which makes their outputs safely memoizable. Bulk numeric
+//! artifacts (datasets, models, traces, checkpoints) live in the
+//! columnar `.acs` binary format (see [`crate::store::columnar`]) named
+//! `<kind>-<key>.acs`; small metadata records (plans, ledgers, reports)
+//! stay as JSON files named `<kind>-<key>.json`. Both ride the
+//! generation/ref-count [`Manifest`] journal, which gives the cache an
+//! explicit [`ArtifactCache::gc`] entry point and fails closed when
+//! corrupt.
 
+use crate::store::columnar::{decode_frame, encode_frame, Columnar};
+use crate::store::manifest::{GcReport, Manifest};
+use crate::store::ArtifactKey;
 use aegis_faults::{self as faults, FaultPlan, FaultStream};
 use aegis_obs as obs;
 use serde::{Deserialize, Serialize};
@@ -26,12 +33,14 @@ pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
     hash
 }
 
-/// A directory of memoized JSON artifacts.
+/// A directory of memoized artifacts: columnar `.acs` files for bulk
+/// numeric data, JSON for small metadata, journaled by a [`Manifest`].
 #[derive(Clone, Debug)]
 pub struct ArtifactCache {
     dir: PathBuf,
     enabled: bool,
     faults: FaultPlan,
+    manifest: Manifest,
 }
 
 impl ArtifactCache {
@@ -43,16 +52,20 @@ impl ArtifactCache {
 
     /// A cache rooted at `dir` with an explicit fault plan.
     pub fn with_faults(dir: impl Into<PathBuf>, plan: FaultPlan) -> Self {
+        let dir = dir.into();
         ArtifactCache {
-            dir: dir.into(),
+            manifest: Manifest::new(&dir),
+            dir,
             enabled: std::env::var_os("AEGIS_NO_CACHE").is_none(),
             faults: plan,
         }
     }
 
-    /// The conventional workspace cache location, `results/cache/`.
+    /// The conventional workspace cache location: `AEGIS_CACHE_DIR` when
+    /// set, else `<workspace root>/results/cache` regardless of cwd (see
+    /// [`crate::store::default_cache_dir`]).
     pub fn default_location() -> Self {
-        ArtifactCache::new(Path::new("results").join("cache"))
+        ArtifactCache::new(crate::store::default_cache_dir())
     }
 
     /// A cache that never hits and never writes (for `--no-cache`).
@@ -61,12 +74,44 @@ impl ArtifactCache {
             dir: PathBuf::new(),
             enabled: false,
             faults: FaultPlan::none(),
+            manifest: Manifest::new(PathBuf::new()),
         }
     }
 
-    /// The file that would hold artifact `kind` under `key`.
+    /// The directory this cache stores artifacts in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest journaling this cache's artifacts.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The fault plan captured at construction. Consumers that persist
+    /// through this cache (sweep checkpoints, fuzzer checkpoints) key
+    /// their own crash-safety harness off the same plan, so one
+    /// `with_faults` call arms the whole pipeline consistently.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// The file that would hold artifact `kind` under `key` (legacy JSON
+    /// naming; columnar artifacts use [`ArtifactCache::col_path`]).
     pub fn path_for(&self, kind: &str, key: u64) -> PathBuf {
         self.dir.join(format!("{kind}-{key:016x}.json"))
+    }
+
+    /// The file that would hold the columnar artifact at `key`.
+    pub fn col_path(&self, key: &ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{}-{:016x}.acs", key.kind, key.key))
+    }
+
+    /// Whether this cache can serve hits (enabled and journal healthy —
+    /// a corrupt manifest fails closed: everything misses, callers
+    /// recompute, never stale bytes).
+    fn servable(&self) -> bool {
+        self.enabled && !self.manifest.is_poisoned()
     }
 
     /// Loads a cached artifact, or `None` on miss (absent, unreadable,
@@ -74,7 +119,7 @@ impl ArtifactCache {
     /// surfaced to observability as a `cache.corrupt` event rather than
     /// an error).
     pub fn get<T: Deserialize>(&self, kind: &str, key: u64) -> Option<T> {
-        if !self.enabled {
+        if !self.servable() {
             return None;
         }
         let path = self.path_for(kind, key);
@@ -139,10 +184,154 @@ impl ArtifactCache {
                 return Ok(path);
             }
         }
-        std::fs::write(&tmp, json)?;
+        std::fs::write(&tmp, &json)?;
         std::fs::rename(&tmp, &path)?;
+        self.record(kind, key, &path, json.len() as u64);
         obs::counter_add("cache.store", 1.0);
         Ok(path)
+    }
+
+    /// Journals a landed artifact. Journal failures are non-fatal: the
+    /// artifact still serves, it just looks like an orphan to `gc`.
+    fn record(&self, kind: &str, key: u64, path: &Path, bytes: u64) {
+        if let Some(file) = path.file_name().and_then(|f| f.to_str()) {
+            let _ = self.manifest.record_put(kind, key, file, bytes);
+        }
+    }
+
+    /// [`ArtifactCache::get`] addressed by [`ArtifactKey`] (for JSON
+    /// metadata records riding the content-addressed key scheme).
+    pub fn get_json<T: Deserialize>(&self, key: &ArtifactKey) -> Option<T> {
+        self.get(key.kind, key.key)
+    }
+
+    /// [`ArtifactCache::put`] addressed by [`ArtifactKey`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] when the artifact cannot be written.
+    pub fn put_json<T: Serialize>(&self, key: &ArtifactKey, value: &T) -> io::Result<PathBuf> {
+        self.put(key.kind, key.key, value)
+    }
+
+    /// Loads a columnar artifact, or `None` on miss. Like
+    /// [`ArtifactCache::get`], every failure mode — absent file, torn
+    /// page (inside a column or truncating the file), schema drift,
+    /// poisoned manifest — is a miss the recompute path heals, never an
+    /// error and never stale data.
+    pub fn get_col<T: Columnar>(&self, key: &ArtifactKey) -> Option<T> {
+        if !self.servable() {
+            return None;
+        }
+        let path = self.col_path(key);
+        let Ok(bytes) = std::fs::read(&path) else {
+            self.note("cache.miss", key.kind, key.key, &path);
+            return None;
+        };
+        match decode_frame(&T::schema(), &bytes).and_then(T::from_frame) {
+            Ok(value) => {
+                self.note("cache.hit", key.kind, key.key, &path);
+                Some(value)
+            }
+            Err(_) => {
+                self.note("cache.corrupt", key.kind, key.key, &path);
+                None
+            }
+        }
+    }
+
+    /// Loads a columnar artifact, transparently migrating a legacy JSON
+    /// entry of the same kind/key if one exists: the JSON is parsed once,
+    /// rewritten in the columnar format, and deleted. A legacy entry that
+    /// no longer parses is a miss (recompute), never misread.
+    pub fn get_col_or_json<T: Columnar + Deserialize>(&self, key: &ArtifactKey) -> Option<T> {
+        if let Some(hit) = self.get_col(key) {
+            return Some(hit);
+        }
+        if !self.servable() {
+            return None;
+        }
+        let legacy = self.path_for(key.kind, key.key);
+        let text = std::fs::read_to_string(&legacy).ok()?;
+        let value: T = serde_json::from_str(&text).ok()?;
+        if self.put_col(key, &value).is_ok() {
+            let _ = std::fs::remove_file(&legacy);
+        }
+        self.note("cache.migrate", key.kind, key.key, &legacy);
+        Some(value)
+    }
+
+    /// Stores a columnar artifact atomically (temp + rename) and journals
+    /// it. Under an active fault plan the torn-write site can instead
+    /// land half the encoded bytes at the final path — the cut falls
+    /// inside a column page, whose checksum makes the next `get_col` a
+    /// `cache.corrupt` miss (and `gc` removes the unjournaled file as an
+    /// orphan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] when the artifact cannot be written.
+    pub fn put_col<T: Columnar>(&self, key: &ArtifactKey, value: &T) -> io::Result<PathBuf> {
+        if !self.enabled {
+            return Ok(PathBuf::new());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.col_path(key);
+        let bytes = encode_frame(&T::schema(), &value.to_frame());
+        if self.faults.cache_torn > 0.0 {
+            let mut s = FaultStream::new(&self.faults, faults::site::CACHE, key.key);
+            if s.chance(self.faults.cache_torn) {
+                std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+                faults::report("cache", "torn_write", &[("key", key.key)]);
+                return Ok(path);
+            }
+        }
+        let tmp = self.dir.join(format!(
+            ".{}-{:016x}.{}.tmp",
+            key.kind,
+            key.key,
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        self.record(key.kind, key.key, &path, bytes.len() as u64);
+        obs::counter_add("cache.store", 1.0);
+        Ok(path)
+    }
+
+    /// Pins an artifact: `gc` will not evict it while the pin is held.
+    pub fn pin(&self, key: &ArtifactKey) {
+        if self.enabled {
+            let _ = self.manifest.pin(key.kind, key.key);
+        }
+    }
+
+    /// Releases a pin taken by [`ArtifactCache::pin`].
+    pub fn unpin(&self, key: &ArtifactKey) {
+        if self.enabled {
+            let _ = self.manifest.unpin(key.kind, key.key);
+        }
+    }
+
+    /// Collects garbage: evicts unpinned artifacts oldest-first until the
+    /// journaled live set fits `budget_bytes`, removes unjournaled files,
+    /// compacts the journal, and — when the journal was poisoned — wipes
+    /// everything and starts it fresh. See [`Manifest::gc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] when files or the journal cannot be
+    /// rewritten.
+    pub fn gc(&self, budget_bytes: u64) -> io::Result<GcReport> {
+        if !self.enabled {
+            return Ok(GcReport::default());
+        }
+        let report = self.manifest.gc(budget_bytes)?;
+        if obs::enabled() {
+            obs::counter_add("cache.gc.evicted", report.evicted as f64);
+            obs::counter_add("cache.gc.orphans", report.orphans_removed as f64);
+        }
+        Ok(report)
     }
 }
 
@@ -211,5 +400,150 @@ mod tests {
         let cache = ArtifactCache::disabled();
         cache.put("demo", 1, &vec![1u64]).unwrap();
         assert!(cache.get::<Vec<u64>>("demo", 1).is_none());
+        let key = ArtifactKey::raw("demo", 1);
+        cache.put_col(&key, &Blob { data: vec![1.0] }).unwrap();
+        assert!(cache.get_col::<Blob>(&key).is_none());
+    }
+
+    use crate::store::columnar::{ColumnFrame, ColumnSchema, FrameReader};
+    use serde::Value;
+
+    /// Minimal payload with both a columnar and a JSON encoding, for
+    /// exercising the cache paths without pulling in real datasets.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob {
+        data: Vec<f64>,
+    }
+
+    impl Columnar for Blob {
+        fn schema() -> ColumnSchema {
+            ColumnSchema::new("par/test-blob", 1)
+        }
+        fn encode_columns(&self, frame: &mut ColumnFrame) {
+            frame.push_f64(self.data.clone());
+        }
+        fn decode_columns(reader: &mut FrameReader) -> Result<Self, crate::store::FrameError> {
+            Ok(Blob {
+                data: reader.f64s()?,
+            })
+        }
+    }
+
+    impl Serialize for Blob {
+        fn to_value(&self) -> Value {
+            let mut map = serde::Map::new();
+            map.insert("data".to_string(), self.data.to_value());
+            Value::Object(map)
+        }
+    }
+
+    impl Deserialize for Blob {
+        fn from_value(v: &Value) -> Result<Self, serde::Error> {
+            let data = v
+                .get("data")
+                .ok_or_else(|| serde::Error::custom("missing data"))?;
+            Ok(Blob {
+                data: Deserialize::from_value(data)?,
+            })
+        }
+    }
+
+    #[test]
+    fn columnar_put_get_roundtrips_and_journals() {
+        let cache = ArtifactCache::new(temp_dir("col-roundtrip"));
+        let key = ArtifactKey::raw("blob", 9);
+        let value = Blob {
+            data: vec![1.5, -0.25, f64::NAN],
+        };
+        assert!(cache.get_col::<Blob>(&key).is_none());
+        cache.put_col(&key, &value).unwrap();
+        let back = cache.get_col::<Blob>(&key).unwrap();
+        assert_eq!(
+            back.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            value.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let entry = cache.manifest().entry("blob", 9).unwrap();
+        assert!(entry.bytes > 0, "put journaled with its size");
+    }
+
+    #[test]
+    fn torn_columnar_put_reads_as_miss_and_recompute_heals() {
+        let plan = FaultPlan {
+            seed: 11,
+            cache_torn: 1.0,
+            ..FaultPlan::none()
+        };
+        let dir = temp_dir("col-torn");
+        let cache = ArtifactCache::with_faults(dir.clone(), plan);
+        let key = ArtifactKey::raw("blob", 5);
+        let value = Blob {
+            data: vec![0.5; 64],
+        };
+        let path = cache.put_col(&key, &value).unwrap();
+        assert!(path.exists(), "torn write lands at the final path");
+        assert!(
+            cache.get_col::<Blob>(&key).is_none(),
+            "a torn columnar artifact must never read as a hit"
+        );
+        assert!(
+            cache.manifest().entry("blob", 5).is_none(),
+            "a torn write never reaches the journal"
+        );
+        let healed = ArtifactCache::with_faults(dir, FaultPlan::none());
+        healed.put_col(&key, &value).unwrap();
+        assert_eq!(healed.get_col::<Blob>(&key), Some(value));
+    }
+
+    #[test]
+    fn legacy_json_entries_migrate_to_columnar() {
+        let cache = ArtifactCache::new(temp_dir("col-migrate"));
+        let key = ArtifactKey::raw("blob", 3);
+        let value = Blob {
+            data: vec![1.0, 2.0, 3.0],
+        };
+        // A pre-store cache entry: JSON at the legacy path.
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(
+            cache.path_for("blob", 3),
+            serde_json::to_string(&value).unwrap(),
+        )
+        .unwrap();
+
+        assert_eq!(cache.get_col_or_json::<Blob>(&key), Some(value.clone()));
+        assert!(
+            !cache.path_for("blob", 3).exists(),
+            "legacy file consumed by migration"
+        );
+        assert!(
+            cache.col_path(&key).exists(),
+            "columnar replacement written"
+        );
+        assert_eq!(cache.get_col::<Blob>(&key), Some(value));
+
+        // A legacy entry that no longer parses is a miss, never misread.
+        std::fs::write(cache.path_for("blob", 4), "{not json").unwrap();
+        assert!(cache
+            .get_col_or_json::<Blob>(&ArtifactKey::raw("blob", 4))
+            .is_none());
+    }
+
+    #[test]
+    fn poisoned_manifest_fails_closed_for_both_formats() {
+        let dir = temp_dir("col-poison");
+        let cache = ArtifactCache::new(dir.clone());
+        let key = ArtifactKey::raw("blob", 7);
+        cache.put_col(&key, &Blob { data: vec![1.0] }).unwrap();
+        cache.put("meta", 7, &vec![1u64]).unwrap();
+        std::fs::write(cache.manifest().path(), "garbage\n").unwrap();
+
+        let fresh = ArtifactCache::new(dir);
+        assert!(fresh.get_col::<Blob>(&key).is_none());
+        assert!(fresh.get_col_or_json::<Blob>(&key).is_none());
+        assert!(fresh.get::<Vec<u64>>("meta", 7).is_none());
+        // gc repairs by wiping; afterwards the cache serves fresh puts.
+        let report = fresh.gc(u64::MAX).unwrap();
+        assert!(report.reset);
+        fresh.put_col(&key, &Blob { data: vec![2.0] }).unwrap();
+        assert_eq!(fresh.get_col::<Blob>(&key), Some(Blob { data: vec![2.0] }));
     }
 }

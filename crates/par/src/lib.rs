@@ -17,12 +17,20 @@
 //!
 //! The [`cache`] module adds a keyed artifact cache so expensive seeded
 //! computations (cleanup fuzzing, clean trace datasets) are memoized
-//! across runs of the CLI and experiment binaries.
+//! across runs of the CLI and experiment binaries; the [`store`] module
+//! is its engine — the columnar `.acs` binary format ([`Columnar`]),
+//! the generation/ref-count manifest with `gc`, and generic
+//! [`Checkpoint`] resume.
 
 mod cache;
 mod executor;
 mod seed;
+pub mod store;
 
 pub use cache::{fingerprint, ArtifactCache};
 pub use executor::{available_threads, get_threads, set_threads, Executor};
 pub use seed::{derive_seed, splitmix64};
+pub use store::{
+    ArtifactKey, Checkpoint, ColumnFrame, ColumnSchema, Columnar, FrameError, FrameReader,
+    GcReport, Manifest,
+};

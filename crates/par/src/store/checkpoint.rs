@@ -1,0 +1,117 @@
+//! Generic checkpoint-resume over any columnar payload.
+//!
+//! The fuzzer's `FuzzCheckpoint` pattern — persist `(completed, partial
+//! results)` at chunk boundaries, resume by validating the pair —
+//! generalizes to every chunked computation in the workspace: a sweep
+//! grid, a collection pool, a candidate list. [`Checkpoint`] wraps any
+//! [`Columnar`] payload with a `completed` counter, encoded as the
+//! payload's columns plus one trailing `u64` bookkeeping column, so the
+//! checkpoint rides the same torn-write-detected binary format as every
+//! other artifact.
+
+use super::columnar::{ColumnFrame, ColumnSchema, Columnar, FrameError, FrameReader};
+
+/// A resumable partial result: `payload` covers the first `completed`
+/// work units of some deterministic unit list.
+///
+/// Validity is the caller's contract — on load, check that the payload's
+/// own length agrees with `completed` (e.g. `ck.items.len() ==
+/// ck.completed`) and that `completed` does not exceed the current unit
+/// list; a checkpoint that fails either check is stale and must be
+/// discarded, not resumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<V> {
+    /// Number of leading work units `payload` accounts for.
+    pub completed: u64,
+    /// The partial result.
+    pub payload: V,
+}
+
+impl<V> Checkpoint<V> {
+    /// A checkpoint of `payload` covering `completed` units.
+    pub fn new(completed: u64, payload: V) -> Self {
+        Checkpoint { completed, payload }
+    }
+}
+
+impl<V: Columnar> Columnar for Checkpoint<V> {
+    fn schema() -> ColumnSchema {
+        let inner = V::schema();
+        ColumnSchema::new(format!("aegis/checkpoint<{}>", inner.name), inner.version)
+    }
+
+    fn encode_columns(&self, frame: &mut ColumnFrame) {
+        self.payload.encode_columns(frame);
+        frame.push_u64(vec![self.completed]);
+    }
+
+    fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+        let payload = V::decode_columns(reader)?;
+        let tail = reader.u64s()?;
+        let [completed] = tail[..] else {
+            return Err(FrameError::new("checkpoint counter column malformed"));
+        };
+        Ok(Checkpoint { completed, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::columnar::{decode_frame, encode_frame};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Partial {
+        acc: Vec<f64>,
+        ids: Vec<u64>,
+    }
+
+    impl Columnar for Partial {
+        fn schema() -> ColumnSchema {
+            ColumnSchema::new("test/partial", 1)
+        }
+        fn encode_columns(&self, frame: &mut ColumnFrame) {
+            frame.push_f64(self.acc.clone());
+            frame.push_u64(self.ids.clone());
+        }
+        fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
+            Ok(Partial {
+                acc: reader.f64s()?,
+                ids: reader.u64s()?,
+            })
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_payload_and_counter() {
+        let ck = Checkpoint::new(
+            3,
+            Partial {
+                acc: vec![0.5, 0.75, 0.25],
+                ids: vec![10, 20, 30],
+            },
+        );
+        let bytes = encode_frame(&Checkpoint::<Partial>::schema(), &ck.to_frame());
+        let frame = decode_frame(&Checkpoint::<Partial>::schema(), &bytes).unwrap();
+        let back = Checkpoint::<Partial>::from_frame(frame).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn checkpoint_schema_is_distinct_from_payload_schema() {
+        let ck = Checkpoint::new(0, Partial { acc: vec![], ids: vec![] });
+        let bytes = encode_frame(&Checkpoint::<Partial>::schema(), &ck.to_frame());
+        assert!(
+            decode_frame(&Partial::schema(), &bytes).is_err(),
+            "a checkpoint must not decode as a bare payload"
+        );
+    }
+
+    #[test]
+    fn malformed_counter_column_is_an_error() {
+        let mut frame = ColumnFrame::new();
+        Partial { acc: vec![], ids: vec![] }.encode_columns(&mut frame);
+        frame.push_u64(vec![1, 2]); // two counters: nonsense
+        assert!(Checkpoint::<Partial>::from_frame(frame).is_err());
+    }
+}

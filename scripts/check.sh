@@ -33,6 +33,14 @@ echo "== service matrix (AEGIS_FAULTS=smoke) =="
 # sites (health-flap, torn reload, ledger corruption) actually fire.
 AEGIS_FAULTS=smoke cargo test -q --test service_plane
 
+echo "== store matrix (AEGIS_FAULTS=smoke) =="
+# The artifact-store contract suite re-runs under the smoke plan so the
+# cache torn-write site actually fires on the populate step of the
+# smoke sequence (populate → corrupt one page → heal → gc →
+# bit-identical re-read), alongside the pinned binary layout, legacy
+# JSON migration, fail-closed manifest, and GC-safety properties.
+AEGIS_FAULTS=smoke cargo test -q --test store_format
+
 echo "== deprecation lint (examples) =="
 # Examples must stay on the current API surface: the deprecated
 # collect_dataset / collect_mea_runs free functions are tolerated in
