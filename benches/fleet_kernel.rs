@@ -1,0 +1,276 @@
+//! The fleet plane's hot paths and headline defense metrics.
+//!
+//! * `fleet_kernel/place-64-*` — the placement scheduler mapping 64
+//!   tenants onto an 8-host fleet under each policy; the derived
+//!   `tenants-per-sec-*` rows are the throughput numbers.
+//! * `fleet_kernel/evacuation-latency-sim-ns` — deterministic sim-time
+//!   from host crash to every evacuated tenant's destination latch
+//!   releasing (the daemon demonstrated health on the new host). This
+//!   is simulated time, not wall-clock: it is a pure function of the
+//!   configuration and seed.
+//! * `fleet_kernel/attack-accuracy-*` — the cross-tenant attacker per
+//!   placement policy. The acceptance bar: `packed` (co-resident
+//!   victim) classifies well above chance while the isolating policies
+//!   (`smt-off`, `core-pair-exclusive`, and `spread` with headroom)
+//!   stay at chance — placement alone measurably moves the attacker.
+
+use aegis::fuzzer::FuzzerConfig;
+use aegis::microarch::MicroArch;
+use aegis::par::set_threads;
+use aegis::profiler::{RankConfig, WarmupConfig};
+use aegis::sev::{Host, SevMode};
+use aegis::workloads::{KeystrokeApp, SecretApp};
+use aegis::{
+    policy_attack_table, AegisConfig, AegisPipeline, CrossTenantConfig, DefensePlan, FaultPlan,
+    FleetConfig, FleetSupervisor, FleetTopology, MechanismChoice, PlacementPolicy, Scheduler,
+    ServiceConfig,
+};
+use criterion::{black_box, Criterion};
+
+const PLACE_TENANTS: usize = 64;
+
+fn bench_topology() -> FleetTopology {
+    FleetTopology {
+        hosts: 8,
+        sockets_per_host: 2,
+        pairs_per_socket: 4,
+    }
+}
+
+fn quick_cfg() -> AegisConfig {
+    AegisConfig {
+        warmup: WarmupConfig {
+            probe_ns: 2_000_000,
+            passes: 2,
+            ..WarmupConfig::default()
+        },
+        rank: RankConfig {
+            reps_per_secret: 2,
+            window_ns: 50_000_000,
+            ..RankConfig::default()
+        },
+        fuzzer: FuzzerConfig {
+            candidates_per_event: 60,
+            confirm_reps: 8,
+            ..FuzzerConfig::default()
+        },
+        fuzz_top_events: 4,
+        isa_seed: 7,
+        mechanism: MechanismChoice::Laplace { epsilon: 1.0 },
+        faults: Some(FaultPlan::none()),
+        ..AegisConfig::default()
+    }
+}
+
+fn offline_plan(app: &KeystrokeApp) -> DefensePlan {
+    let mut host = Host::new(MicroArch::AmdEpyc7252, 2, 7);
+    let vm = host
+        .launch_vm(1, SevMode::SevSnp)
+        .expect("bench host holds one VM");
+    AegisPipeline::offline(&mut host, vm, 0, app, &quick_cfg()).expect("offline profiling succeeds")
+}
+
+/// Sim-time from a host crash to every evacuee's destination latch
+/// releasing, in nanoseconds. Deterministic: same config + seed, same
+/// number.
+fn evacuation_latency_sim_ns(plan: &DefensePlan, app: &KeystrokeApp) -> u64 {
+    let topo = FleetTopology {
+        hosts: 4,
+        sockets_per_host: 1,
+        pairs_per_socket: 3,
+    };
+    let cfg = FleetConfig::new(
+        ServiceConfig::new(quick_cfg()),
+        topo,
+        PlacementPolicy::Spread,
+        8,
+    )
+    .seed(11);
+    let mut fleet = FleetSupervisor::deploy(cfg, plan, app).expect("fleet deploys");
+    fleet.run(4_000_000);
+    let evacuees: Vec<usize> = (0..fleet.n_tenants())
+        .filter(|&t| matches!(fleet.tenant_home(t), Some((0, _))))
+        .collect();
+    assert!(!evacuees.is_empty(), "spread places tenants on host 0");
+    fleet.inject_host_crash(0);
+    let crash_ns = fleet.clock_ns();
+    let all_released = |fleet: &FleetSupervisor| {
+        evacuees.iter().all(|&t| match fleet.tenant_home(t) {
+            Some((h, c)) => h != 0 && !fleet.host(h).core_fail_closed(c),
+            None => false,
+        })
+    };
+    let budget_ns = 100_000_000;
+    while !all_released(&fleet) {
+        assert!(
+            fleet.clock_ns() - crash_ns < budget_ns,
+            "evacuees must demonstrate health within {budget_ns} sim-ns"
+        );
+        fleet.run(1_000_000);
+    }
+    fleet.clock_ns() - crash_ns
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let topo = bench_topology();
+    let alive = vec![true; topo.hosts];
+    let mut g = c.benchmark_group("fleet_kernel");
+    g.sample_size(10);
+    for policy in PlacementPolicy::ALL {
+        assert!(
+            policy.capacity_per_host(&topo) * topo.hosts >= PLACE_TENANTS,
+            "bench topology must hold {PLACE_TENANTS} tenants under {policy}"
+        );
+        let name = format!("place-{PLACE_TENANTS}-{}", policy.label());
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut s = Scheduler::new(topo, policy);
+                for t in 0..PLACE_TENANTS {
+                    black_box(s.place(t, &alive).expect("capacity checked above"));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    set_threads(2);
+    let app = KeystrokeApp::with_window(300_000_000);
+    let smoke = std::env::var("AEGIS_BENCH_SMOKE").as_deref() == Ok("1");
+
+    if smoke {
+        // One tiny pass over every measured path: placement under each
+        // policy, one crash-to-latch-release evacuation, and a 2-tenant
+        // attack cell — proves the harness runs end to end.
+        let topo = bench_topology();
+        let alive = vec![true; topo.hosts];
+        for policy in PlacementPolicy::ALL {
+            let mut s = Scheduler::new(topo, policy);
+            for t in 0..8 {
+                s.place(t, &alive).expect("8 tenants always fit");
+            }
+        }
+        let plan = offline_plan(&app);
+        let latency = evacuation_latency_sim_ns(&plan, &app);
+        assert!(latency > 0);
+        let xt = CrossTenantConfig {
+            tenants: 2,
+            traces_per_secret: 2,
+            ..CrossTenantConfig::default()
+        };
+        let table =
+            policy_attack_table(&PlacementPolicy::ALL, &app, None, &xt).expect("cells measure");
+        assert_eq!(table.len(), PlacementPolicy::ALL.len());
+        set_threads(1);
+        eprintln!("[fleet_kernel smoke OK]");
+        return;
+    }
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_placement(&mut criterion);
+
+    let mut rows: Vec<serde_json::Value> = criterion
+        .results()
+        .iter()
+        .map(|s| {
+            let mut row = serde_json::Map::new();
+            let ok = "bench fields always serialize";
+            row.insert("id".to_string(), serde_json::to_value(&s.id).expect(ok));
+            row.insert(
+                "median_ns".to_string(),
+                serde_json::to_value(s.median_ns).expect(ok),
+            );
+            row.insert("min_ns".to_string(), serde_json::to_value(s.min_ns).expect(ok));
+            row.insert("max_ns".to_string(), serde_json::to_value(s.max_ns).expect(ok));
+            serde_json::Value::Object(row)
+        })
+        .collect();
+
+    // Derived placement throughput per policy.
+    for policy in PlacementPolicy::ALL {
+        let id = format!("fleet_kernel/place-{PLACE_TENANTS}-{}", policy.label());
+        if let Some(s) = criterion.results().iter().find(|s| s.id == id) {
+            let per_sec = PLACE_TENANTS as f64 / (s.median_ns / 1e9);
+            let row_id = format!("fleet_kernel/tenants-per-sec-{}", policy.label());
+            println!("{row_id}      {per_sec:.0}/s");
+            let mut row = serde_json::Map::new();
+            row.insert("id".to_string(), serde_json::Value::String(row_id));
+            row.insert(
+                "tenants_per_sec".to_string(),
+                serde_json::to_value(per_sec).expect("finite rate"),
+            );
+            rows.push(serde_json::Value::Object(row));
+        }
+    }
+
+    // Deterministic evacuation latency in simulated time.
+    let plan = offline_plan(&app);
+    let latency = evacuation_latency_sim_ns(&plan, &app);
+    println!("fleet_kernel/evacuation-latency-sim-ns      {latency}");
+    {
+        let mut row = serde_json::Map::new();
+        row.insert(
+            "id".to_string(),
+            serde_json::Value::String("fleet_kernel/evacuation-latency-sim-ns".to_string()),
+        );
+        row.insert(
+            "sim_ns".to_string(),
+            serde_json::to_value(latency).expect("u64 serializes"),
+        );
+        rows.push(serde_json::Value::Object(row));
+    }
+
+    // The headline defense metric: attacker accuracy per placement
+    // policy, undefended workload. Enforce the separation here so a
+    // placement or measurement regression fails the bench run loudly.
+    let xt = CrossTenantConfig {
+        window_ns: 300_000_000,
+        ..CrossTenantConfig::default()
+    };
+    let table = policy_attack_table(&PlacementPolicy::ALL, &app, None, &xt)
+        .expect("attack cells measure");
+    let chance = 1.0 / app.n_secrets() as f64;
+    for cell in &table {
+        let id = format!("fleet_kernel/attack-accuracy-{}", cell.policy.label());
+        println!(
+            "{id}      {:.3} (chance {chance:.3}, co-resident {})",
+            cell.accuracy, cell.co_resident
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("id".to_string(), serde_json::Value::String(id));
+        row.insert(
+            "accuracy".to_string(),
+            serde_json::to_value(cell.accuracy).expect("finite accuracy"),
+        );
+        row.insert(
+            "chance".to_string(),
+            serde_json::to_value(chance).expect("finite chance"),
+        );
+        row.insert(
+            "co_resident".to_string(),
+            serde_json::Value::Bool(cell.co_resident),
+        );
+        rows.push(serde_json::Value::Object(row));
+        match cell.policy {
+            PlacementPolicy::Packed => assert!(
+                cell.accuracy >= 3.0 * chance,
+                "packed must leak: accuracy {:.3} < 3x chance",
+                cell.accuracy
+            ),
+            _ => assert!(
+                cell.accuracy <= 2.0 * chance,
+                "{} must isolate: accuracy {:.3} > 2x chance",
+                cell.policy.label(),
+                cell.accuracy
+            ),
+        }
+    }
+    set_threads(1);
+
+    let json = serde_json::to_string_pretty(&rows).expect("bench rows always serialize");
+    match std::fs::write("BENCH_fleet.json", json) {
+        Ok(()) => eprintln!("[wrote BENCH_fleet.json]"),
+        Err(e) => eprintln!("warning: cannot write BENCH_fleet.json: {e}"),
+    }
+}

@@ -7,7 +7,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// Errors returned by the `aegis` facade (`AegisPipeline::offline`,
-/// `DefenseDeployment::deploy*`, `collect_dataset`, plan load/save).
+/// `DefenseDeployment::deploy*`, `Collector::dataset`, plan load/save).
 ///
 /// Marked `#[non_exhaustive]` so future failure classes can be added
 /// without a breaking change; match with a `_` arm.

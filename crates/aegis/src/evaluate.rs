@@ -65,9 +65,6 @@ impl Default for CollectConfig {
 /// a host. Build one from the same [`AegisConfig`] that drives the
 /// pipeline — collection settings live alongside the mechanism and
 /// profiling settings instead of being threaded as loose arguments.
-///
-/// Replaces the free functions [`collect_dataset`] and
-/// [`collect_mea_runs`] (kept as deprecated wrappers).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Collector {
     collect: CollectConfig,
@@ -181,27 +178,6 @@ impl Collector {
     ) -> Result<RunMeasurement, AegisError> {
         measure_app_run(host, vm, vcpu, plan, defense, seed)
     }
-}
-
-/// Free-function form of [`Collector::dataset`].
-///
-/// # Errors
-///
-/// Returns [`AegisError::Host`] for invalid ids.
-#[deprecated(
-    since = "0.7.0",
-    note = "build a `Collector` from your `AegisConfig` and call `.dataset(..)`"
-)]
-pub fn collect_dataset(
-    host: &mut Host,
-    vm: VmId,
-    vcpu: usize,
-    app: &dyn SecretApp,
-    events: &[EventId],
-    cfg: &CollectConfig,
-    defense: Option<&DefenseDeployment>,
-) -> Result<Dataset, AegisError> {
-    dataset_impl(host, vm, vcpu, app, events, cfg, defense)
 }
 
 pub(crate) fn dataset_impl(
@@ -543,27 +519,6 @@ impl Default for MeaConfig {
             seed: 7,
         }
     }
-}
-
-/// Free-function form of [`Collector::mea_runs`].
-///
-/// # Errors
-///
-/// Returns [`AegisError::Host`] for invalid ids.
-#[deprecated(
-    since = "0.7.0",
-    note = "build a `Collector` from your `AegisConfig` and call `.mea_runs(..)`"
-)]
-pub fn collect_mea_runs(
-    host: &mut Host,
-    vm: VmId,
-    vcpu: usize,
-    zoo: &DnnZoo,
-    events: &[EventId],
-    cfg: &MeaConfig,
-    defense: Option<&DefenseDeployment>,
-) -> Result<Vec<(usize, MeaRun)>, AegisError> {
-    mea_runs_impl(host, vm, vcpu, zoo, events, cfg, defense)
 }
 
 /// Collects model-extraction runs: each run is one padded inference pass

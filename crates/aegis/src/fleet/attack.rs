@@ -1,0 +1,314 @@
+//! The cross-tenant honest-but-curious attacker: a co-tenant (plus the
+//! host's perf daemons) aggregating counters over one tenant's SMT core
+//! pair to classify a *neighbouring* tenant's secret.
+//!
+//! This is the fleet-level version of the paper's threat model: the
+//! attacker cannot name the victim's core, but it can read everything
+//! scheduled onto its own pair. Whether that pair *contains* the victim
+//! is exactly what the placement policy decides — so attacker accuracy
+//! becomes a measurable function of the placement knob:
+//!
+//! - [`PlacementPolicy::Packed`] co-locates tenants on sibling threads:
+//!   the victim's counters land in the attacker's aggregate and an
+//!   undefended workload classifies well above chance;
+//! - [`PlacementPolicy::SmtOff`] / [`PlacementPolicy::CorePairExclusive`]
+//!   keep every pair single-tenant: the aggregate carries no foreign
+//!   signal and accuracy collapses to chance;
+//! - [`PlacementPolicy::Spread`] is load-dependent: chance while
+//!   headroom lasts, [`Packed`]-like under pressure.
+//!
+//! [`Packed`]: PlacementPolicy::Packed
+//!
+//! Measurement is sharded over the `aegis-par` pool with per-unit
+//! derived seeds — bit-identical at any worker count — and always runs
+//! under an inert fault plan so accuracy tables never depend on the
+//! ambient `AEGIS_FAULTS` environment.
+
+use super::placement::{FleetTopology, PlacementPolicy, Scheduler};
+use crate::error::AegisError;
+use crate::evaluate::ClassifierAttack;
+use crate::pipeline::DefenseDeployment;
+use aegis_attack::{trace_features, Dataset, TrainConfig};
+use aegis_faults::FaultPlan;
+use aegis_microarch::{MicroArch, OriginFilter};
+use aegis_obs as obs;
+use aegis_par::{derive_seed, Executor};
+use aegis_perf::Trace;
+use aegis_sev::{Host, PlanSource, SevMode};
+use aegis_workloads::SecretApp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Seed stream tags for the cross-tenant attacker's independent RNG
+/// consumers (disjoint from the fleet streams 0x30–0x32).
+const STREAM_XT_HOST: u64 = 0x40;
+const STREAM_XT_VICTIM: u64 = 0x41;
+const STREAM_XT_DECOY: u64 = 0x42;
+const STREAM_XT_NOISE: u64 = 0x43;
+const STREAM_XT_TRAIN: u64 = 0x44;
+
+/// Settings for one cross-tenant accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossTenantConfig {
+    /// Tenants on the host (≥ 2: tenant 0 is the attacker's anchor,
+    /// tenant 1 the victim, the rest background decoys).
+    pub tenants: usize,
+    /// Traces per victim secret (≥ 2; even reps train, odd reps test).
+    pub traces_per_secret: usize,
+    /// Monitoring window (clamped to the app's window).
+    pub window_ns: u64,
+    /// Sampling interval.
+    pub interval_ns: u64,
+    /// Average-pooling factor on each event row.
+    pub pool: usize,
+    /// Base seed; every unit derives its own streams.
+    pub seed: u64,
+    /// Simulated microarchitecture.
+    pub arch: MicroArch,
+}
+
+impl Default for CrossTenantConfig {
+    fn default() -> Self {
+        CrossTenantConfig {
+            tenants: 4,
+            traces_per_secret: 8,
+            window_ns: 200_000_000,
+            interval_ns: 1_000_000,
+            pool: 10,
+            seed: 7,
+            arch: MicroArch::AmdEpyc7252,
+        }
+    }
+}
+
+/// One row of the placement-vs-attacker table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyAttackCell {
+    /// The placement policy measured.
+    pub policy: PlacementPolicy,
+    /// Whether the policy put a foreign tenant on the anchor pair's
+    /// sibling thread (the leakage precondition).
+    pub co_resident: bool,
+    /// Test accuracy of the classifier on the victim's secret.
+    pub accuracy: f64,
+}
+
+/// Measures cross-tenant attacker accuracy under one placement policy.
+///
+/// One simulated host is shaped so the policy's tenancy rules are the
+/// only variable: `tenants` SMT pairs, so exclusive policies always
+/// have room to isolate. Tenants are placed by the policy's
+/// [`Scheduler`]; the attacker then records both threads of *tenant
+/// 0's* pair ([`Host::record_trace_multi`]), sums them element-wise
+/// (its pair-aggregate view), and trains a classifier against tenant
+/// 1's secret. With `defense` set, a fresh obfuscator is deployed on
+/// every tenant per trace.
+///
+/// # Errors
+///
+/// [`AegisError::Config`] for fewer than 2 tenants or fewer than 2
+/// traces per secret; [`AegisError::Host`] if the substrate rejects a
+/// placement.
+pub fn cross_tenant_accuracy(
+    policy: PlacementPolicy,
+    app: &dyn SecretApp,
+    defense: Option<&DefenseDeployment>,
+    cfg: &CrossTenantConfig,
+) -> Result<PolicyAttackCell, AegisError> {
+    let mut span = obs::span("fleet.cross_tenant");
+    if cfg.tenants < 2 {
+        return Err(AegisError::config("tenants", "need an attacker and a victim"));
+    }
+    if cfg.traces_per_secret < 2 {
+        return Err(AegisError::config(
+            "traces_per_secret",
+            "need at least one training and one test trace",
+        ));
+    }
+    let topo = FleetTopology {
+        hosts: 1,
+        sockets_per_host: 1,
+        pairs_per_socket: cfg.tenants,
+    };
+    // Inert faults: accuracy tables are physics, not robustness runs,
+    // and must not move under an ambient AEGIS_FAULTS plan.
+    let mut host = Host::with_faults(
+        cfg.arch,
+        topo.cores_per_host(),
+        derive_seed(cfg.seed, STREAM_XT_HOST, 0),
+        FaultPlan::none(),
+    );
+    let mut scheduler = Scheduler::new(topo, policy);
+    let alive = [true];
+    let mut vms = Vec::with_capacity(cfg.tenants);
+    let mut anchor = 0;
+    for t in 0..cfg.tenants {
+        let p = scheduler
+            .place(t, &alive)
+            .expect("the topology holds one pair per tenant");
+        if t == 0 {
+            anchor = p.cores[0];
+        }
+        vms.push(host.launch_vm_pinned(&p.cores, SevMode::SevSnp)?);
+    }
+    let sibling = FleetTopology::sibling_of(anchor);
+    let co_resident = scheduler.co_resident(0, anchor).is_some();
+    let events = host.core(anchor).catalog().attack_events();
+    let window = cfg.window_ns.min(app.window_ns());
+    let n_secrets = app.n_secrets();
+    let units: Vec<(usize, usize)> = (0..n_secrets)
+        .flat_map(|s| (0..cfg.traces_per_secret).map(move |r| (s, r)))
+        .collect();
+    span.set_sim_ns(window * units.len() as u64);
+    let tenants = cfg.tenants;
+    let snapshot: &Host = &host;
+    type FeatureRow = Result<(Vec<f64>, usize, usize), aegis_perf::PerfError>;
+    let rows: Vec<FeatureRow> = Executor::from_config().map_with(
+            units,
+            |_worker| {
+                let pristine = snapshot.fork_detached();
+                let arena = pristine.fork_detached();
+                (pristine, arena)
+            },
+            |(pristine, replica), unit, (secret, rep)| {
+                pristine.fork_detached_into(replica);
+                // The victim runs the labeled secret and every bystander
+                // an independently drawn decoy. The attacker (tenant 0)
+                // parks its own vCPU — it controls its workload, and
+                // idling maximises the foreign signal in its aggregate.
+                for (j, &vm) in vms.iter().enumerate() {
+                    if j == 0 {
+                        continue;
+                    }
+                    let plan = if j == 1 {
+                        let mut rng = StdRng::seed_from_u64(derive_seed(
+                            cfg.seed,
+                            STREAM_XT_VICTIM,
+                            unit as u64,
+                        ));
+                        app.sample_plan(secret, &mut rng)
+                    } else {
+                        let mut rng = StdRng::seed_from_u64(derive_seed(
+                            cfg.seed,
+                            STREAM_XT_DECOY,
+                            (unit * tenants + j) as u64,
+                        ));
+                        let decoy = rng.gen_range(0..n_secrets);
+                        app.sample_plan(decoy, &mut rng)
+                    };
+                    replica
+                        .attach_app(vm, 0, Box::new(PlanSource::new(plan)))
+                        .expect("ids were validated on the original host");
+                }
+                if let Some(d) = defense {
+                    for (j, &vm) in vms.iter().enumerate() {
+                        d.deploy(
+                            replica,
+                            vm,
+                            0,
+                            derive_seed(cfg.seed, STREAM_XT_NOISE, (unit * tenants + j) as u64),
+                        )
+                        .expect("ids were validated on the original host");
+                    }
+                }
+                let traces = replica.record_trace_multi(
+                    &[anchor, sibling],
+                    &events,
+                    OriginFilter::Any,
+                    cfg.interval_ns,
+                    window,
+                )?;
+                let agg = sum_traces(&traces);
+                Ok((trace_features(&agg, cfg.pool), secret, rep))
+            },
+        );
+    let mut train = Dataset::new(Vec::new(), Vec::new(), n_secrets);
+    let mut test = Dataset::new(Vec::new(), Vec::new(), n_secrets);
+    for row in rows {
+        let (features, secret, rep) = row.map_err(AegisError::from)?;
+        if rep % 2 == 0 {
+            train.push(features, secret);
+        } else {
+            test.push(features, secret);
+        }
+    }
+    let attacker = ClassifierAttack::train(
+        &train,
+        TrainConfig::default(),
+        derive_seed(cfg.seed, STREAM_XT_TRAIN, 0),
+    );
+    let accuracy = attacker.accuracy(&test);
+    obs::gauge_set("fleet.cross_tenant.accuracy", accuracy);
+    Ok(PolicyAttackCell {
+        policy,
+        co_resident,
+        accuracy,
+    })
+}
+
+/// Runs [`cross_tenant_accuracy`] for each policy — the fleet's
+/// defense-metric table proving which placement knobs move attacker
+/// accuracy.
+///
+/// # Errors
+///
+/// Propagates the first failing cell's error.
+pub fn policy_attack_table(
+    policies: &[PlacementPolicy],
+    app: &dyn SecretApp,
+    defense: Option<&DefenseDeployment>,
+    cfg: &CrossTenantConfig,
+) -> Result<Vec<PolicyAttackCell>, AegisError> {
+    policies
+        .iter()
+        .map(|&p| cross_tenant_accuracy(p, app, defense, cfg))
+        .collect()
+}
+
+/// Element-wise sum of same-shape traces: the attacker's aggregate view
+/// of a core pair (it reads both siblings but cannot separate them).
+fn sum_traces(traces: &[Trace]) -> Trace {
+    let mut agg = traces[0].clone();
+    for t in &traces[1..] {
+        for (row, other) in agg.data.iter_mut().zip(&t.data) {
+            for (a, b) in row.iter_mut().zip(other) {
+                *a += b;
+            }
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_guards() {
+        let app = aegis_workloads::KeystrokeApp::with_window(300_000_000);
+        let bad = CrossTenantConfig {
+            tenants: 1,
+            ..CrossTenantConfig::default()
+        };
+        assert!(cross_tenant_accuracy(PlacementPolicy::Packed, &app, None, &bad).is_err());
+        let bad = CrossTenantConfig {
+            traces_per_secret: 1,
+            ..CrossTenantConfig::default()
+        };
+        assert!(cross_tenant_accuracy(PlacementPolicy::Packed, &app, None, &bad).is_err());
+    }
+
+    #[test]
+    fn trace_summing_is_elementwise() {
+        use aegis_microarch::EventId;
+        let mut a = Trace::new(vec![EventId(0)], 1);
+        a.push_slice(&[1.0]);
+        a.push_slice(&[2.0]);
+        let mut b = Trace::new(vec![EventId(0)], 1);
+        b.push_slice(&[10.0]);
+        b.push_slice(&[20.0]);
+        let s = sum_traces(&[a, b]);
+        assert_eq!(s.row(0), &[11.0, 22.0]);
+    }
+}

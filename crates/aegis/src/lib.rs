@@ -50,16 +50,22 @@
 
 mod error;
 mod evaluate;
+pub mod fleet;
 mod pipeline;
 mod plan;
 pub mod service;
 pub mod sweep;
 
 pub use error::AegisError;
-#[allow(deprecated)]
 pub use evaluate::{
-    collect_dataset, collect_mea_runs, measure_app_run, ClassifierAttack, CollectConfig, Collector,
-    MeaAttack, MeaConfig, MeaRun, MeaRunLog, RunMeasurement, BLANK,
+    measure_app_run, ClassifierAttack, CollectConfig, Collector, MeaAttack, MeaConfig, MeaRun,
+    MeaRunLog, RunMeasurement, BLANK,
+};
+pub use fleet::{
+    cross_tenant_accuracy, fleet_sweep, policy_attack_table, storm_schedule, CrossTenantConfig,
+    FleetCellOutcome, FleetConfig, FleetHealth, FleetReport, FleetSupervisor, FleetSweepConfig,
+    FleetSweepOutcome, FleetTopology, HostState, Placement, PlacementPolicy, PolicyAttackCell,
+    Scheduler, StormHit, TenantOutcome, TenantStatus,
 };
 pub use pipeline::{
     AegisConfig, AegisConfigBuilder, AegisPipeline, DefenseDeployment, Deployment, MechanismChoice,

@@ -27,11 +27,20 @@
 //! session reports [`Status::Exhausted`]. `AegisPipeline::offline` is a
 //! thin start → profile → shutdown sequence over this same plane, so
 //! the batch and service paths cannot drift.
+//!
+//! Internally the plane's state machine lives in [`ServicePlane`],
+//! which takes the host as an explicit parameter on every call instead
+//! of borrowing it. [`ServiceHandle`] pairs one plane with an exclusive
+//! host borrow (the single-host API above); `aegis::fleet` owns many
+//! `(Host, ServicePlane)` pairs and drives them under one fleet
+//! supervisor, sharing tenant ε accounts across hosts through
+//! [`LedgerSlot::Shared`].
 
 mod ledger;
 mod supervisor;
 
 pub use ledger::{EpsilonLedger, LEDGER_KIND};
+pub(crate) use ledger::{LedgerSlot, TenantLedgers};
 pub use supervisor::{Status, SupervisorConfig};
 
 use crate::error::AegisError;
@@ -130,7 +139,7 @@ impl ServiceConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), AegisError> {
+    pub(crate) fn validate(&self) -> Result<(), AegisError> {
         self.supervisor.validate()?;
         if self.default_budget <= 0.0 || self.default_budget.is_nan() {
             return Err(AegisError::config(
@@ -162,6 +171,23 @@ struct Session {
     epsilon_charged: f64,
     health_stream: Option<FaultStream>,
     state: SessionState,
+}
+
+/// A session's protection lineage, carried across hosts when its home
+/// host crashes: the deployment target, the session's seed (so the next
+/// epoch's noise stream continues the same `derive_seed` chain), and the
+/// lifetime counters. The ε *spend* itself is not carried here — it
+/// lives in the tenant's ledger account, which the fleet re-reads from
+/// the artifact store on the destination host.
+#[derive(Debug, Clone)]
+pub(crate) struct EvacRecord {
+    pub(crate) tenant: String,
+    pub(crate) deployment: DefenseDeployment,
+    pub(crate) seed: u64,
+    pub(crate) epochs: u64,
+    pub(crate) restarts: u32,
+    pub(crate) reloads: u64,
+    pub(crate) epsilon_charged: f64,
 }
 
 /// Health of one session, as seen by the service's own watchdog.
@@ -242,15 +268,8 @@ impl AegisService {
             plan,
         );
         obs::counter_add("service.starts", 1.0);
-        let next_check_ns = host.clock_ns() + config.supervisor.health_check_interval_ns;
-        Ok(ServiceHandle {
-            host,
-            faults: plan,
-            ledger,
-            sessions: Vec::new(),
-            next_check_ns,
-            cfg: config,
-        })
+        let plane = ServicePlane::open(host, config, LedgerSlot::Owned(Box::new(ledger)));
+        Ok(ServiceHandle { host, plane })
     }
 }
 
@@ -258,11 +277,7 @@ impl AegisService {
 /// exclusive access to the host they execute on.
 pub struct ServiceHandle<'h> {
     host: &'h mut Host,
-    cfg: ServiceConfig,
-    faults: FaultPlan,
-    ledger: EpsilonLedger,
-    sessions: Vec<Session>,
-    next_check_ns: u64,
+    plane: ServicePlane,
 }
 
 impl<'h> ServiceHandle<'h> {
@@ -300,7 +315,146 @@ impl<'h> ServiceHandle<'h> {
         plan: &DefensePlan,
         tenant: &str,
     ) -> Result<SessionId, AegisError> {
-        let core = self.host.core_of(vm, vcpu)?;
+        self.plane.attach(self.host, vm, vcpu, plan, tenant)
+    }
+
+    /// Advances sim time by `duration_ns`, ticking the host and running
+    /// the supervision loop: health checks on a fixed sim-time grid,
+    /// watchdog restarts with backoff, and redeploys when backoff
+    /// expires. Everything here is a pure function of
+    /// `(config, seeds, fault plan)` — the same call sequence replays
+    /// bit-identically at any worker count.
+    pub fn run(&mut self, duration_ns: u64) {
+        self.plane.run(self.host, duration_ns);
+    }
+
+    /// Hot-swaps `plan` onto a running session. The live obfuscator
+    /// drains its in-flight interval under the old stack, then attaches
+    /// the new one atomically at the interval boundary — the mechanism's
+    /// noise series, interval counter, and sample feed continue gapless,
+    /// so no sample is dropped. The epoch charges the mechanism's ε.
+    ///
+    /// Torn swaps (the `service.reload` fault site) are detected by the
+    /// stack generation not advancing and restaged up to the configured
+    /// attempt budget; if the reload still does not land, the *old plan
+    /// remains fully attached* and an error reports the abandonment —
+    /// atomicity means never half-swapped.
+    ///
+    /// Draining advances sim time (roughly one obfuscator interval per
+    /// attempt), with supervision running normally throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`AegisError::Service`] for an unknown/non-running session or an
+    /// abandoned reload, [`AegisError::BudgetExhausted`] when the epoch
+    /// does not fit the tenant's remaining ε (the session transitions to
+    /// [`Status::Exhausted`], fail-closed).
+    pub fn reload(&mut self, id: SessionId, plan: &DefensePlan) -> Result<Deployment, AegisError> {
+        self.plane.reload(self.host, id, plan)
+    }
+
+    /// Health of every session, in session-id order.
+    pub fn health(&self) -> HealthReport {
+        self.plane.health(self.host)
+    }
+
+    /// One session's lifecycle status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Service`] for an unknown session.
+    pub fn status(&self, id: SessionId) -> Result<Status, AegisError> {
+        self.plane.status(self.host, id)
+    }
+
+    /// ε still unspent in `tenant`'s ledger account, or `None` for a
+    /// tenant the ledger has never charged.
+    pub fn epsilon_remaining(&self, tenant: &str) -> Option<f64> {
+        self.plane.epsilon_remaining(tenant)
+    }
+
+    /// Cleanly detaches a session: the injector is removed and — unless
+    /// the session ended fail-closed ([`Status::Exhausted`] /
+    /// [`Status::Failed`], whose latches are sticky by design) — the
+    /// core's counters return to normal operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Service`] for unknown or already-detached
+    /// sessions.
+    pub fn detach(&mut self, id: SessionId) -> Result<SessionReport, AegisError> {
+        self.plane.detach(self.host, id)
+    }
+
+    /// Shuts the plane down: every live session is detached (terminal
+    /// fail-closed sessions keep their latch) and the final accounting
+    /// is returned. The exclusive host borrow ends with the handle.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves room for
+    /// persistence failures to surface.
+    pub fn shutdown(mut self) -> Result<ServiceReport, AegisError> {
+        Ok(self.plane.shutdown(self.host))
+    }
+
+    /// Runs the offline profiling pipeline on the service's host:
+    /// warm-up profiling, mutual-information ranking, event fuzzing on
+    /// an isolated core, covering-set extraction, and stack calibration.
+    /// This *is* the profiler daemon of the plane — `AegisPipeline::
+    /// offline` delegates here, so batch and service profiling cannot
+    /// drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AegisError::Host`] for invalid vm/vcpu ids.
+    pub fn profile(
+        &mut self,
+        vm: VmId,
+        vcpu: usize,
+        app: &dyn SecretApp,
+    ) -> Result<DefensePlan, AegisError> {
+        self.plane.profile(self.host, vm, vcpu, app)
+    }
+}
+
+/// The service plane's state machine, decoupled from the host borrow:
+/// every method takes the host it supervises as an explicit parameter.
+/// [`ServiceHandle`] wraps one plane around an exclusive borrow for the
+/// single-host API; `aegis::fleet` owns `(Host, ServicePlane)` pairs
+/// outright and multiplexes a fleet supervisor over them.
+pub(crate) struct ServicePlane {
+    cfg: ServiceConfig,
+    faults: FaultPlan,
+    ledger: LedgerSlot,
+    sessions: Vec<Session>,
+    next_check_ns: u64,
+}
+
+impl ServicePlane {
+    /// Opens a plane over `host` with the given ledger slot. The
+    /// configuration must already be validated.
+    pub(crate) fn open(host: &Host, cfg: ServiceConfig, ledger: LedgerSlot) -> ServicePlane {
+        let faults = cfg.aegis.faults.unwrap_or_else(faults::plan);
+        let next_check_ns = host.clock_ns() + cfg.supervisor.health_check_interval_ns;
+        ServicePlane {
+            cfg,
+            faults,
+            ledger,
+            sessions: Vec::new(),
+            next_check_ns,
+        }
+    }
+
+    pub(crate) fn attach(
+        &mut self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        plan: &DefensePlan,
+        tenant: &str,
+    ) -> Result<SessionId, AegisError> {
+        let core = host.core_of(vm, vcpu)?;
         if let Some(existing) = self
             .sessions
             .iter()
@@ -311,7 +465,7 @@ impl<'h> ServiceHandle<'h> {
                 format!(
                     "session {} already covers this vCPU (status {})",
                     existing.id,
-                    status_of(existing, self.host)
+                    status_of(existing, host)
                 ),
             ));
         }
@@ -346,7 +500,7 @@ impl<'h> ServiceHandle<'h> {
                     AegisError::BudgetExhausted { .. } => SessionState::Exhausted,
                     _ => SessionState::Failed,
                 };
-                self.host.set_core_fail_closed(core, true);
+                host.set_core_fail_closed(core, true);
                 obs::counter_add("service.exhausted", 1.0);
                 obs::event("service.attach_refused", &[("tenant", tenant)]);
                 self.sessions.push(session);
@@ -355,65 +509,43 @@ impl<'h> ServiceHandle<'h> {
         }
         session.epsilon_charged += eps;
         let obf = mint_obfuscator(&session, self.faults);
-        self.host.attach_injector(vm, vcpu, Box::new(obf))?;
+        host.attach_injector(vm, vcpu, Box::new(obf))?;
         obs::counter_add("service.attaches", 1.0);
         self.sessions.push(session);
         self.update_gauges();
         Ok(id)
     }
 
-    /// Advances sim time by `duration_ns`, ticking the host and running
-    /// the supervision loop: health checks on a fixed sim-time grid,
-    /// watchdog restarts with backoff, and redeploys when backoff
-    /// expires. Everything here is a pure function of
-    /// `(config, seeds, fault plan)` — the same call sequence replays
-    /// bit-identically at any worker count.
-    pub fn run(&mut self, duration_ns: u64) {
+    pub(crate) fn run(&mut self, host: &mut Host, duration_ns: u64) {
         let mut span = obs::span("service.run");
         span.set_sim_ns(duration_ns);
-        let end = self.host.clock_ns().saturating_add(duration_ns);
-        while self.host.clock_ns() < end {
-            self.host.tick(|_, _, _| {});
-            let now = self.host.clock_ns();
+        let end = host.clock_ns().saturating_add(duration_ns);
+        while host.clock_ns() < end {
+            host.tick(|_, _, _| {});
+            let now = host.clock_ns();
             if now >= self.next_check_ns {
                 while self.next_check_ns <= now {
                     self.next_check_ns += self.cfg.supervisor.health_check_interval_ns;
                 }
-                self.health_check_all();
+                self.health_check_all(host);
             }
-            self.fire_due_redeploys(now);
+            self.fire_due_redeploys(host, now);
         }
     }
 
-    /// Hot-swaps `plan` onto a running session. The live obfuscator
-    /// drains its in-flight interval under the old stack, then attaches
-    /// the new one atomically at the interval boundary — the mechanism's
-    /// noise series, interval counter, and sample feed continue gapless,
-    /// so no sample is dropped. The epoch charges the mechanism's ε.
-    ///
-    /// Torn swaps (the `service.reload` fault site) are detected by the
-    /// stack generation not advancing and restaged up to the configured
-    /// attempt budget; if the reload still does not land, the *old plan
-    /// remains fully attached* and an error reports the abandonment —
-    /// atomicity means never half-swapped.
-    ///
-    /// Draining advances sim time (roughly one obfuscator interval per
-    /// attempt), with supervision running normally throughout.
-    ///
-    /// # Errors
-    ///
-    /// [`AegisError::Service`] for an unknown/non-running session or an
-    /// abandoned reload, [`AegisError::BudgetExhausted`] when the epoch
-    /// does not fit the tenant's remaining ε (the session transitions to
-    /// [`Status::Exhausted`], fail-closed).
-    pub fn reload(&mut self, id: SessionId, plan: &DefensePlan) -> Result<Deployment, AegisError> {
+    pub(crate) fn reload(
+        &mut self,
+        host: &mut Host,
+        id: SessionId,
+        plan: &DefensePlan,
+    ) -> Result<Deployment, AegisError> {
         let i = self.session_index(id)?;
         if self.sessions[i].state != SessionState::Running {
             return Err(AegisError::service(
                 format!("reload session {id}"),
                 format!(
                     "session is {} — only running sessions reload",
-                    status_of(&self.sessions[i], self.host)
+                    status_of(&self.sessions[i], host)
                 ),
             ));
         }
@@ -424,7 +556,7 @@ impl<'h> ServiceHandle<'h> {
                 AegisError::BudgetExhausted { .. } => SessionState::Exhausted,
                 _ => SessionState::Failed,
             };
-            self.make_terminal(i, state);
+            self.make_terminal(host, i, state);
             return Err(err);
         }
         self.sessions[i].epsilon_charged += eps;
@@ -445,8 +577,7 @@ impl<'h> ServiceHandle<'h> {
             }
             let epoch_at_stage = self.sessions[i].epochs;
             let stack = self.sessions[i].deployment.stack.clone();
-            let Some(obf) = self
-                .host
+            let Some(obf) = host
                 .injector_any_mut(vm, vcpu)?
                 .and_then(|a| a.downcast_mut::<Obfuscator>())
             else {
@@ -458,15 +589,14 @@ impl<'h> ServiceHandle<'h> {
             };
             let gen_before = obf.stack_generation();
             obf.begin_reload(stack);
-            self.run(drain_ns);
+            self.run(host, drain_ns);
             if self.sessions[i].state != SessionState::Running
                 || self.sessions[i].epochs != epoch_at_stage
             {
                 landed = true;
                 break;
             }
-            let swapped = self
-                .host
+            let swapped = host
                 .injector_any_mut(vm, vcpu)?
                 .and_then(|a| a.downcast_mut::<Obfuscator>())
                 .is_some_and(|o| o.stack_generation() > gen_before);
@@ -496,8 +626,7 @@ impl<'h> ServiceHandle<'h> {
         })
     }
 
-    /// Health of every session, in session-id order.
-    pub fn health(&self) -> HealthReport {
+    pub(crate) fn health(&self, host: &Host) -> HealthReport {
         HealthReport {
             sessions: self
                 .sessions
@@ -507,7 +636,7 @@ impl<'h> ServiceHandle<'h> {
                     tenant: s.tenant.clone(),
                     vm: s.vm,
                     vcpu: s.vcpu,
-                    status: status_of(s, self.host),
+                    status: status_of(s, host),
                     restarts: s.restarts,
                     reloads: s.reloads,
                     epsilon_charged: s.epsilon_charged,
@@ -516,32 +645,20 @@ impl<'h> ServiceHandle<'h> {
         }
     }
 
-    /// One session's lifecycle status.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AegisError::Service`] for an unknown session.
-    pub fn status(&self, id: SessionId) -> Result<Status, AegisError> {
+    pub(crate) fn status(&self, host: &Host, id: SessionId) -> Result<Status, AegisError> {
         let i = self.session_index(id)?;
-        Ok(status_of(&self.sessions[i], self.host))
+        Ok(status_of(&self.sessions[i], host))
     }
 
-    /// ε still unspent in `tenant`'s ledger account, or `None` for a
-    /// tenant the ledger has never charged.
-    pub fn epsilon_remaining(&self, tenant: &str) -> Option<f64> {
+    pub(crate) fn epsilon_remaining(&self, tenant: &str) -> Option<f64> {
         self.ledger.remaining(tenant)
     }
 
-    /// Cleanly detaches a session: the injector is removed and — unless
-    /// the session ended fail-closed ([`Status::Exhausted`] /
-    /// [`Status::Failed`], whose latches are sticky by design) — the
-    /// core's counters return to normal operation.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AegisError::Service`] for unknown or already-detached
-    /// sessions.
-    pub fn detach(&mut self, id: SessionId) -> Result<SessionReport, AegisError> {
+    pub(crate) fn detach(
+        &mut self,
+        host: &mut Host,
+        id: SessionId,
+    ) -> Result<SessionReport, AegisError> {
         let i = self.session_index(id)?;
         if self.sessions[i].state == SessionState::Detached {
             return Err(AegisError::service(
@@ -549,44 +666,30 @@ impl<'h> ServiceHandle<'h> {
                 "already detached",
             ));
         }
-        let report = self.detach_index(i);
+        let report = self.detach_index(host, i);
         self.update_gauges();
         Ok(report)
     }
 
-    /// Shuts the plane down: every live session is detached (terminal
-    /// fail-closed sessions keep their latch) and the final accounting
-    /// is returned. The exclusive host borrow ends with the handle.
-    ///
-    /// # Errors
-    ///
-    /// Currently infallible in practice; the `Result` reserves room for
-    /// persistence failures to surface.
-    pub fn shutdown(mut self) -> Result<ServiceReport, AegisError> {
+    pub(crate) fn shutdown(&mut self, host: &mut Host) -> ServiceReport {
         let mut sessions = Vec::with_capacity(self.sessions.len());
         for i in 0..self.sessions.len() {
             sessions.push(if self.sessions[i].state == SessionState::Detached {
-                self.session_report(i)
+                self.session_report(host, i)
             } else {
-                self.detach_index(i)
+                self.detach_index(host, i)
             });
         }
+        // Clean shutdown releases the ledger's gc pin (owned slots only;
+        // shared fleet ledgers close at fleet shutdown).
+        self.ledger.close();
         obs::counter_add("service.shutdowns", 1.0);
-        Ok(ServiceReport { sessions })
+        ServiceReport { sessions }
     }
 
-    /// Runs the offline profiling pipeline on the service's host:
-    /// warm-up profiling, mutual-information ranking, event fuzzing on
-    /// an isolated core, covering-set extraction, and stack calibration.
-    /// This *is* the profiler daemon of the plane — `AegisPipeline::
-    /// offline` delegates here, so batch and service profiling cannot
-    /// drift.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AegisError::Host`] for invalid vm/vcpu ids.
-    pub fn profile(
+    pub(crate) fn profile(
         &mut self,
+        host: &mut Host,
         vm: VmId,
         vcpu: usize,
         app: &dyn SecretApp,
@@ -596,18 +699,18 @@ impl<'h> ServiceHandle<'h> {
         // Module 1a: warm-up profiling.
         let warmup = {
             let _s = obs::span("profile.warmup");
-            warmup_profile(self.host, vm, vcpu, app, &cfg.warmup)?
+            warmup_profile(host, vm, vcpu, app, &cfg.warmup)?
         };
 
         // Module 1b: vulnerability ranking by mutual information.
         let rankings = {
             let _s = obs::span("profile.rank");
-            rank_events(self.host, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?
+            rank_events(host, vm, vcpu, app, &warmup.vulnerable, &cfg.rank)?
         };
 
         // Module 2: fuzz the most vulnerable events on an isolated core
         // of the same microarchitecture.
-        let arch = self.host.arch();
+        let arch = host.arch();
         let isa = IsaCatalog::shared(arch.vendor(), cfg.isa_seed);
         let mut fuzz_core = Core::new(arch, cfg.fuzzer.seed);
         fuzz_core.set_interference(InterferenceConfig::isolated());
@@ -645,6 +748,130 @@ impl<'h> ServiceHandle<'h> {
         })
     }
 
+    // ---- fleet hooks ---------------------------------------------------
+
+    /// Drains every live session off a crashed host: injectors detach,
+    /// every session core keeps (or gains) its fail-closed latch, and
+    /// the sessions' protection lineage is returned for re-placement.
+    /// Terminal sessions ([`Status::Exhausted`] / [`Status::Failed`])
+    /// are *not* evacuated — their sticky latches are the whole point —
+    /// and already-detached sessions have nothing to move.
+    pub(crate) fn evacuate_all(&mut self, host: &mut Host) -> Vec<EvacRecord> {
+        let mut out = Vec::new();
+        for i in 0..self.sessions.len() {
+            let live = matches!(
+                self.sessions[i].state,
+                SessionState::Running | SessionState::Backoff { .. }
+            );
+            if !live {
+                continue;
+            }
+            let s = &self.sessions[i];
+            out.push(EvacRecord {
+                tenant: s.tenant.clone(),
+                deployment: s.deployment.clone(),
+                seed: s.seed,
+                epochs: s.epochs,
+                restarts: s.restarts,
+                reloads: s.reloads,
+                epsilon_charged: s.epsilon_charged,
+            });
+            let (vm, vcpu, core) = (s.vm, s.vcpu, s.core);
+            let _ = host.detach_injector(vm, vcpu);
+            // Mid-evacuation the guest must never read a clean counter:
+            // the latch goes on *before* the session leaves this plane
+            // and only the destination's demonstrated health releases
+            // the one at the far end.
+            host.set_core_fail_closed(core, true);
+            self.sessions[i].state = SessionState::Detached;
+            obs::counter_add("service.evacuations", 1.0);
+        }
+        self.update_gauges();
+        out
+    }
+
+    /// Adopts a session evacuated from another host: registers it on
+    /// this plane against `(vm, vcpu)`, charges a fresh epoch to the
+    /// tenant (the evacuation redeploy), and re-mints the obfuscator
+    /// from the carried seed lineage — `derive_seed(seed, STREAM_EPOCH,
+    /// epochs + 1)`, exactly the stream a watchdog restart would have
+    /// used next. The destination core is latched fail-closed *before*
+    /// the injector attaches; the host watchdog releases it only once
+    /// the new daemon demonstrates health.
+    ///
+    /// # Errors
+    ///
+    /// [`AegisError::Host`] for unknown ids, [`AegisError::Service`] /
+    /// [`AegisError::BudgetExhausted`] when the tenant's ledger refuses
+    /// the epoch (the adopted session is registered terminal,
+    /// fail-closed, before the error returns).
+    pub(crate) fn adopt(
+        &mut self,
+        host: &mut Host,
+        vm: VmId,
+        vcpu: usize,
+        rec: EvacRecord,
+    ) -> Result<SessionId, AegisError> {
+        let core = host.core_of(vm, vcpu)?;
+        // Trust is re-earned, not assumed: no clean reads between
+        // placement and the adopted daemon's first healthy run.
+        host.set_core_fail_closed(core, true);
+        let id = SessionId(self.sessions.len() as u32);
+        let mut session = Session {
+            id,
+            tenant: rec.tenant.clone(),
+            vm,
+            vcpu,
+            core,
+            deployment: rec.deployment,
+            seed: rec.seed,
+            epochs: rec.epochs + 1,
+            restarts: rec.restarts,
+            reloads: rec.reloads,
+            unhealthy_checks: 0,
+            epsilon_charged: rec.epsilon_charged,
+            health_stream: self
+                .faults
+                .is_active()
+                .then(|| FaultStream::new(&self.faults, site::SERVICE_HEALTH, id.0 as u64)),
+            state: SessionState::Running,
+        };
+        let eps = self.cfg.aegis.mechanism.epsilon_cost();
+        match self.ledger.charge(&rec.tenant, eps) {
+            Ok(_) => {}
+            Err(err) => {
+                session.state = match err {
+                    AegisError::BudgetExhausted { .. } => SessionState::Exhausted,
+                    _ => SessionState::Failed,
+                };
+                obs::counter_add("service.exhausted", 1.0);
+                obs::event("service.adopt_refused", &[("tenant", rec.tenant.as_str())]);
+                self.sessions.push(session);
+                return Err(err);
+            }
+        }
+        session.epsilon_charged += eps;
+        let obf = mint_obfuscator(&session, self.faults);
+        host.attach_injector(vm, vcpu, Box::new(obf))?;
+        obs::counter_add("service.adoptions", 1.0);
+        self.sessions.push(session);
+        self.update_gauges();
+        Ok(id)
+    }
+
+    /// Bounces every running session through the watchdog path — the
+    /// fleet's host-degraded event: daemons on a degraded host cannot be
+    /// trusted, so each one is detached, its core latched, and a
+    /// backoff-scheduled redeploy (or terminal failure, once the restart
+    /// budget is spent) takes it from there.
+    pub(crate) fn force_restart_all(&mut self, host: &mut Host) {
+        for i in 0..self.sessions.len() {
+            if self.sessions[i].state == SessionState::Running {
+                self.begin_restart(host, i);
+            }
+        }
+    }
+
     // ---- internals -----------------------------------------------------
 
     fn session_index(&self, id: SessionId) -> Result<usize, AegisError> {
@@ -654,33 +881,33 @@ impl<'h> ServiceHandle<'h> {
             .ok_or_else(|| AegisError::service(format!("session {id}"), "unknown session"))
     }
 
-    fn session_report(&self, i: usize) -> SessionReport {
+    fn session_report(&self, host: &Host, i: usize) -> SessionReport {
         let s = &self.sessions[i];
         SessionReport {
             id: s.id,
             tenant: s.tenant.clone(),
-            status: status_of(s, self.host),
+            status: status_of(s, host),
             restarts: s.restarts,
             reloads: s.reloads,
             epsilon_charged: s.epsilon_charged,
         }
     }
 
-    fn detach_index(&mut self, i: usize) -> SessionReport {
+    fn detach_index(&mut self, host: &mut Host, i: usize) -> SessionReport {
         let (vm, vcpu, core, prior) = {
             let s = &self.sessions[i];
             (s.vm, s.vcpu, s.core, s.state)
         };
-        let _ = self.host.detach_injector(vm, vcpu);
+        let _ = host.detach_injector(vm, vcpu);
         match prior {
             // Fail-closed terminal states keep their latch: a spent
             // budget or restart budget never hands back clean counters.
             SessionState::Exhausted | SessionState::Failed => {}
-            _ => self.host.set_core_fail_closed(core, false),
+            _ => host.set_core_fail_closed(core, false),
         }
         self.sessions[i].state = SessionState::Detached;
         obs::counter_add("service.detaches", 1.0);
-        let mut report = self.session_report(i);
+        let mut report = self.session_report(host, i);
         // The report keeps the terminal *reason* where there is one;
         // plain `Detached` means the session ended in good standing.
         report.status = match prior {
@@ -691,19 +918,19 @@ impl<'h> ServiceHandle<'h> {
         report
     }
 
-    fn health_check_all(&mut self) {
+    fn health_check_all(&mut self, host: &mut Host) {
         for i in 0..self.sessions.len() {
-            self.health_check(i);
+            self.health_check(host, i);
         }
     }
 
-    fn health_check(&mut self, i: usize) {
+    fn health_check(&mut self, host: &mut Host, i: usize) {
         if self.sessions[i].state != SessionState::Running {
             return;
         }
         obs::counter_add("service.health_checks", 1.0);
         let (vm, vcpu) = (self.sessions[i].vm, self.sessions[i].vcpu);
-        let status = self.host.injector_status(vm, vcpu).ok().flatten();
+        let status = host.injector_status(vm, vcpu).ok().flatten();
         let mut healthy = status == Some(ProtectionStatus::Healthy);
         if healthy {
             // Injected flap: a healthy check spuriously reads unhealthy.
@@ -729,20 +956,20 @@ impl<'h> ServiceHandle<'h> {
         if self.sessions[i].unhealthy_checks < self.cfg.supervisor.unhealthy_checks_restart {
             return;
         }
-        self.begin_restart(i);
+        self.begin_restart(host, i);
     }
 
     /// The watchdog fires: detach the daemon, latch the core (no
     /// injector means no protection — the guest must read zeros), and
     /// either schedule a redeploy after backoff or, with the restart
     /// budget spent, fail the session permanently.
-    fn begin_restart(&mut self, i: usize) {
+    fn begin_restart(&mut self, host: &mut Host, i: usize) {
         let (vm, vcpu, core) = {
             let s = &self.sessions[i];
             (s.vm, s.vcpu, s.core)
         };
-        let _ = self.host.detach_injector(vm, vcpu);
-        self.host.set_core_fail_closed(core, true);
+        let _ = host.detach_injector(vm, vcpu);
+        host.set_core_fail_closed(core, true);
         let s = &mut self.sessions[i];
         s.unhealthy_checks = 0;
         s.restarts += 1;
@@ -755,18 +982,18 @@ impl<'h> ServiceHandle<'h> {
         }
         let backoff = self.cfg.supervisor.backoff_ns(s.restarts);
         s.state = SessionState::Backoff {
-            until_ns: self.host.clock_ns() + backoff,
+            until_ns: host.clock_ns() + backoff,
         };
         obs::counter_add("service.watchdog_restarts", 1.0);
         obs::event("service.watchdog_restart", &[("session", &s.id.to_string())]);
         self.update_gauges();
     }
 
-    fn fire_due_redeploys(&mut self, now_ns: u64) {
+    fn fire_due_redeploys(&mut self, host: &mut Host, now_ns: u64) {
         for i in 0..self.sessions.len() {
             if let SessionState::Backoff { until_ns } = self.sessions[i].state {
                 if now_ns >= until_ns {
-                    self.redeploy(i);
+                    self.redeploy(host, i);
                 }
             }
         }
@@ -776,7 +1003,7 @@ impl<'h> ServiceHandle<'h> {
     /// latch stays on until the new daemon demonstrates health (the host
     /// watchdog releases it after a healthy run) — restart is trust
     /// re-earned, not assumed.
-    fn redeploy(&mut self, i: usize) {
+    fn redeploy(&mut self, host: &mut Host, i: usize) {
         let eps = self.cfg.aegis.mechanism.epsilon_cost();
         let tenant = self.sessions[i].tenant.clone();
         match self.ledger.charge(&tenant, eps) {
@@ -791,7 +1018,7 @@ impl<'h> ServiceHandle<'h> {
                     "service.redeploy_refused",
                     &[("tenant", tenant.as_str()), ("error", &err.to_string())],
                 );
-                self.make_terminal(i, state);
+                self.make_terminal(host, i, state);
                 return;
             }
         }
@@ -802,21 +1029,20 @@ impl<'h> ServiceHandle<'h> {
         let (vm, vcpu) = (s.vm, s.vcpu);
         s.state = SessionState::Running;
         obs::counter_add("service.restarts_completed", 1.0);
-        self.host
-            .attach_injector(vm, vcpu, Box::new(obf))
+        host.attach_injector(vm, vcpu, Box::new(obf))
             .expect("session ids were validated at attach");
         self.update_gauges();
     }
 
     /// Moves a session to a terminal fail-closed state: no injector, a
     /// sticky latch, zeros forever.
-    fn make_terminal(&mut self, i: usize, state: SessionState) {
+    fn make_terminal(&mut self, host: &mut Host, i: usize, state: SessionState) {
         let (vm, vcpu, core) = {
             let s = &self.sessions[i];
             (s.vm, s.vcpu, s.core)
         };
-        let _ = self.host.detach_injector(vm, vcpu);
-        self.host.set_core_fail_closed(core, true);
+        let _ = host.detach_injector(vm, vcpu);
+        host.set_core_fail_closed(core, true);
         self.sessions[i].state = state;
         self.update_gauges();
     }

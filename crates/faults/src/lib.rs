@@ -66,6 +66,10 @@ pub mod site {
     /// Service-plane ε-ledger persistence corruption (torn ledger
     /// write).
     pub const SERVICE_LEDGER: u64 = 0xFA0B;
+    /// Fleet-plane host failure (whole-host crash, per host).
+    pub const FLEET_HOST: u64 = 0xFA0C;
+    /// Fleet-plane chaos-storm scheduling (host degradation bursts).
+    pub const FLEET_STORM: u64 = 0xFA0D;
 }
 
 /// A serializable fault-injection plan: per-site rates plus the fault
@@ -128,6 +132,12 @@ pub struct FaultPlan {
     /// Probability per ε-ledger persist that the on-disk record is torn
     /// (truncated JSON; the next service start must fail closed).
     pub ledger_corrupt: f64,
+    /// Probability per chaos-storm step that a fleet host crashes
+    /// outright (failure domain lost; tenants must evacuate).
+    pub host_crash: f64,
+    /// Probability per chaos-storm step that a fleet host degrades (all
+    /// its supervised sessions are bounced through the watchdog).
+    pub host_degrade: f64,
 }
 
 impl Default for FaultPlan {
@@ -158,6 +168,8 @@ impl FaultPlan {
             health_flap: 0.0,
             reload_torn: 0.0,
             ledger_corrupt: 0.0,
+            host_crash: 0.0,
+            host_degrade: 0.0,
         }
     }
 
@@ -184,6 +196,8 @@ impl FaultPlan {
             health_flap: 0.05,
             reload_torn: 0.1,
             ledger_corrupt: 0.05,
+            host_crash: 0.05,
+            host_degrade: 0.1,
         }
     }
 
@@ -205,6 +219,8 @@ impl FaultPlan {
             || self.health_flap > 0.0
             || self.reload_torn > 0.0
             || self.ledger_corrupt > 0.0
+            || self.host_crash > 0.0
+            || self.host_degrade > 0.0
     }
 
     /// Parses an `AEGIS_FAULTS` value: `off|none|0` → [`FaultPlan::none`],
@@ -253,6 +269,8 @@ impl FaultPlan {
                 "health_flap" => plan.health_flap = f()?,
                 "reload_torn" => plan.reload_torn = f()?,
                 "ledger_corrupt" => plan.ledger_corrupt = f()?,
+                "host_crash" => plan.host_crash = f()?,
+                "host_degrade" => plan.host_degrade = f()?,
                 other => return Err(format!("AEGIS_FAULTS: unknown field {other:?}")),
             }
         }
@@ -451,6 +469,26 @@ mod tests {
             },
         ] {
             assert!(only.is_active(), "service-site rate alone activates");
+        }
+    }
+
+    #[test]
+    fn fleet_sites_parse_and_activate() {
+        let p = FaultPlan::parse(r#"{"host_crash": 0.125, "host_degrade": 0.25}"#).unwrap();
+        assert_eq!(p.host_crash, 0.125);
+        assert_eq!(p.host_degrade, 0.25);
+        assert!(p.is_active());
+        for only in [
+            FaultPlan {
+                host_crash: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                host_degrade: 0.1,
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(only.is_active(), "fleet-site rate alone activates");
         }
     }
 

@@ -264,6 +264,53 @@ impl Host {
         Ok(id)
     }
 
+    /// Launches a VM with its vCPUs pinned to the exact physical cores
+    /// in `cores` (one vCPU per listed core, in order). This is the
+    /// placement-scheduler entry point: fleet policies decide *which*
+    /// core-pair slot a tenant lands on, rather than taking whatever
+    /// [`Host::launch_vm`] picks first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::NoFreeCores`] if `cores` is empty, any index
+    /// is out of range, any listed core is already assigned, or the same
+    /// core is listed twice.
+    pub fn launch_vm_pinned(&mut self, cores: &[usize], mode: SevMode) -> Result<VmId, HostError> {
+        if cores.is_empty() {
+            return Err(HostError::NoFreeCores);
+        }
+        for (i, &c) in cores.iter().enumerate() {
+            if c >= self.cores.len()
+                || self.assignment[c].is_some()
+                || cores[..i].contains(&c)
+            {
+                return Err(HostError::NoFreeCores);
+            }
+        }
+        let id = VmId(self.vms.len() as u32);
+        let vm_idx = self.vms.len();
+        let vcpus = cores
+            .iter()
+            .enumerate()
+            .map(|(v, &core)| {
+                self.assignment[core] = Some((vm_idx, v));
+                Vcpu {
+                    core,
+                    app: None,
+                    injector: None,
+                    stats: VcpuStats::default(),
+                }
+            })
+            .collect();
+        self.vms.push(Vm {
+            id,
+            mode,
+            vcpus,
+            launched_at_ns: self.clock_ns,
+        });
+        Ok(id)
+    }
+
     fn vm(&self, vm: VmId) -> Result<&Vm, HostError> {
         self.vms
             .iter()
@@ -821,6 +868,58 @@ impl Host {
         }
         Ok(rec.finish(&mut self.cores[core_idx]))
     }
+
+    /// Records HPC traces on several physical cores over the *same* run
+    /// — the cross-tenant attacker's acquisition: a malicious hypervisor
+    /// programming counters on both siblings of an SMT core pair (or any
+    /// core set) and sampling them in lockstep. Returns one [`Trace`]
+    /// per entry of `core_idxs`, in order, all covering the identical
+    /// simulated window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PerfError`] from opening any monitor (recorders
+    /// opened before the failure are dropped and release their slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idxs` contains duplicates or an out-of-range
+    /// index.
+    pub fn record_trace_multi(
+        &mut self,
+        core_idxs: &[usize],
+        events: &[EventId],
+        filter: OriginFilter,
+        interval_ns: u64,
+        duration_ns: u64,
+    ) -> Result<Vec<Trace>, PerfError> {
+        for (i, &c) in core_idxs.iter().enumerate() {
+            assert!(c < self.cores.len(), "core index {c} out of range");
+            assert!(!core_idxs[..i].contains(&c), "duplicate core index {c}");
+        }
+        let mut recs = Vec::with_capacity(core_idxs.len());
+        for &c in core_idxs {
+            recs.push(TraceRecorder::open_with_faults(
+                &mut self.cores[c],
+                events,
+                filter,
+                interval_ns,
+                self.faults,
+            )?);
+        }
+        for _ in 0..duration_ns / TICK_NS {
+            self.tick(|idx, core, dur| {
+                if let Some(pos) = core_idxs.iter().position(|&c| c == idx) {
+                    recs[pos].on_executed(core, dur);
+                }
+            });
+        }
+        Ok(core_idxs
+            .iter()
+            .zip(recs)
+            .map(|(&c, rec)| rec.finish(&mut self.cores[c]))
+            .collect())
+    }
 }
 
 impl fmt::Debug for Host {
@@ -1141,7 +1240,7 @@ mod tests {
         host.fork_detached_into(&mut arena);
         assert_eq!(fresh.clock_ns(), arena.clock_ns());
 
-        let mut measure = |h: &mut Host| {
+        let measure = |h: &mut Host| {
             h.attach_app(
                 vm,
                 0,
@@ -1158,7 +1257,7 @@ mod tests {
     fn forced_fail_closed_latch_is_permanent_without_injector() {
         let (mut host, vm) = host_with_vm();
         let core = host.core_of(vm, 0).unwrap();
-        assert_eq!(host.has_injector(vm, 0).unwrap(), false);
+        assert!(!host.has_injector(vm, 0).unwrap());
         assert_eq!(host.injector_status(vm, 0).unwrap(), None);
 
         // Force the latch with nothing attached: no watchdog poll ever
@@ -1174,7 +1273,7 @@ mod tests {
         // normal watchdog path: demonstrated health, not mere attach.
         host.attach_injector(vm, 0, Box::new(PlanSource::new(forever_plan(50.0))))
             .unwrap();
-        assert_eq!(host.has_injector(vm, 0).unwrap(), true);
+        assert!(host.has_injector(vm, 0).unwrap());
         assert_eq!(
             host.injector_status(vm, 0).unwrap(),
             Some(ProtectionStatus::Healthy)

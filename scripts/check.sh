@@ -41,11 +41,20 @@ echo "== store matrix (AEGIS_FAULTS=smoke) =="
 # JSON migration, fail-closed manifest, and GC-safety properties.
 AEGIS_FAULTS=smoke cargo test -q --test store_format
 
+echo "== fleet matrix (AEGIS_FAULTS=smoke) =="
+# The fleet-plane contracts (seeded chaos storms with fail-closed
+# evacuation, clean-twin bit-equality of crashed and surviving hosts,
+# ε-ledger carry and quarantine across hosts, storm-schedule replay at
+# any worker count, checkpoint-resume of the policy × storm-seed sweep)
+# re-run under the smoke plan. Fleets pass explicit FaultPlans into
+# every host and sweep cell, so only the ArtifactCache checkpoint loops
+# see the ambient plan: the simulated physics must not move.
+AEGIS_FAULTS=smoke cargo test -q --test fleet_plane
+
 echo "== deprecation lint (examples) =="
-# Examples must stay on the current API surface: the deprecated
-# collect_dataset / collect_mea_runs free functions are tolerated in
-# library code (they are the compatibility wrappers themselves) but not
-# in anything we present as a usage model.
+# Examples must stay on the current API surface: nothing we present as
+# a usage model may lean on deprecated items. (The old collect_dataset /
+# collect_mea_runs compatibility wrappers are gone entirely.)
 cargo clippy --examples -- -D deprecated
 
 echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="

@@ -60,7 +60,7 @@ fn collect_once() -> aegis::attack::Dataset {
 }
 
 #[test]
-fn full_observability_leaves_collect_dataset_bit_identical() {
+fn full_observability_leaves_collector_dataset_bit_identical() {
     let _guard = obs_guard();
     let dir = temp_dir("determinism");
     std::env::set_var("AEGIS_OBS_DIR", &dir);

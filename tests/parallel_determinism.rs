@@ -41,7 +41,7 @@ fn collect_with_threads(n: usize) -> aegis::attack::Dataset {
 }
 
 #[test]
-fn collect_dataset_is_bit_identical_for_1_and_8_workers() {
+fn collector_dataset_is_bit_identical_for_1_and_8_workers() {
     let _guard = THREAD_KNOB.lock().unwrap();
     let serial = collect_with_threads(1);
     let wide = collect_with_threads(8);
@@ -50,7 +50,7 @@ fn collect_dataset_is_bit_identical_for_1_and_8_workers() {
 }
 
 #[test]
-fn collect_dataset_is_bit_identical_with_full_observability() {
+fn collector_dataset_is_bit_identical_with_full_observability() {
     // The observability layer is write-only from the simulation's point
     // of view: AEGIS_OBS=full (spans, metrics, JSONL sink) must not
     // perturb parallel results.
@@ -267,7 +267,7 @@ fn cleanup_cache_hit_is_exact() {
 
 #[test]
 fn per_trace_forks_leave_the_original_host_pristine() {
-    // collect_dataset must not leak replica state (clock, apps, PMU)
+    // Collector::dataset must not leak replica state (clock, apps, PMU)
     // back into the caller's host: two consecutive collections with the
     // same config are identical.
     let _guard = THREAD_KNOB.lock().unwrap();
