@@ -3,31 +3,66 @@
 //! * `fleet_kernel/place-64-*` — the placement scheduler mapping 64
 //!   tenants onto an 8-host fleet under each policy; the derived
 //!   `tenants-per-sec-*` rows are the throughput numbers.
-//! * `fleet_kernel/evacuation-latency-sim-ns` — deterministic sim-time
-//!   from host crash to every evacuated tenant's destination latch
-//!   releasing (the daemon demonstrated health on the new host). This
-//!   is simulated time, not wall-clock: it is a pure function of the
-//!   configuration and seed.
+//! * `fleet_kernel/xt-record-64-*` and the derived
+//!   `fleet_kernel/xt-traces-per-sec-*` family — the cross-tenant
+//!   measurement plane: 64 co-resident victim replicas recorded on a
+//!   packed shard's anchor pair, one detached host fork per replica
+//!   (the scalar reference) versus contiguous lane groups through the
+//!   shard host's batched recorder at several widths. Traces are
+//!   asserted bit-equal at every lane width before timing, so the rows
+//!   compare pure execution cost; the acceptance bar is batched ≥ 4x
+//!   the scalar per-fork path.
+//! * `fleet_kernel/evacuation-hosts-per-sec` — measured wall-clock from
+//!   host crash to every evacuated tenant's destination latch releasing
+//!   (the daemon demonstrated health on the new host), reported as a
+//!   hosts-evacuated-per-second rate. The deterministic simulated span
+//!   rides along as a row field and is asserted identical across runs.
 //! * `fleet_kernel/attack-accuracy-*` — the cross-tenant attacker per
-//!   placement policy. The acceptance bar: `packed` (co-resident
-//!   victim) classifies well above chance while the isolating policies
-//!   (`smt-off`, `core-pair-exclusive`, and `spread` with headroom)
-//!   stay at chance — placement alone measurably moves the attacker.
+//!   placement policy (now acquired through the batched lane path). The
+//!   acceptance bar: `packed` (co-resident victim) classifies well
+//!   above chance while the isolating policies (`smt-off`,
+//!   `core-pair-exclusive`, and `spread` with headroom) stay at chance
+//!   — placement alone measurably moves the attacker.
 
 use aegis::fuzzer::FuzzerConfig;
-use aegis::microarch::MicroArch;
-use aegis::par::set_threads;
+use aegis::microarch::{EventId, MicroArch, OriginFilter};
+use aegis::par::{derive_seed, set_threads};
+use aegis::perf::Trace;
 use aegis::profiler::{RankConfig, WarmupConfig};
-use aegis::sev::{Host, SevMode};
-use aegis::workloads::{KeystrokeApp, SecretApp};
+use aegis::sev::{Host, LaneGuest, PlanSource, SevMode, VmId};
+use aegis::workloads::{KeystrokeApp, SecretApp, WorkloadPlan};
 use aegis::{
     policy_attack_table, AegisConfig, AegisPipeline, CrossTenantConfig, DefensePlan, FaultPlan,
     FleetConfig, FleetSupervisor, FleetTopology, MechanismChoice, PlacementPolicy, Scheduler,
     ServiceConfig,
 };
 use criterion::{black_box, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const PLACE_TENANTS: usize = 64;
+/// Victim replicas in the cross-tenant recording sweep (divisible by
+/// every width in [`XT_WIDTHS`]).
+const XT_LANES: usize = 64;
+/// Tenants in the recording fixture: a `Packed` host filled to capacity
+/// (16 cores), the density that policy exists to provide — every tenant
+/// beyond the attacker/victim pair is a co-resident bystander the
+/// scalar fork path must replay tick-by-tick and the batched path
+/// elides.
+const XT_TENANTS: usize = 16;
+/// Lane-group widths the batched recorder is swept across.
+const XT_WIDTHS: [usize; 4] = [1, 8, 32, 64];
+/// Sampling interval of the sweep's traces.
+const XT_INTERVAL_NS: u64 = 1_000_000;
+/// Recording window of the sweep's traces. Long enough that tick work
+/// dominates per-replica setup, as in the real attack cells.
+const XT_WINDOW_NS: u64 = 60_000_000;
+/// Seed stream for the per-lane victim plans (bench-local).
+const XT_STREAM: u64 = 0x6c;
+/// Seed stream for the per-lane bystander plans (bench-local).
+const XT_STREAM_DECOY: u64 = 0x6d;
+/// Evacuations sampled for the hosts-per-second row.
+const EVAC_RUNS: usize = 5;
 
 fn bench_topology() -> FleetTopology {
     FleetTopology {
@@ -70,10 +105,14 @@ fn offline_plan(app: &KeystrokeApp) -> DefensePlan {
     AegisPipeline::offline(&mut host, vm, 0, app, &quick_cfg()).expect("offline profiling succeeds")
 }
 
-/// Sim-time from a host crash to every evacuee's destination latch
-/// releasing, in nanoseconds. Deterministic: same config + seed, same
-/// number.
-fn evacuation_latency_sim_ns(plan: &DefensePlan, app: &KeystrokeApp) -> u64 {
+/// Crashes host 0 and drives the fleet until every evacuee's
+/// destination latch has released (its daemon demonstrated health on
+/// the new host). Returns `(wall_ns, sim_ns)` for the crash→release
+/// span; the fleet deploy and pre-crash run are untimed. The wall
+/// component is what the hosts-per-second row reports; the sim
+/// component stays a pure function of configuration and seed, asserted
+/// identical across runs.
+fn evacuate_host(plan: &DefensePlan, app: &KeystrokeApp) -> (u64, u64) {
     let topo = FleetTopology {
         hosts: 4,
         sockets_per_host: 1,
@@ -92,6 +131,7 @@ fn evacuation_latency_sim_ns(plan: &DefensePlan, app: &KeystrokeApp) -> u64 {
         .filter(|&t| matches!(fleet.tenant_home(t), Some((0, _))))
         .collect();
     assert!(!evacuees.is_empty(), "spread places tenants on host 0");
+    let started = std::time::Instant::now();
     fleet.inject_host_crash(0);
     let crash_ns = fleet.clock_ns();
     let all_released = |fleet: &FleetSupervisor| {
@@ -108,7 +148,201 @@ fn evacuation_latency_sim_ns(plan: &DefensePlan, app: &KeystrokeApp) -> u64 {
         );
         fleet.run(1_000_000);
     }
-    fleet.clock_ns() - crash_ns
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    (wall_ns.max(1), fleet.clock_ns() - crash_ns)
+}
+
+/// A `Packed` shard filled to capacity, its anchor pair holding the
+/// attacker (tenant 0, parked) and the co-resident victim (the tenant
+/// scheduled on the anchor's SMT sibling), plus the pre-sampled
+/// per-lane victim and bystander plans: the fixture for the
+/// cross-tenant recording sweep. Both recording paths replay the same
+/// victim plans against the same live shard snapshot; only the scalar
+/// path needs the bystander plans, because only it simulates the
+/// bystander cores at all.
+struct XtFixture {
+    fleet: FleetSupervisor,
+    /// `[attacker anchor, victim sibling]`.
+    cores: [usize; 2],
+    /// The victim tenant's vCPU on the sibling core.
+    victim: (VmId, usize),
+    /// Every other co-resident tenant's vCPU (bystanders off the pair).
+    decoys: Vec<(VmId, usize)>,
+    events: [EventId; 4],
+    /// One victim plan per lane, shared by both paths.
+    victim_plans: Vec<WorkloadPlan>,
+    /// Per lane, one plan per bystander — replayed by the scalar path
+    /// only, exactly as `cross_tenant_accuracy_scalar` re-attaches them
+    /// per fork.
+    decoy_plans: Vec<Vec<WorkloadPlan>>,
+}
+
+fn xt_fixture(plan: &DefensePlan, app: &KeystrokeApp, lanes: usize) -> XtFixture {
+    // One production-shaped shard (16 cores, as in `bench_topology`)
+    // packed to capacity. The scalar path clones the whole host per
+    // fork and ticks all 16 cores — bystander apps included — while
+    // the batched recorder simulates the recorded pair alone. That
+    // elision is bit-exact (unrecorded cores never couple back into
+    // the recorded pair), and the equality sweep below re-proves it on
+    // every run.
+    let topo = FleetTopology {
+        hosts: 2,
+        sockets_per_host: 2,
+        pairs_per_socket: 4,
+    };
+    let cfg = FleetConfig::new(
+        ServiceConfig::new(quick_cfg()),
+        topo,
+        PlacementPolicy::Packed,
+        XT_TENANTS,
+    )
+    .seed(9);
+    let mut fleet = FleetSupervisor::deploy(cfg, plan, app).expect("fleet deploys");
+    fleet.run(2_000_000);
+    let (h, anchor) = fleet.tenant_home(0).expect("tenant 0 is placed");
+    assert_eq!(h, 0, "packed placement fills host 0 first");
+    let sibling = FleetTopology::sibling_of(anchor);
+    let victim = fleet
+        .host(0)
+        .assignment_of(sibling)
+        .expect("packed co-schedules a victim on the attacker's sibling");
+    let decoys: Vec<(VmId, usize)> = (0..XT_TENANTS)
+        .filter_map(|t| match fleet.tenant_home(t) {
+            Some((0, c)) if c != anchor && c != sibling => fleet.host(0).assignment_of(c),
+            _ => None,
+        })
+        .collect();
+    assert!(!decoys.is_empty(), "a packed host holds bystanders");
+    let events = fleet.host(0).core(anchor).catalog().attack_events();
+    let victim_plans = (0..lanes)
+        .map(|l| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(7, XT_STREAM, l as u64));
+            let secret = rng.gen_range(0..app.n_secrets());
+            app.sample_plan(secret, &mut rng)
+        })
+        .collect();
+    let decoy_plans = (0..lanes)
+        .map(|l| {
+            (0..decoys.len())
+                .map(|d| {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(
+                        7,
+                        XT_STREAM_DECOY,
+                        (l * XT_TENANTS + d) as u64,
+                    ));
+                    let secret = rng.gen_range(0..app.n_secrets());
+                    app.sample_plan(secret, &mut rng)
+                })
+                .collect()
+        })
+        .collect();
+    XtFixture {
+        fleet,
+        cores: [anchor, sibling],
+        victim,
+        decoys,
+        events,
+        victim_plans,
+        decoy_plans,
+    }
+}
+
+/// The pre-batching acquisition recipe, exactly as the fleet attack
+/// table ran before lane batching: one detached host fork per replica,
+/// the victim's plan and every bystander's plan re-attached
+/// scalar-style (the fork must replay the whole co-resident household
+/// because `Host::tick` is whole-host), recorded with
+/// `record_trace_multi` on the anchor pair.
+fn xt_record_scalar(fx: &XtFixture) -> Vec<Vec<Trace>> {
+    fx.victim_plans
+        .iter()
+        .zip(&fx.decoy_plans)
+        .map(|(plan, decoys)| {
+            let mut fork = fx.fleet.host(0).fork_detached();
+            fork.attach_app(
+                fx.victim.0,
+                fx.victim.1,
+                Box::new(PlanSource::new(plan.clone())),
+            )
+            .expect("fork holds the victim VM");
+            for (&(vm, vcpu), p) in fx.decoys.iter().zip(decoys) {
+                fork.attach_app(vm, vcpu, Box::new(PlanSource::new(p.clone())))
+                    .expect("fork holds the bystander VM");
+            }
+            fork.record_trace_multi(
+                &fx.cores,
+                &fx.events,
+                OriginFilter::Any,
+                XT_INTERVAL_NS,
+                XT_WINDOW_NS,
+            )
+            .expect("scalar recording succeeds")
+        })
+        .collect()
+}
+
+/// The same replicas as contiguous lane groups of `width` through the
+/// shard host's batched recorder — no forks, one shared arena, and no
+/// bystander simulation (the elision the equality sweep proves).
+fn xt_record_batched(fx: &XtFixture, width: usize) -> Vec<Vec<Trace>> {
+    let mut out = Vec::with_capacity(fx.victim_plans.len());
+    for chunk in fx.victim_plans.chunks(width) {
+        let lanes: Vec<Vec<LaneGuest>> = chunk
+            .iter()
+            .map(|plan| {
+                vec![
+                    LaneGuest::default(),
+                    LaneGuest {
+                        app: Some(Box::new(PlanSource::new(plan.clone()))),
+                        injector: None,
+                    },
+                ]
+            })
+            .collect();
+        out.extend(
+            fx.fleet
+                .record_host_trace_batch(
+                    0,
+                    &fx.cores,
+                    lanes,
+                    &fx.events,
+                    OriginFilter::Any,
+                    XT_INTERVAL_NS,
+                    XT_WINDOW_NS,
+                )
+                .expect("batched recording succeeds"),
+        );
+    }
+    out
+}
+
+/// The scalar-reference invariant, asserted on every run (smoke and
+/// sampled alike): every lane width produces traces bit-equal to the
+/// per-fork path, so the throughput rows compare execution cost and
+/// nothing else.
+fn xt_assert_bit_equal(fx: &XtFixture) {
+    let reference = xt_record_scalar(fx);
+    for width in XT_WIDTHS {
+        assert_eq!(
+            xt_record_batched(fx, width),
+            reference,
+            "lane width {width} diverged from the fork path"
+        );
+    }
+}
+
+fn bench_xt_recording(c: &mut Criterion, fx: &XtFixture) {
+    let mut g = c.benchmark_group("fleet_kernel");
+    g.sample_size(10);
+    g.bench_function(&format!("xt-record-{XT_LANES}-scalar"), |b| {
+        b.iter(|| black_box(xt_record_scalar(fx).len()));
+    });
+    for width in XT_WIDTHS {
+        g.bench_function(&format!("xt-record-{XT_LANES}-batched-{width}"), |b| {
+            b.iter(|| black_box(xt_record_batched(fx, width).len()));
+        });
+    }
+    g.finish();
 }
 
 fn bench_placement(c: &mut Criterion) {
@@ -141,8 +375,9 @@ fn main() {
 
     if smoke {
         // One tiny pass over every measured path: placement under each
-        // policy, one crash-to-latch-release evacuation, and a 2-tenant
-        // attack cell — proves the harness runs end to end.
+        // policy, one crash-to-latch-release evacuation, the lane-width
+        // bit-equality sweep on a small fixture, and a 2-tenant attack
+        // cell — proves the harness runs end to end.
         let topo = bench_topology();
         let alive = vec![true; topo.hosts];
         for policy in PlacementPolicy::ALL {
@@ -152,8 +387,9 @@ fn main() {
             }
         }
         let plan = offline_plan(&app);
-        let latency = evacuation_latency_sim_ns(&plan, &app);
-        assert!(latency > 0);
+        let (wall_ns, sim_ns) = evacuate_host(&plan, &app);
+        assert!(wall_ns > 0 && sim_ns > 0);
+        xt_assert_bit_equal(&xt_fixture(&plan, &app, 8));
         let xt = CrossTenantConfig {
             tenants: 2,
             traces_per_secret: 2,
@@ -169,6 +405,13 @@ fn main() {
 
     let mut criterion = Criterion::default().configure_from_args();
     bench_placement(&mut criterion);
+
+    // The cross-tenant recording sweep: prove bit-equality at every
+    // lane width, then time both paths on the same fixture.
+    let plan = offline_plan(&app);
+    let fx = xt_fixture(&plan, &app, XT_LANES);
+    xt_assert_bit_equal(&fx);
+    bench_xt_recording(&mut criterion, &fx);
 
     let mut rows: Vec<serde_json::Value> = criterion
         .results()
@@ -204,19 +447,90 @@ fn main() {
         }
     }
 
-    // Deterministic evacuation latency in simulated time.
-    let plan = offline_plan(&app);
-    let latency = evacuation_latency_sim_ns(&plan, &app);
-    println!("fleet_kernel/evacuation-latency-sim-ns      {latency}");
+    // The xt-traces-per-sec family, derived from the recording sweep.
+    // Bit-equality at every width was asserted before timing, so these
+    // rows compare pure execution cost. The tentpole acceptance bar:
+    // some lane width beats the scalar per-fork path by ≥ 4x.
+    let median_of = |id: String| {
+        criterion
+            .results()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+            .unwrap_or_else(|| panic!("bench {id} did not run"))
+    };
+    let scalar_ns = median_of(format!("fleet_kernel/xt-record-{XT_LANES}-scalar"));
+    let n_traces = (XT_LANES * 2) as f64;
+    let mut best_speedup = 0.0f64;
+    {
+        let mut push_rate = |label: String, median_ns: f64, speedup: f64| {
+            let per_sec = n_traces / (median_ns / 1e9);
+            println!("{label}      {per_sec:.0}/s ({speedup:.2}x)");
+            let mut row = serde_json::Map::new();
+            row.insert("id".to_string(), serde_json::Value::String(label));
+            row.insert(
+                "traces_per_sec".to_string(),
+                serde_json::to_value(per_sec).expect("finite rate"),
+            );
+            row.insert(
+                "speedup_vs_scalar".to_string(),
+                serde_json::to_value(speedup).expect("finite speedup"),
+            );
+            rows.push(serde_json::Value::Object(row));
+        };
+        push_rate(
+            "fleet_kernel/xt-traces-per-sec-scalar".to_string(),
+            scalar_ns,
+            1.0,
+        );
+        for width in XT_WIDTHS {
+            let ns = median_of(format!("fleet_kernel/xt-record-{XT_LANES}-batched-{width}"));
+            let speedup = scalar_ns / ns;
+            best_speedup = best_speedup.max(speedup);
+            push_rate(
+                format!("fleet_kernel/xt-traces-per-sec-batched-{width}"),
+                ns,
+                speedup,
+            );
+        }
+    }
+    assert!(
+        best_speedup >= 4.0,
+        "lane batching must beat the per-fork path ≥ 4x (best {best_speedup:.2}x)"
+    );
+
+    // Host-evacuation throughput, wall-clock. The simulated span is a
+    // pure function of configuration and seed, so it must not move
+    // across the sampled runs — assert that, then report the measured
+    // hosts-evacuated-per-second rate.
+    let (walls, sims): (Vec<u64>, Vec<u64>) =
+        (0..EVAC_RUNS).map(|_| evacuate_host(&plan, &app)).unzip();
+    assert!(
+        sims.iter().all(|&s| s == sims[0]) && sims[0] > 0,
+        "evacuation sim-time must stay deterministic: {sims:?}"
+    );
+    let mut walls = walls;
+    walls.sort_unstable();
+    let median_wall_ns = walls[EVAC_RUNS / 2];
+    let hosts_per_sec = 1e9 / median_wall_ns as f64;
+    println!("fleet_kernel/evacuation-hosts-per-sec      {hosts_per_sec:.2}/s");
     {
         let mut row = serde_json::Map::new();
         row.insert(
             "id".to_string(),
-            serde_json::Value::String("fleet_kernel/evacuation-latency-sim-ns".to_string()),
+            serde_json::Value::String("fleet_kernel/evacuation-hosts-per-sec".to_string()),
+        );
+        row.insert(
+            "hosts_per_sec".to_string(),
+            serde_json::to_value(hosts_per_sec).expect("finite rate"),
+        );
+        row.insert(
+            "median_wall_ns".to_string(),
+            serde_json::to_value(median_wall_ns).expect("u64 serializes"),
         );
         row.insert(
             "sim_ns".to_string(),
-            serde_json::to_value(latency).expect("u64 serializes"),
+            serde_json::to_value(sims[0]).expect("u64 serializes"),
         );
         rows.push(serde_json::Value::Object(row));
     }

@@ -5,7 +5,7 @@
 use crate::error::AegisError;
 use crate::pipeline::{AegisConfig, DefenseDeployment};
 use aegis_attack::{
-    ctc_collapse, layer_match_accuracy, trace_features, Dataset, EpochStats, GaussianNb,
+    ctc_collapse, layer_match_accuracy, trace_features_into, Dataset, EpochStats, GaussianNb,
     Standardizer, TrainConfig, TrainingCurve,
 };
 use aegis_microarch::{EventId, OriginFilter};
@@ -14,7 +14,7 @@ use aegis_par::{
     derive_seed, fingerprint, ArtifactCache, ArtifactKey, ColumnFrame, ColumnSchema, Columnar,
     Executor, FrameError, FrameReader,
 };
-use aegis_sev::{Host, HostError, PlanSource, VmId};
+use aegis_sev::{ActivitySource, Host, HostError, LaneGuest, PlanSource, VmId};
 use aegis_workloads::{DnnZoo, LayerKind, SecretApp, Segment, WorkloadPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -180,6 +180,38 @@ impl Collector {
     }
 }
 
+/// Units per parallel work item on the batched collection path: one
+/// cache-sized [`CoreBatch`](aegis_microarch::CoreBatch) tile of the
+/// single-core lane group.
+const COLLECT_TILE_UNITS: usize = aegis_microarch::CoreBatch::TILE_LANES;
+
+/// The per-lane deltas of one `(secret, rep)` unit: the sampled app
+/// plan and (with a defense) a fresh obfuscator, exactly what the
+/// scalar path would attach to its fork of the host. All seeds derive
+/// from the unit index alone, so lanes are order-independent.
+fn collect_lane(
+    unit: usize,
+    secret: usize,
+    app: &dyn SecretApp,
+    defense: Option<&DefenseDeployment>,
+    cfg: &CollectConfig,
+) -> LaneGuest {
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_PLAN, unit as u64));
+    let plan = app.sample_plan(secret, &mut rng);
+    let noise_unit = if cfg.per_secret_noise {
+        secret as u64
+    } else {
+        unit as u64
+    };
+    LaneGuest {
+        app: Some(Box::new(PlanSource::new(plan))),
+        injector: defense.map(|d| {
+            Box::new(d.make_obfuscator(derive_seed(cfg.seed, STREAM_NOISE, noise_unit)))
+                as Box<dyn ActivitySource>
+        }),
+    }
+}
+
 pub(crate) fn dataset_impl(
     host: &mut Host,
     vm: VmId,
@@ -191,15 +223,86 @@ pub(crate) fn dataset_impl(
 ) -> Result<Dataset, AegisError> {
     let mut span = obs::span("collect.dataset");
     let core_idx = host.core_of(vm, vcpu)?;
-    // Detach any leftover injector up front: forks must start pristine,
-    // and id errors must surface before workers spawn.
+    // Detach any leftover injector up front: replicas must start
+    // pristine, and id errors must surface before workers spawn.
     host.detach_injector(vm, vcpu)?;
     let units: Vec<(usize, usize)> = (0..app.n_secrets())
         .flat_map(|s| (0..cfg.traces_per_secret).map(move |r| (s, r)))
         .collect();
     // Attribute the simulated time this call replays alongside its wall
     // time (each unit replays one monitoring window).
-    span.set_sim_ns(cfg.window_ns.min(app.window_ns()) * units.len() as u64);
+    let window = cfg.window_ns.min(app.window_ns());
+    span.set_sim_ns(window * units.len() as u64);
+    // The lane-batched acquisition path: each unit is one lane of a
+    // single-core lane group snapshotted from `host`, bit-identical to
+    // recording the unit on its own detached fork (the scalar reference
+    // below, pinned by a parity test). Tiles shard over the worker pool
+    // with per-worker feature scratch — no per-unit fork or trace
+    // allocation.
+    let snapshot: &Host = host;
+    let tiles: Vec<&[(usize, usize)]> = units.chunks(COLLECT_TILE_UNITS).collect();
+    let rows: Vec<Result<(Vec<f64>, usize), aegis_perf::PerfError>> = Executor::from_config()
+        .map_with(
+            tiles,
+            |_worker| Vec::new(),
+            |feats, tile_ix, tile| {
+                let base = tile_ix * COLLECT_TILE_UNITS;
+                let lanes: Vec<Vec<LaneGuest>> = tile
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(secret, _rep))| {
+                        vec![collect_lane(base + i, secret, app, defense, cfg)]
+                    })
+                    .collect();
+                // Events were validated on the original host; recording
+                // only fails when an injected programming fault exhausts
+                // its retry budget, surfaced as `AegisError::Fault` below.
+                let traces = snapshot.record_trace_multi_batch(
+                    &[core_idx],
+                    lanes,
+                    events,
+                    OriginFilter::Any,
+                    cfg.interval_ns,
+                    window,
+                )?;
+                let mut flat = Vec::new();
+                for lane in &traces {
+                    trace_features_into(&lane[0], cfg.pool, feats);
+                    flat.extend_from_slice(feats);
+                }
+                Ok((flat, traces.len()))
+            },
+        );
+    let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
+    for (tile_ix, row) in rows.into_iter().enumerate() {
+        let (flat, n_lanes) = row.map_err(AegisError::from)?;
+        let stride = flat.len().checked_div(n_lanes).unwrap_or(0);
+        let tile_units = &units[tile_ix * COLLECT_TILE_UNITS..];
+        for (i, &(secret, _rep)) in tile_units.iter().take(n_lanes).enumerate() {
+            ds.push_slice(&flat[i * stride..(i + 1) * stride], secret);
+        }
+    }
+    Ok(ds)
+}
+
+/// The scalar per-fork reference for [`dataset_impl`]: one detached
+/// fork and one [`Host::record_trace`] per `(secret, rep)` unit. Kept
+/// as the bit-exact oracle the batched path is pinned against.
+#[cfg(test)]
+pub(crate) fn dataset_impl_scalar(
+    host: &mut Host,
+    vm: VmId,
+    vcpu: usize,
+    app: &dyn SecretApp,
+    events: &[EventId],
+    cfg: &CollectConfig,
+    defense: Option<&DefenseDeployment>,
+) -> Result<Dataset, AegisError> {
+    let core_idx = host.core_of(vm, vcpu)?;
+    host.detach_injector(vm, vcpu)?;
+    let units: Vec<(usize, usize)> = (0..app.n_secrets())
+        .flat_map(|s| (0..cfg.traces_per_secret).map(move |r| (s, r)))
+        .collect();
     let snapshot: &Host = host;
     let rows: Vec<Result<(Vec<f64>, usize), aegis_perf::PerfError>> = Executor::from_config()
         .map_with(
@@ -210,44 +313,40 @@ pub(crate) fn dataset_impl(
                 (pristine, arena)
             },
             |(pristine, replica), unit, (secret, _rep)| {
-            // A fresh fork per unit: leftover clock/cache/PMU state from
-            // a previous unit on this worker must not leak in, or results
-            // would depend on the work distribution. The fork reuses the
-            // worker's replica arena — an in-place overwrite, identical
-            // to a fresh fork but allocation-free in steady state.
-            pristine.fork_detached_into(replica);
-            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_PLAN, unit as u64));
-            let plan = app.sample_plan(secret, &mut rng);
-            replica
-                .attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))
-                .expect("ids were validated on the original host");
-            if let Some(d) = defense {
-                let noise_unit = if cfg.per_secret_noise {
-                    secret as u64
-                } else {
-                    unit as u64
-                };
-                d.deploy(
-                    replica,
-                    vm,
-                    vcpu,
-                    derive_seed(cfg.seed, STREAM_NOISE, noise_unit),
-                )
-                .expect("ids were validated on the original host");
-            }
-            // Events were validated on the original host; recording only
-            // fails when an injected programming fault exhausts its
-            // retry budget, surfaced as `AegisError::Fault` below.
-            let trace = replica.record_trace(
-                core_idx,
-                events,
-                OriginFilter::Any,
-                cfg.interval_ns,
-                cfg.window_ns.min(app.window_ns()),
-            )?;
-            Ok((trace_features(&trace, cfg.pool), secret))
-        },
-    );
+                // A fresh fork per unit: leftover clock/cache/PMU state
+                // from a previous unit on this worker must not leak in,
+                // or results would depend on the work distribution.
+                pristine.fork_detached_into(replica);
+                let mut rng =
+                    StdRng::seed_from_u64(derive_seed(cfg.seed, STREAM_PLAN, unit as u64));
+                let plan = app.sample_plan(secret, &mut rng);
+                replica
+                    .attach_app(vm, vcpu, Box::new(PlanSource::new(plan)))
+                    .expect("ids were validated on the original host");
+                if let Some(d) = defense {
+                    let noise_unit = if cfg.per_secret_noise {
+                        secret as u64
+                    } else {
+                        unit as u64
+                    };
+                    d.deploy(
+                        replica,
+                        vm,
+                        vcpu,
+                        derive_seed(cfg.seed, STREAM_NOISE, noise_unit),
+                    )
+                    .expect("ids were validated on the original host");
+                }
+                let trace = replica.record_trace(
+                    core_idx,
+                    events,
+                    OriginFilter::Any,
+                    cfg.interval_ns,
+                    cfg.window_ns.min(app.window_ns()),
+                )?;
+                Ok((aegis_attack::trace_features(&trace, cfg.pool), secret))
+            },
+        );
     let mut ds = Dataset::new(Vec::new(), Vec::new(), app.n_secrets());
     for row in rows {
         let (features, secret) = row.map_err(AegisError::from)?;
@@ -894,6 +993,43 @@ mod tests {
             stack,
             mechanism: MechanismChoice::Laplace { epsilon: 0.25 },
             obfuscator: ObfuscatorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn batched_dataset_bit_matches_the_scalar_forks() {
+        let (mut host, vm) = host_vm();
+        let app = KeystrokeApp::with_window(300_000_000);
+        let core = host.core_of(vm, 0).unwrap();
+        let events = host.core(core).catalog().attack_events().to_vec();
+        // A tiny window keeps the test fast; 2 traces per secret still
+        // crosses no tile boundary, so also run enough units to tile.
+        let cfg = CollectConfig {
+            traces_per_secret: 4, // 10 secrets × 4 = 40 units: two tiles
+            window_ns: 6_000_000,
+            interval_ns: 1_000_000,
+            pool: 2,
+            seed: 13,
+            per_secret_noise: false,
+        };
+        let batched = dataset_impl(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+        let scalar = dataset_impl_scalar(&mut host, vm, 0, &app, &events, &cfg, None).unwrap();
+        assert_eq!(batched, scalar, "clean datasets diverged");
+
+        let d = test_deployment(&host);
+        for per_secret_noise in [false, true] {
+            let cfg = CollectConfig {
+                per_secret_noise,
+                ..cfg
+            };
+            let batched =
+                dataset_impl(&mut host, vm, 0, &app, &events, &cfg, Some(&d)).unwrap();
+            let scalar =
+                dataset_impl_scalar(&mut host, vm, 0, &app, &events, &cfg, Some(&d)).unwrap();
+            assert_eq!(
+                batched, scalar,
+                "defended datasets diverged (per_secret_noise={per_secret_noise})"
+            );
         }
     }
 

@@ -35,7 +35,10 @@ mod attack;
 mod placement;
 mod sweep;
 
-pub use attack::{cross_tenant_accuracy, policy_attack_table, CrossTenantConfig, PolicyAttackCell};
+pub use attack::{
+    cross_tenant_accuracy, cross_tenant_accuracy_scalar, policy_attack_table, CrossTenantConfig,
+    PolicyAttackCell,
+};
 pub use placement::{FleetTopology, Placement, PlacementPolicy, Scheduler};
 pub use sweep::{fleet_sweep, FleetCellOutcome, FleetSweepConfig, FleetSweepOutcome};
 
@@ -762,6 +765,32 @@ impl FleetSupervisor {
         self.shards[h]
             .host
             .record_trace_multi(cores, events, filter, interval_ns, duration_ns)
+    }
+
+    /// Lane-batched sibling of [`FleetSupervisor::record_host_trace`]:
+    /// records every replica described by `lanes` on host `h` through
+    /// [`Host::record_trace_multi_batch`] — one [`LaneGuest`] per
+    /// recorded core per replica, the host's clock untouched. Returns
+    /// one `Vec<Trace>` per lane, ordered as `cores`, bit-identical to
+    /// recording each replica on a detached fork of the shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`aegis_perf::PerfError`] from opening any monitor.
+    #[allow(clippy::too_many_arguments)] // mirrors Host::record_trace_multi_batch
+    pub fn record_host_trace_batch(
+        &self,
+        h: usize,
+        cores: &[usize],
+        lanes: Vec<Vec<aegis_sev::LaneGuest>>,
+        events: &[aegis_microarch::EventId],
+        filter: aegis_microarch::OriginFilter,
+        interval_ns: u64,
+        duration_ns: u64,
+    ) -> Result<Vec<Vec<aegis_perf::Trace>>, aegis_perf::PerfError> {
+        self.shards[h]
+            .host
+            .record_trace_multi_batch(cores, lanes, events, filter, interval_ns, duration_ns)
     }
 }
 

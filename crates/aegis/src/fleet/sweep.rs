@@ -22,12 +22,23 @@ use aegis_par::{
     derive_seed, fingerprint, ArtifactCache, ArtifactKey, Checkpoint, ColumnFrame, ColumnSchema,
     Columnar, Executor, FrameError, FrameReader,
 };
+use aegis_microarch::OriginFilter;
+use aegis_sev::{LaneGuest, PlanSource};
 use aegis_workloads::SecretApp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Seed stream tags for cell-seed derivation (fleet family, 0x30s).
 const STREAM_FLEET_POLICY: u64 = 0x33;
 const STREAM_FLEET_STORM: u64 = 0x34;
+const STREAM_FLEET_PROBE: u64 = 0x35;
+
+/// Shape of the post-storm attacker probe every cell runs through the
+/// lane-batched recorder: replicas per probe and the recording window.
+const XT_PROBE_LANES: usize = 4;
+const XT_PROBE_INTERVAL_NS: u64 = 1_000_000;
+const XT_PROBE_WINDOW_NS: u64 = 4_000_000;
 
 /// The fleet sweep grid: every policy crossed with every storm seed.
 #[derive(Debug, Clone)]
@@ -85,6 +96,13 @@ pub struct FleetCellOutcome {
     pub degrades: u64,
     /// Total ε the fleet's tenants drew.
     pub epsilon_spent: f64,
+    /// Post-storm attacker probe: the mean pair-aggregate count the
+    /// cross-tenant attacker observes on tenant 0's anchor pair,
+    /// measured through the lane-batched recorder
+    /// ([`super::FleetSupervisor::record_host_trace_batch`]). Zero when
+    /// tenant 0 ended the storm without a home, or latched fail-closed
+    /// where it died.
+    pub xt_probe: f64,
 }
 
 /// The completed grid, in (policy-major, storm-seed-minor) unit order.
@@ -115,6 +133,7 @@ struct FleetCellLog {
     crashes: Vec<u64>,
     degrades: Vec<u64>,
     epsilon_spent: Vec<f64>,
+    xt_probes: Vec<f64>,
 }
 
 impl FleetCellLog {
@@ -131,6 +150,7 @@ impl FleetCellLog {
             crashes: Vec::new(),
             degrades: Vec::new(),
             epsilon_spent: Vec::new(),
+            xt_probes: Vec::new(),
         };
         for c in results.iter().flatten() {
             log.policy_tags.push(c.policy.tag());
@@ -144,6 +164,7 @@ impl FleetCellLog {
             log.crashes.push(c.crashes);
             log.degrades.push(c.degrades);
             log.epsilon_spent.push(c.epsilon_spent);
+            log.xt_probes.push(c.xt_probe);
         }
         log
     }
@@ -167,6 +188,7 @@ impl FleetCellLog {
                     crashes: self.crashes[i],
                     degrades: self.degrades[i],
                     epsilon_spent: self.epsilon_spent[i],
+                    xt_probe: self.xt_probes[i],
                 })
             })
             .collect::<Vec<_>>()
@@ -176,7 +198,7 @@ impl FleetCellLog {
 
 impl Columnar for FleetCellLog {
     fn schema() -> ColumnSchema {
-        ColumnSchema::new("aegis/fleet-cells", 1)
+        ColumnSchema::new("aegis/fleet-cells", 2)
     }
 
     fn encode_columns(&self, frame: &mut ColumnFrame) {
@@ -191,6 +213,7 @@ impl Columnar for FleetCellLog {
         frame.push_u64(self.crashes.clone());
         frame.push_u64(self.degrades.clone());
         frame.push_f64(self.epsilon_spent.clone());
+        frame.push_f64(self.xt_probes.clone());
     }
 
     fn decode_columns(reader: &mut FrameReader) -> Result<Self, FrameError> {
@@ -206,6 +229,7 @@ impl Columnar for FleetCellLog {
             crashes: reader.u64s()?,
             degrades: reader.u64s()?,
             epsilon_spent: reader.f64s()?,
+            xt_probes: reader.f64s()?,
         };
         let n = log.policy_tags.len();
         if log.storm_seeds.len() != n
@@ -218,6 +242,7 @@ impl Columnar for FleetCellLog {
             || log.crashes.len() != n
             || log.degrades.len() != n
             || log.epsilon_spent.len() != n
+            || log.xt_probes.len() != n
             || log.policy_tags.iter().any(|&t| t as usize >= PlacementPolicy::ALL.len())
         {
             return Err(FrameError::new("fleet-cells: misaligned or invalid columns"));
@@ -251,8 +276,59 @@ fn cell_seed(cfg: &FleetSweepConfig, policy: PlacementPolicy, storm_seed: u64) -
     )
 }
 
-/// Runs one grid cell: deploy a fresh fleet, drive the storm, shut
-/// down, tally.
+/// Post-storm attacker probe: what the cross-tenant attacker's
+/// pair-aggregate view of tenant 0's anchor pair counts once the storm
+/// settles, recorded through the lane-batched path — [`XT_PROBE_LANES`]
+/// replicas, each running an independently drawn secret of `app` on the
+/// anchor's vCPU, in one [`record_host_trace_batch`] call instead of
+/// per-replica host forks. A fail-closed (crashed) home reads all-zero
+/// counters by construction, so the probe doubles as a cheap cell-level
+/// check that latched hosts leak nothing.
+///
+/// [`record_host_trace_batch`]: super::FleetSupervisor::record_host_trace_batch
+fn xt_probe(fleet: &FleetSupervisor, app: &dyn SecretApp, seed: u64) -> f64 {
+    let Some((h, core)) = fleet.tenant_home(0) else {
+        return 0.0;
+    };
+    let sibling = FleetTopology::sibling_of(core);
+    let events = fleet.host(h).core(core).catalog().attack_events();
+    let lanes: Vec<Vec<LaneGuest>> = (0..XT_PROBE_LANES)
+        .map(|l| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, STREAM_FLEET_PROBE, l as u64));
+            let secret = rng.gen_range(0..app.n_secrets());
+            let plan = app.sample_plan(secret, &mut rng);
+            vec![
+                LaneGuest {
+                    app: Some(Box::new(PlanSource::new(plan))),
+                    injector: None,
+                },
+                LaneGuest::default(),
+            ]
+        })
+        .collect();
+    match fleet.record_host_trace_batch(
+        h,
+        &[core, sibling],
+        lanes,
+        &events,
+        OriginFilter::Any,
+        XT_PROBE_INTERVAL_NS,
+        XT_PROBE_WINDOW_NS,
+    ) {
+        Ok(traces) => {
+            let total: f64 = traces
+                .iter()
+                .flatten()
+                .map(|t| t.totals().iter().sum::<f64>())
+                .sum();
+            total / XT_PROBE_LANES as f64
+        }
+        Err(_) => 0.0,
+    }
+}
+
+/// Runs one grid cell: deploy a fresh fleet, drive the storm, probe the
+/// surviving attack surface, shut down, tally.
 fn run_cell(
     cfg: &FleetSweepConfig,
     policy: PlacementPolicy,
@@ -276,6 +352,7 @@ fn run_cell(
     let mut fleet =
         FleetSupervisor::deploy(fleet_cfg.seed(cell_seed(cfg, policy, storm_seed)), plan, app)?;
     fleet.run_storm(cfg.steps, cfg.step_ns);
+    let probe = xt_probe(&fleet, app, cell_seed(cfg, policy, storm_seed));
     let report = fleet.shutdown();
     let mut cell = FleetCellOutcome {
         policy,
@@ -289,6 +366,7 @@ fn run_cell(
         crashes: report.crashes,
         degrades: report.degrades,
         epsilon_spent: 0.0,
+        xt_probe: probe,
     };
     for t in &report.tenants {
         match t.status {
@@ -435,6 +513,7 @@ mod tests {
             crashes: 1,
             degrades: 4,
             epsilon_spent: 6.5,
+            xt_probe: 123.5,
         };
         let log = FleetCellLog::of(&[Ok(cell)]);
         let back: Vec<_> = log.into_results().map(Result::unwrap).collect();

@@ -26,12 +26,27 @@ pub fn trace_feature_len(n_events: usize, samples_per_event: usize, pool: usize)
 ///
 /// Panics if `pool == 0`.
 pub fn trace_features(trace: &Trace, pool: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    trace_features_into(trace, pool, &mut out);
+    out
+}
+
+/// [`trace_features`] into a caller-owned buffer: the buffer is cleared,
+/// reserved to the exact pooled length, and filled — hot loops that
+/// extract features per unit reuse one scratch vector instead of
+/// allocating per trace.
+///
+/// # Panics
+///
+/// Panics if `pool == 0`.
+pub fn trace_features_into(trace: &Trace, pool: usize, out: &mut Vec<f64>) {
     assert!(pool > 0, "pool must be positive");
     // Every row of a recorded trace has the same sample count, so the
-    // pooled length is known up front — one exact allocation instead of
+    // pooled length is known up front — one exact reservation instead of
     // amortized growth per chunk.
     let samples = trace.data.first().map_or(0, Vec::len);
-    let mut out = Vec::with_capacity(trace_feature_len(trace.data.len(), samples, pool));
+    out.clear();
+    out.reserve(trace_feature_len(trace.data.len(), samples, pool));
     for row in &trace.data {
         for chunk in row.chunks(pool) {
             out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
@@ -48,7 +63,6 @@ pub fn trace_features(trace: &Trace, pool: usize) -> Vec<f64> {
         trace_feature_len(trace.data.len(), samples, pool),
         "pooled length formula out of sync"
     );
-    out
 }
 
 /// A labeled dataset of feature vectors, stored as one contiguous

@@ -24,7 +24,7 @@ mod stats;
 mod train;
 
 pub use ctc::{ctc_collapse, layer_match_accuracy, levenshtein};
-pub use dataset::{trace_feature_len, trace_features, Dataset, Standardizer};
+pub use dataset::{trace_feature_len, trace_features, trace_features_into, Dataset, Standardizer};
 pub use mat::{Mat, RowIter, RowIterMut};
 pub use mi::{label_feature_mi, mutual_information_hist};
 pub use mlp::{Mlp, MlpConfig};

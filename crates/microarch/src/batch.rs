@@ -265,6 +265,16 @@ pub struct CoreBatch {
 }
 
 impl CoreBatch {
+    /// Cache-friendly tile width: drivers that want more sessions than
+    /// this in flight should run them as consecutive tiles of at most
+    /// `TILE_LANES` lanes rather than one wide batch. The arena rows
+    /// (counter accumulations, window sums, branch tables) for 32 lanes
+    /// fit comfortably in L2; at 128 lanes the strided per-slot folds
+    /// start missing, which is exactly the batched-128 regression in
+    /// BENCH_core.json. Lanes are fully independent, so any tiling of N
+    /// sessions produces bit-identical per-session results.
+    pub const TILE_LANES: usize = 32;
+
     /// Builds a batch whose lanes all start as copies of `template`
     /// reseeded with the respective entry of `seeds` — the batched
     /// equivalent of `template.clone()` + `reseed(seed)` per session.
@@ -347,6 +357,66 @@ impl CoreBatch {
         self.win_templates.clear();
         self.last_template = 0;
         self.replay_hits = 0;
+    }
+
+    /// Builds a batch whose lanes all start as **exact mid-stream copies**
+    /// of `core` — draw-stream positions, measurement-noise base, cache,
+    /// branch table, cycles, fail-closed latch, and counter state are
+    /// replicated verbatim rather than re-derived from a seed. This is the
+    /// lane-group constructor of the fleet measurement plane: every fleet
+    /// replica forks from the *same* prepared host, so its per-core lanes
+    /// all start identical and diverge only through the per-lane activity
+    /// sources the driver attaches.
+    ///
+    /// Lane `l` is bit-identical to `core.clone()` driven through the same
+    /// calls on the scalar [`Core`] — the invariant the scalar
+    /// `record_trace_multi` reference pins in the `aegis-sev` proptests.
+    pub fn from_core_state(core: &Core, n_lanes: usize) -> Self {
+        let mut batch = CoreBatch::from_template(core, &[]);
+        batch.reset_from_core_state(core, n_lanes);
+        batch
+    }
+
+    /// Re-fills the batch as `n_lanes` exact mid-stream copies of `core`
+    /// without releasing the arena (see [`CoreBatch::from_core_state`]).
+    pub fn reset_from_core_state(&mut self, core: &Core, n_lanes: usize) {
+        // Seed values are irrelevant here — draws and noise bases are
+        // overwritten with the core's exact mid-stream state below — but
+        // reusing `reset_from` keeps one definition of the arena layout.
+        let seeds = vec![0u64; n_lanes];
+        self.reset_from(core, &seeds);
+        let draws = core.draws_snapshot();
+        self.draws.clear();
+        self.draws.resize(n_lanes, draws);
+        let base = core.pmu().noise_base();
+        self.noise_bases.clear();
+        self.noise_bases.resize(n_lanes, base);
+    }
+
+    /// Clears a counter slot on every lane (mirrors [`crate::Pmu::clear`]:
+    /// out-of-range slots are ignored).
+    pub fn clear_slot(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            *s = None;
+        }
+    }
+
+    /// The shared event catalog (same handle as the template core's).
+    pub fn catalog(&self) -> Arc<EventCatalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// A lane's measurement-noise base (keys the per-lane fault streams of
+    /// the batched recorder exactly as [`crate::Pmu::noise_base`] keys the
+    /// scalar monitor's).
+    pub fn noise_base(&self, lane: usize) -> u64 {
+        self.noise_bases[lane]
+    }
+
+    /// The event programmed on a slot, if any (mirrors
+    /// [`crate::Pmu::programmed_event`]).
+    pub fn programmed_event(&self, slot: usize) -> Option<crate::events::EventId> {
+        self.slots.get(slot)?.as_ref().map(|t| t.config.event)
     }
 
     /// Number of lanes.
@@ -1005,6 +1075,78 @@ mod tests {
         assert!(batch.rdpmc(0, 0).unwrap() > 0);
         let serial = batch.window_all(0)[Feature::Serializations];
         assert_eq!(serial, 0.0, "CPUID delta must stay out of the window");
+    }
+
+    /// Lane-group invariant: `from_core_state` lanes are exact mid-stream
+    /// twins of the core — same draw positions, noise base, counters —
+    /// not fresh reseeds, so every lane replays the core's future
+    /// bit-identically.
+    #[test]
+    fn from_core_state_lanes_are_mid_stream_twins() {
+        let ops = op_pool();
+        for &arch in &[MicroArch::AmdEpyc7252, MicroArch::IntelXeonE5_1650] {
+            let mut core = programmed_template(arch, 77);
+            // Advance the core mid-stream: consume exec draws, fold
+            // counter state, consume a measurement-noise draw.
+            for step in 0..23u8 {
+                let _ = core.execute_instr(&ops[(step % 8) as usize], Origin::Host);
+            }
+            let _ = core.pmu().rdpmc(0);
+            let mut batch = CoreBatch::from_core_state(&core, 3);
+            for lane in 0..3 {
+                let mut twin = core.clone();
+                for step in 0..40u8 {
+                    let origin = if step % 3 == 0 {
+                        Origin::Guest(1)
+                    } else {
+                        Origin::Host
+                    };
+                    let s = twin.execute_instr(&ops[(step % 8) as usize], origin);
+                    let b = batch.execute_instr(lane, &ops[(step % 8) as usize], origin);
+                    assert_eq!(s, b, "mid-stream lane diverged from clone");
+                }
+                assert_eq!(twin.cycles(), batch.cycles(lane));
+                assert_eq!(twin.pmu().rdpmc(0), batch.rdpmc(lane, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_from_core_state_reuses_the_arena_bit_identically() {
+        let ops = op_pool();
+        let mut core = programmed_template(MicroArch::AmdEpyc7313P, 5);
+        for step in 0..17u8 {
+            let _ = core.execute_instr(&ops[(step % 8) as usize], Origin::Host);
+        }
+        let run = |batch: &mut CoreBatch| -> Vec<u64> {
+            (0..batch.n_lanes())
+                .map(|lane| {
+                    for step in 0..30u8 {
+                        let _ = batch.execute_instr(lane, &ops[(step % 8) as usize], Origin::Host);
+                    }
+                    batch.rdpmc(lane, 0).unwrap()
+                })
+                .collect()
+        };
+        // An arena that ran a seeded candidate first, then is reset onto
+        // core state, must equal a fresh lane-group batch.
+        let mut reused = CoreBatch::from_template(&core, &[1, 2, 3, 4, 5, 6]);
+        let _ = run(&mut reused);
+        reused.reset_from_core_state(&core, 4);
+        let mut fresh = CoreBatch::from_core_state(&core, 4);
+        assert_eq!(run(&mut reused), run(&mut fresh));
+    }
+
+    #[test]
+    fn clear_slot_mirrors_pmu_clear() {
+        let template = programmed_template(MicroArch::AmdEpyc7252, 51);
+        let mut batch = CoreBatch::from_core_state(&template, 2);
+        assert!(batch.programmed_event(0).is_some());
+        batch.clear_slot(0);
+        assert_eq!(batch.programmed_event(0), None);
+        assert_eq!(batch.rdpmc(0, 0), Err(PmuError::Unprogrammed(0)));
+        // Out-of-range clears are ignored, exactly like `Pmu::clear`.
+        batch.clear_slot(COUNTER_SLOTS + 3);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Lane-batched trace recording over [`CoreBatch`]: one recorder driving
+//! every lane of a lane group through the exact [`PerfMonitor`] +
+//! [`TraceRecorder`] arithmetic, amortizing the monitor bookkeeping that
+//! the scalar path repeats per forked host.
+//!
+//! # Why one shared fault/multiplex state is bit-exact
+//!
+//! In the fleet measurement plane every lane forks from the *same*
+//! prepared host core ([`CoreBatch::from_core_state`]), so all lanes share
+//! one measurement-noise base — and the scalar reference opens each fork's
+//! monitor with fault streams keyed by that same base. Monitor fault
+//! draws (programming failures, read corruption, slot steals) are
+//! consumed on a purely *time- and structure-driven* schedule: one
+//! `chance` per programming attempt, three per collected live slot, one
+//! per collection for steals — never conditioned on counter *values*.
+//! Lanes execute in lockstep (the driver reports identical durations to
+//! every lane), so each fork's stream sits at the same position at every
+//! call. The recorder therefore keeps **one** stream set, draws once per
+//! structural event, and applies the drawn fault (the same XOR mask,
+//! saturation, or wrap each fork would have drawn) to every lane's own
+//! value. The same argument covers `live` flags, multiplex rotation, and
+//! enabled/running time: they are identical across the scalar forks, so
+//! they are shared here. Everything value-carrying — counter
+//! accumulations and the traces themselves — stays per lane.
+//!
+//! One observable difference is allowed: `aegis_faults::report` and the
+//! multiplex-scale histogram fire once per *batch* rather than once per
+//! lane. Both are observability-only; trace bytes are unaffected.
+//!
+//! [`TraceRecorder`]: crate::TraceRecorder
+
+use crate::monitor::{PerfError, DEFAULT_QUANTUM_NS, PMC_MASK, PROGRAM_ATTEMPTS, RETRY_BACKOFF_NS};
+use crate::trace::Trace;
+use aegis_faults::{self as faults, FaultPlan, FaultStream};
+use aegis_microarch::{CoreBatch, CounterConfig, EventId, OriginFilter, COUNTER_SLOTS};
+
+/// Records one [`Trace`] per lane of a [`CoreBatch`] lane group, sampling
+/// at a fixed interval exactly like [`TraceRecorder`] does per core.
+///
+/// [`TraceRecorder`]: crate::TraceRecorder
+#[derive(Debug)]
+pub struct LaneTraceRecorder {
+    events: Vec<EventId>,
+    filter: OriginFilter,
+    groups: Vec<Vec<usize>>,
+    active_group: usize,
+    quantum_ns: u64,
+    time_in_group_ns: u64,
+    /// Enabled/running bookkeeping is lockstep across lanes (see module
+    /// docs), so it is stored once.
+    enabled_ns: u64,
+    running_ns: Vec<u64>,
+    /// Per-lane accumulations, row `lane` of `n_events` values.
+    accumulated: Vec<f64>,
+    faults: FaultPlan,
+    program_stream: Option<FaultStream>,
+    read_stream: Option<FaultStream>,
+    steal_stream: Option<FaultStream>,
+    live: Vec<bool>,
+    retry_lost_ns: u64,
+    interval_ns: u64,
+    elapsed_in_interval_ns: u64,
+    traces: Vec<Trace>,
+    n_lanes: usize,
+    /// Scratch for one collection's raw per-(slot, lane) values.
+    collect_scratch: Vec<u64>,
+}
+
+impl LaneTraceRecorder {
+    /// Opens a recorder over every lane of `batch` — the lane-group
+    /// analogue of [`TraceRecorder::open_with_faults`] per fork.
+    ///
+    /// All lanes must share one measurement-noise base (the lane-group
+    /// invariant [`CoreBatch::from_core_state`] establishes); that base
+    /// keys the shared fault streams exactly as it keys each scalar
+    /// fork's.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceRecorder::open_with_faults`]: [`PerfError::NoEvents`],
+    /// [`PerfError::UnknownEvent`], or [`PerfError::ProgramFailed`] when
+    /// an injected MSR fault outlasts the backoff schedule. Because the
+    /// fault schedule is keyed by the shared noise base, an open failure
+    /// is common to every lane, exactly as it is to every scalar fork.
+    ///
+    /// # Panics
+    ///
+    /// If the batch has zero lanes or the lanes disagree on their noise
+    /// base (not a lane group).
+    ///
+    /// [`TraceRecorder::open_with_faults`]: crate::TraceRecorder::open_with_faults
+    pub fn open(
+        batch: &mut CoreBatch,
+        events: &[EventId],
+        filter: OriginFilter,
+        interval_ns: u64,
+        plan: FaultPlan,
+    ) -> Result<Self, PerfError> {
+        if events.is_empty() {
+            return Err(PerfError::NoEvents);
+        }
+        let catalog = batch.catalog();
+        for &e in events {
+            if catalog.get(e).is_none() {
+                return Err(PerfError::UnknownEvent(e));
+            }
+        }
+        let n_lanes = batch.n_lanes();
+        assert!(n_lanes > 0, "lane group must have at least one lane");
+        let instance = batch.noise_base(0);
+        for lane in 1..n_lanes {
+            assert_eq!(
+                batch.noise_base(lane),
+                instance,
+                "LaneTraceRecorder requires a lane group (identical noise bases)"
+            );
+        }
+        let groups: Vec<Vec<usize>> = (0..events.len())
+            .collect::<Vec<_>>()
+            .chunks(COUNTER_SLOTS)
+            .map(<[usize]>::to_vec)
+            .collect();
+        let n = events.len();
+        let active = plan.is_active();
+        let mut rec = LaneTraceRecorder {
+            events: events.to_vec(),
+            filter,
+            groups,
+            active_group: 0,
+            quantum_ns: DEFAULT_QUANTUM_NS,
+            time_in_group_ns: 0,
+            enabled_ns: 0,
+            running_ns: vec![0; n],
+            accumulated: vec![0.0; n * n_lanes],
+            faults: plan,
+            program_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::PMC_PROGRAM, instance)),
+            read_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::COUNTER_READ, instance)),
+            steal_stream: active
+                .then(|| FaultStream::new(&plan, faults::site::SLOT_STEAL, instance)),
+            live: vec![false; n],
+            retry_lost_ns: 0,
+            interval_ns: interval_ns.max(1),
+            elapsed_in_interval_ns: 0,
+            traces: (0..n_lanes)
+                .map(|_| Trace::new(events.to_vec(), interval_ns))
+                .collect(),
+            n_lanes,
+            collect_scratch: vec![0; COUNTER_SLOTS * n_lanes],
+        };
+        rec.program_active(batch)?;
+        Ok(rec)
+    }
+
+    /// Whether the active group currently has a dead (injected fault)
+    /// slot — common to every lane, as in each scalar fork.
+    pub fn degraded(&self) -> bool {
+        self.groups[self.active_group]
+            .iter()
+            .any(|&idx| !self.live[idx])
+    }
+
+    /// Completed samples so far (identical on every lane).
+    pub fn len(&self) -> usize {
+        self.traces[0].len()
+    }
+
+    /// Whether no full interval has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.traces[0].is_empty()
+    }
+
+    /// Mirrors `PerfMonitor::program_active`: one shared attempt/backoff
+    /// schedule (the forks' schedules are identical), programming each
+    /// surviving slot on every lane at once.
+    fn program_active(&mut self, batch: &mut CoreBatch) -> Result<(), PerfError> {
+        for slot in 0..COUNTER_SLOTS {
+            batch.clear_slot(slot);
+        }
+        self.live.iter_mut().for_each(|l| *l = false);
+        let filter = self.filter;
+        let mut first_failure = None;
+        let members = self.groups[self.active_group].clone();
+        for (slot, &idx) in members.iter().enumerate() {
+            let mut attempts = 0;
+            let programmed = loop {
+                attempts += 1;
+                let injected = match &mut self.program_stream {
+                    Some(s) => s.chance(self.faults.pmc_program_fail),
+                    None => false,
+                };
+                if !injected {
+                    batch
+                        .program(
+                            slot,
+                            CounterConfig {
+                                event: self.events[idx],
+                                filter,
+                            },
+                        )
+                        .expect("slot < COUNTER_SLOTS and events validated at open");
+                    break true;
+                }
+                faults::report(
+                    "pmc_program",
+                    "fail",
+                    &[("slot", slot as u64), ("attempt", u64::from(attempts))],
+                );
+                if attempts >= PROGRAM_ATTEMPTS {
+                    break false;
+                }
+                self.retry_lost_ns += RETRY_BACKOFF_NS << (attempts - 1);
+            };
+            self.live[idx] = programmed;
+            if !programmed && first_failure.is_none() {
+                first_failure = Some(PerfError::ProgramFailed { slot, attempts });
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Mirrors `PerfMonitor::collect_active` across all lanes: per-lane
+    /// raw reads in the scalar `read_group` slot order, then one shared
+    /// steal draw, then the shared per-slot value faults applied to every
+    /// lane's own value.
+    fn collect_active(&mut self, batch: &mut CoreBatch) {
+        // Raw reads. The scalar `read_group` reads every programmed slot
+        // in slot order; after `program_active` the programmed slots are
+        // exactly the live member slots. Draw accounting is per
+        // (lane, slot), so slot-major iteration is bit-equal to each
+        // fork's own read.
+        for slot in 0..COUNTER_SLOTS {
+            if batch.programmed_event(slot).is_none() {
+                continue;
+            }
+            for lane in 0..self.n_lanes {
+                self.collect_scratch[slot * self.n_lanes + lane] = batch
+                    .rdpmc(lane, slot)
+                    .expect("live slots are programmed");
+            }
+        }
+        let stolen = self.steal_stream.as_mut().and_then(|s| {
+            s.chance(self.faults.slot_steal)
+                .then(|| s.uniform(COUNTER_SLOTS as u64) as usize)
+        });
+        let members = self.groups[self.active_group].clone();
+        for (slot, &idx) in members.iter().enumerate() {
+            if !self.live[idx] {
+                continue;
+            }
+            for lane in 0..self.n_lanes {
+                batch.reset_value(lane, slot);
+            }
+            if stolen == Some(slot) {
+                faults::report("slot_steal", "stolen", &[("slot", slot as u64)]);
+                continue;
+            }
+            // Shared draw, per-lane application: each fork would have
+            // drawn exactly this corruption mask / saturation / wrap at
+            // this position of its own (identically keyed) stream.
+            let (corrupt_mask, saturate, overflow) = match self.read_stream.as_mut() {
+                None => (None, false, false),
+                Some(s) => {
+                    let mask = s.chance(self.faults.counter_corrupt).then(|| {
+                        let m = s.bits() & 0xFFFF;
+                        faults::report("counter_read", "corrupt", &[("slot", slot as u64)]);
+                        m
+                    });
+                    let sat = s.chance(self.faults.counter_saturate);
+                    if sat {
+                        faults::report("counter_read", "saturate", &[("slot", slot as u64)]);
+                    }
+                    let ovf = s.chance(self.faults.counter_overflow);
+                    if ovf {
+                        faults::report("counter_read", "overflow", &[("slot", slot as u64)]);
+                    }
+                    (mask, sat, ovf)
+                }
+            };
+            for lane in 0..self.n_lanes {
+                let mut out = self.collect_scratch[slot * self.n_lanes + lane];
+                if let Some(m) = corrupt_mask {
+                    out ^= m;
+                }
+                if saturate {
+                    out = PMC_MASK;
+                }
+                if overflow {
+                    out &= 0x3FF;
+                }
+                self.accumulated[lane * self.events.len() + idx] += out as f64;
+            }
+        }
+    }
+
+    /// Reports that every lane executed `dur_ns`, rotating multiplex
+    /// groups and closing sampling intervals exactly like the scalar
+    /// monitor + recorder pair.
+    pub fn on_executed(&mut self, batch: &mut CoreBatch, dur_ns: u64) {
+        self.enabled_ns += dur_ns;
+        for &idx in &self.groups[self.active_group] {
+            if self.live[idx] {
+                self.running_ns[idx] += dur_ns;
+            }
+        }
+        self.time_in_group_ns += dur_ns;
+        if self.groups.len() > 1 && self.time_in_group_ns >= self.quantum_ns {
+            self.collect_active(batch);
+            self.active_group = (self.active_group + 1) % self.groups.len();
+            // A failed rotation keeps the recorder running degraded,
+            // exactly like the scalar monitor.
+            let _ = self.program_active(batch);
+            self.time_in_group_ns = 0;
+        }
+        self.elapsed_in_interval_ns += dur_ns;
+        while self.elapsed_in_interval_ns >= self.interval_ns {
+            self.sample_and_reset(batch);
+            self.elapsed_in_interval_ns -= self.interval_ns;
+        }
+    }
+
+    /// Mirrors `PerfMonitor::sample_and_reset` + `Trace::push_slice` per
+    /// lane: scaled counts (`count × enabled / running`) appended to each
+    /// lane's trace, then the accumulation window reset.
+    fn sample_and_reset(&mut self, batch: &mut CoreBatch) {
+        self.collect_active(batch);
+        let n = self.events.len();
+        let multiplexed = self.groups.len() > 1;
+        let observe = multiplexed && aegis_obs::enabled();
+        let mut slice = vec![0.0; n];
+        for lane in 0..self.n_lanes {
+            for (i, s) in slice.iter_mut().enumerate() {
+                let run = self.running_ns[i];
+                *s = if run == 0 {
+                    0.0
+                } else {
+                    let scale = self.enabled_ns as f64 / run as f64;
+                    if observe && lane == 0 {
+                        aegis_obs::histogram_record("perf.multiplex_scale", scale);
+                    }
+                    self.accumulated[lane * n + i] * scale
+                };
+            }
+            self.traces[lane].push_slice(&slice);
+        }
+        self.accumulated.iter_mut().for_each(|v| *v = 0.0);
+        self.running_ns.iter_mut().for_each(|v| *v = 0);
+        self.enabled_ns = 0;
+    }
+
+    /// Stops recording and returns one trace per lane, freeing the
+    /// counter slots.
+    pub fn finish(self, batch: &mut CoreBatch) -> Vec<Trace> {
+        for slot in 0..COUNTER_SLOTS {
+            batch.clear_slot(slot);
+        }
+        self.traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_microarch::{
+        named, ActivityVector, Core, Feature, InterferenceConfig, MicroArch, Origin,
+    };
+
+    fn prepared_core(seed: u64) -> Core {
+        let mut c = Core::new(MicroArch::AmdEpyc7252, seed);
+        c.set_interference(InterferenceConfig::isolated());
+        c
+    }
+
+    fn rate(r: f64) -> ActivityVector {
+        ActivityVector::from_pairs(&[(Feature::UopsRetired, r), (Feature::Cycles, 2.0 * r)])
+    }
+
+    /// Every lane, driven in lockstep with its scalar twin's recorder,
+    /// produces a bit-identical trace — with and without active faults,
+    /// single-group and multiplexed.
+    #[test]
+    fn lanes_bit_match_scalar_recorder() {
+        for plan in [FaultPlan::none(), FaultPlan::smoke()] {
+            for n_events in [1usize, 4, 6] {
+                let core = prepared_core(9);
+                let ids: Vec<EventId> = core
+                    .catalog()
+                    .events()
+                    .iter()
+                    .map(|e| e.id)
+                    .take(n_events)
+                    .collect();
+                let mut batch = CoreBatch::from_core_state(&core, 3);
+                let mut lrec = LaneTraceRecorder::open(
+                    &mut batch,
+                    &ids,
+                    OriginFilter::Any,
+                    1_000_000,
+                    plan,
+                )
+                .unwrap();
+                let mut twins: Vec<(Core, crate::TraceRecorder)> = (0..3)
+                    .map(|_| {
+                        let mut c = core.clone();
+                        let r = crate::TraceRecorder::open_with_faults(
+                            &mut c,
+                            &ids,
+                            OriginFilter::Any,
+                            1_000_000,
+                            plan,
+                        )
+                        .unwrap();
+                        (c, r)
+                    })
+                    .collect();
+                for tick in 0..50u64 {
+                    let r = rate(40.0 + (tick % 7) as f64);
+                    for lane in 0..3 {
+                        batch.run_mix(lane, &r, 100_000, Origin::Host);
+                    }
+                    lrec.on_executed(&mut batch, 100_000);
+                    for (c, rec) in &mut twins {
+                        c.run_mix(&r, 100_000, Origin::Host);
+                        rec.on_executed(c, 100_000);
+                    }
+                }
+                let lane_traces = lrec.finish(&mut batch);
+                for (lane, (mut c, rec)) in twins.into_iter().enumerate() {
+                    let scalar = rec.finish(&mut c);
+                    assert_eq!(
+                        scalar.data, lane_traces[lane].data,
+                        "lane {lane} diverged (events={n_events}, active={})",
+                        plan.is_active()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_errors_match_scalar_semantics() {
+        let core = prepared_core(3);
+        let mut batch = CoreBatch::from_core_state(&core, 2);
+        assert_eq!(
+            LaneTraceRecorder::open(
+                &mut batch,
+                &[],
+                OriginFilter::Any,
+                1_000_000,
+                FaultPlan::none()
+            )
+            .err(),
+            Some(PerfError::NoEvents)
+        );
+        assert_eq!(
+            LaneTraceRecorder::open(
+                &mut batch,
+                &[EventId(u32::MAX)],
+                OriginFilter::Any,
+                1_000_000,
+                FaultPlan::none()
+            )
+            .err(),
+            Some(PerfError::UnknownEvent(EventId(u32::MAX)))
+        );
+        let ev = core.catalog().lookup(named::RETIRED_UOPS).unwrap();
+        let plan = FaultPlan {
+            seed: 1,
+            pmc_program_fail: 1.0,
+            ..FaultPlan::none()
+        };
+        // The persistent-fault open failure is shared by every lane,
+        // exactly as every scalar fork hits it.
+        match LaneTraceRecorder::open(&mut batch, &[ev], OriginFilter::Any, 1_000_000, plan) {
+            Err(PerfError::ProgramFailed { slot: 0, .. }) => {}
+            other => panic!("expected ProgramFailed, got {other:?}"),
+        }
+    }
+}

@@ -11,10 +11,12 @@
 //! and the Application Profiler opens groups of `C = 4` events at a time
 //! to characterize all of them.
 
+mod lanes;
 mod monitor;
 mod recorder;
 mod trace;
 
+pub use lanes::LaneTraceRecorder;
 pub use monitor::{PerfError, PerfMonitor, DEFAULT_QUANTUM_NS};
 pub use recorder::TraceRecorder;
 pub use trace::Trace;

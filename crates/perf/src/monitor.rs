@@ -12,14 +12,14 @@ pub const DEFAULT_QUANTUM_NS: u64 = 4_000_000;
 
 /// Programming attempts per slot before the monitor gives the slot up
 /// for the rotation (initial try + retries).
-const PROGRAM_ATTEMPTS: u32 = 4;
+pub(crate) const PROGRAM_ATTEMPTS: u32 = 4;
 
 /// Simulated cost of the first programming retry; doubles per attempt
 /// (exponential backoff, charged to [`PerfMonitor::retry_lost_ns`]).
-const RETRY_BACKOFF_NS: u64 = 1_000;
+pub(crate) const RETRY_BACKOFF_NS: u64 = 1_000;
 
 /// 48-bit PMC value mask (both testbed CPUs expose 48-bit counters).
-const PMC_MASK: u64 = (1 << 48) - 1;
+pub(crate) const PMC_MASK: u64 = (1 << 48) - 1;
 
 /// Error opening or operating a [`PerfMonitor`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -920,6 +920,314 @@ impl Host {
             .map(|(&c, rec)| rec.finish(&mut self.cores[c]))
             .collect())
     }
+
+    /// The `(vm, vcpu)` currently scheduled on a physical core, if any —
+    /// how the batched measurement plane learns which lane sources feed
+    /// which recorded core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idx` is out of range.
+    pub fn assignment_of(&self, core_idx: usize) -> Option<(VmId, usize)> {
+        self.assignment[core_idx].map(|(vm_idx, vcpu_idx)| (self.vms[vm_idx].id, vcpu_idx))
+    }
+
+    /// Records [`Host::record_trace_multi`] for many independent replicas
+    /// of this host at once — the lane-batched fleet acquisition path.
+    ///
+    /// Each entry of `lanes` describes one replica: the activity sources
+    /// (app plan, obfuscator) that replica would have attached to the
+    /// vCPU scheduled on each recorded core, aligned with `core_idxs`.
+    /// Instead of `fork_detached`-ing a full host per replica, the driver
+    /// snapshots only the recorded cores into [`CoreBatch`] lane groups
+    /// ([`CoreBatch::from_core_state`]) and replays the scheduler tick on
+    /// those lanes alone. This is bit-exact because the tick has **zero
+    /// cross-core coupling**: each core's mix execution, fault draws
+    /// (keyed per core index), guest arithmetic, and watchdog read and
+    /// write only that core's state, so eliding the unrecorded cores of a
+    /// detached fork cannot change what the recorded cores observe. The
+    /// scalar `record_trace_multi`-over-forks path remains the bit-exact
+    /// reference, pinned by proptests in this crate.
+    ///
+    /// Lanes are tiled into cache-sized blocks
+    /// ([`CoreBatch::TILE_LANES`] lanes across the group) and the tick
+    /// body below mirrors [`Host::tick`] line for line — keep the two in
+    /// sync.
+    ///
+    /// Returns one `Vec<Trace>` per lane (ordered as `core_idxs`), all
+    /// covering the identical simulated window. The host itself is not
+    /// advanced — exactly like recording on throwaway forks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PerfError`] from opening any monitor. The fault
+    /// schedule is keyed by core noise bases shared across replicas, so
+    /// an open failure is common to every lane — exactly as every scalar
+    /// fork would hit it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_idxs` contains duplicates or an out-of-range
+    /// index, or if a `lanes` row is not aligned with `core_idxs`.
+    pub fn record_trace_multi_batch(
+        &self,
+        core_idxs: &[usize],
+        mut lanes: Vec<Vec<LaneGuest>>,
+        events: &[EventId],
+        filter: OriginFilter,
+        interval_ns: u64,
+        duration_ns: u64,
+    ) -> Result<Vec<Vec<Trace>>, PerfError> {
+        for (i, &c) in core_idxs.iter().enumerate() {
+            assert!(c < self.cores.len(), "core index {c} out of range");
+            assert!(!core_idxs[..i].contains(&c), "duplicate core index {c}");
+        }
+        for row in &lanes {
+            assert_eq!(row.len(), core_idxs.len(), "lane row not aligned with core_idxs");
+        }
+        if lanes.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Process recorded cores in ascending core order, like the scalar
+        // tick does (lanes are core-independent, so this only matters for
+        // observability ordering); results are emitted in `core_idxs`
+        // order.
+        let mut order: Vec<usize> = (0..core_idxs.len()).collect();
+        order.sort_by_key(|&pos| core_idxs[pos]);
+        let group_width = core_idxs.len();
+        let tile = (aegis_microarch::CoreBatch::TILE_LANES / group_width).max(1);
+        let n_lanes = lanes.len();
+        let mut out: Vec<Vec<Trace>> = Vec::with_capacity(n_lanes);
+        let mut batches: Vec<aegis_microarch::CoreBatch> = core_idxs
+            .iter()
+            .map(|&c| aegis_microarch::CoreBatch::from_core_state(&self.cores[c], 0))
+            .collect();
+        let mut start = 0;
+        while start < n_lanes {
+            let width = tile.min(n_lanes - start);
+            let guests: Vec<Vec<LaneGuest>> = lanes.drain(..width).collect();
+            for (pos, &c) in core_idxs.iter().enumerate() {
+                batches[pos].reset_from_core_state(&self.cores[c], width);
+            }
+            let traces = self.run_lane_tile(core_idxs, &order, &mut batches, guests, events,
+                filter, interval_ns, duration_ns)?;
+            out.extend(traces);
+            start += width;
+        }
+        Ok(out)
+    }
+
+    /// One tile of [`Host::record_trace_multi_batch`]: `batches[pos]`
+    /// holds `guests.len()` lanes snapshot from `core_idxs[pos]`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lane_tile(
+        &self,
+        core_idxs: &[usize],
+        order: &[usize],
+        batches: &mut [aegis_microarch::CoreBatch],
+        mut guests: Vec<Vec<LaneGuest>>,
+        events: &[EventId],
+        filter: OriginFilter,
+        interval_ns: u64,
+        duration_ns: u64,
+    ) -> Result<Vec<Vec<Trace>>, PerfError> {
+        use aegis_perf::LaneTraceRecorder;
+        let width = guests.len();
+        // Recorders open in `core_idxs` order, exactly like the scalar
+        // multi-core open loop (first failure propagates).
+        let mut recs: Vec<Option<LaneTraceRecorder>> = Vec::with_capacity(core_idxs.len());
+        for batch in batches.iter_mut() {
+            recs.push(Some(LaneTraceRecorder::open(
+                batch,
+                events,
+                filter,
+                interval_ns,
+                self.faults,
+            )?));
+        }
+        // Per-(lane, core) supervision/fault state: every replica forks
+        // the host's current per-core state, then diverges independently.
+        let mut lane_fs: Vec<Vec<CoreFaultState>> = (0..width)
+            .map(|_| core_idxs.iter().map(|&c| self.fault_state[c].clone()).collect())
+            .collect();
+        let mut app_done: Vec<Vec<Option<u64>>> = vec![vec![None; core_idxs.len()]; width];
+        let mut clock_ns = self.clock_ns;
+        for _ in 0..duration_ns / TICK_NS {
+            for &pos in order {
+                let core_idx = core_idxs[pos];
+                let batch = &mut batches[pos];
+                let assignment = self.assignment[core_idx];
+                let vm_id = assignment.map(|(vm_idx, _)| self.vms[vm_idx].id);
+                for lane in 0..width {
+                    let fs = &mut lane_fs[lane][pos];
+                    // ---- mirror of Host::tick, one core, one replica ----
+                    batch.run_mix(lane, &self.host_bg, TICK_NS, Origin::Host);
+
+                    let mut cap = self.arch.uops_capacity_per_us();
+                    if let Some(ts) = fs.tick_stream.as_mut() {
+                        if ts.chance(self.faults.tick_jitter) {
+                            cap *= 0.5 + 0.5 * ts.unit();
+                            faults::report("tick", "jitter", &[("core", core_idx as u64)]);
+                        }
+                    }
+                    if let Some(is) = fs.inj_stream.as_mut() {
+                        if !fs.detached && is.chance(self.faults.injector_detach) {
+                            fs.detached = true;
+                            faults::report("injector", "detach", &[("core", core_idx as u64)]);
+                        }
+                        if fs.stall_left == 0
+                            && !fs.detached
+                            && is.chance(self.faults.injector_stall)
+                        {
+                            fs.stall_left = self.faults.stall_ticks.max(1);
+                            faults::report(
+                                "injector",
+                                "stall",
+                                &[
+                                    ("core", core_idx as u64),
+                                    ("ticks", u64::from(self.faults.stall_ticks.max(1))),
+                                ],
+                            );
+                        }
+                    }
+                    let stalled = fs.detached || fs.stall_left > 0;
+                    if fs.stall_left > 0 {
+                        fs.stall_left -= 1;
+                    }
+
+                    if assignment.is_some() {
+                        let vm_id = vm_id.expect("assignment implies a VM");
+                        let guest = &mut guests[lane][pos];
+
+                        let app_rate = guest
+                            .app
+                            .as_mut()
+                            .and_then(|a| a.demand())
+                            .unwrap_or(ActivityVector::ZERO);
+
+                        let inj_rate = guest
+                            .injector
+                            .as_mut()
+                            .map(|inj| {
+                                inj.observe_coscheduled(&app_rate, TICK_NS);
+                                if stalled {
+                                    ActivityVector::ZERO
+                                } else {
+                                    inj.demand().unwrap_or(ActivityVector::ZERO)
+                                }
+                            })
+                            .unwrap_or(ActivityVector::ZERO);
+                        let inj_uops = inj_rate[Feature::UopsRetired].min(cap);
+                        let inj_scale = if inj_rate[Feature::UopsRetired] > cap {
+                            cap / inj_rate[Feature::UopsRetired]
+                        } else {
+                            1.0
+                        };
+                        let inj_exec = inj_rate.scaled(inj_scale);
+                        let app_uops = app_rate[Feature::UopsRetired];
+                        let timeshare = (1.0 - inj_uops / cap).max(0.0);
+                        let remaining = (cap - inj_uops).max(0.0);
+                        let cap_scale = if app_uops > 0.0 && app_uops > remaining {
+                            remaining / app_uops
+                        } else {
+                            1.0
+                        };
+                        let app_scale = timeshare.min(cap_scale);
+                        let app_exec = app_rate.scaled(app_scale);
+
+                        if !inj_exec.is_zero() {
+                            batch.run_mix(lane, &inj_exec, TICK_NS, Origin::Guest(vm_id.0));
+                        }
+                        if !app_exec.is_zero() {
+                            batch.run_mix(lane, &app_exec, TICK_NS, Origin::Guest(vm_id.0));
+                        }
+
+                        // Replica vCPU stats are discarded with the fork;
+                        // the app-done probe still runs because a second
+                        // `demand()` advances stateful sources exactly as
+                        // the scalar tick does.
+                        let granted_inj_ns = if stalled {
+                            0
+                        } else {
+                            (TICK_NS as f64 * inj_scale) as u64
+                        };
+                        if let Some(inj) = guest.injector.as_mut() {
+                            inj.advance(granted_inj_ns);
+                            inj.note_execution(granted_inj_ns);
+                        }
+                        if let Some(app) = guest.app.as_mut() {
+                            app.advance((TICK_NS as f64 * app_scale) as u64);
+                            if app.demand().is_none() && app_done[lane][pos].is_none() {
+                                app_done[lane][pos] = Some(clock_ns + TICK_NS);
+                            }
+                        }
+
+                        if let Some(inj) = guest.injector.as_ref() {
+                            let unhealthy = granted_inj_ns == 0
+                                || inj.protection_status() == ProtectionStatus::Degraded;
+                            if unhealthy {
+                                fs.unhealthy_ticks += 1;
+                                if fs.unhealthy_ticks >= WATCHDOG_TICKS && !fs.fail_closed {
+                                    fs.fail_closed = true;
+                                    batch.set_fail_closed(lane, true);
+                                    aegis_obs::counter_add("host.fail_closed_latches", 1.0);
+                                    aegis_obs::event_with(
+                                        "fault",
+                                        "host.fail_closed",
+                                        &[
+                                            ("core", core_idx.into()),
+                                            ("clock_ns", clock_ns.into()),
+                                        ],
+                                    );
+                                }
+                            } else {
+                                fs.unhealthy_ticks = 0;
+                                if fs.fail_closed {
+                                    fs.fail_closed = false;
+                                    batch.set_fail_closed(lane, false);
+                                    aegis_obs::event_with(
+                                        "fault",
+                                        "host.fail_closed_released",
+                                        &[
+                                            ("core", core_idx.into()),
+                                            ("clock_ns", clock_ns.into()),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // ---- end mirror ----
+                }
+                recs[pos]
+                    .as_mut()
+                    .expect("recorder present until finish")
+                    .on_executed(batch, TICK_NS);
+            }
+            clock_ns += TICK_NS;
+        }
+        let per_core: Vec<Vec<Trace>> = recs
+            .iter_mut()
+            .zip(batches.iter_mut())
+            .map(|(rec, batch)| rec.take().expect("finished once").finish(batch))
+            .collect();
+        Ok((0..width)
+            .map(|lane| per_core.iter().map(|traces| traces[lane].clone()).collect())
+            .collect())
+    }
+}
+
+/// The per-replica activity sources of one recorded core in a
+/// [`Host::record_trace_multi_batch`] call: what that replica would have
+/// attached (via [`Host::attach_app`] / [`Host::attach_injector`]) to the
+/// vCPU scheduled there. Cores without a scheduled vCPU ignore their
+/// entry.
+#[derive(Default)]
+pub struct LaneGuest {
+    /// The protected application's activity source, if any.
+    pub app: Option<Box<dyn ActivitySource>>,
+    /// The obfuscator daemon's activity source, if any.
+    pub injector: Option<Box<dyn ActivitySource>>,
 }
 
 impl fmt::Debug for Host {
@@ -1311,5 +1619,173 @@ mod tests {
             host.attach_app(vm, 17, Box::new(PlanSource::new(WorkloadPlan::new()))),
             Err(HostError::UnknownVcpu(_, 17))
         ));
+    }
+
+    /// Builds the cross-tenant recording shape: attacker pinned on core
+    /// 0 (idle), victim on the sibling core 1, a decoy tenant on the
+    /// unrecorded core 2, with the host warmed a little so lane state is
+    /// replicated mid-stream. Returns the host and the victim/decoy ids.
+    fn fleet_shaped_host(arch: MicroArch, seed: u64, plan: FaultPlan) -> (Host, VmId, VmId) {
+        let mut host = Host::with_faults(arch, 4, seed, plan);
+        let _attacker = host.launch_vm_pinned(&[0], SevMode::SevSnp).unwrap();
+        let victim = host.launch_vm_pinned(&[1], SevMode::SevSnp).unwrap();
+        let decoy = host.launch_vm_pinned(&[2], SevMode::SevSnp).unwrap();
+        for _ in 0..7 {
+            host.tick(|_, _, _| {});
+        }
+        (host, victim, decoy)
+    }
+
+    /// Per-lane scalar reference: fork the host, attach the lane's
+    /// sources (plus decoy sources on the *unrecorded* core, which the
+    /// batched path elides entirely), record the pair.
+    #[allow(clippy::type_complexity)]
+    fn scalar_pair_traces(
+        host: &Host,
+        victim: VmId,
+        decoy: VmId,
+        lane: u64,
+        interval_ns: u64,
+        window_ns: u64,
+    ) -> Result<Vec<Trace>, PerfError> {
+        let events = host.core(0).catalog().attack_events();
+        let mut replica = host.fork_detached();
+        replica
+            .attach_app(
+                victim,
+                0,
+                Box::new(PlanSource::new(steady_plan(200.0 + 13.0 * lane as f64, window_ns))),
+            )
+            .unwrap();
+        replica
+            .attach_injector(
+                victim,
+                0,
+                Box::new(PlanSource::new(forever_plan(40.0 + 7.0 * lane as f64))),
+            )
+            .unwrap();
+        replica
+            .attach_app(
+                decoy,
+                0,
+                Box::new(PlanSource::new(steady_plan(500.0, window_ns))),
+            )
+            .unwrap();
+        replica.record_trace_multi(&[0, 1], &events, OriginFilter::Any, interval_ns, window_ns)
+    }
+
+    fn batched_pair_traces(
+        host: &Host,
+        n_lanes: usize,
+        interval_ns: u64,
+        window_ns: u64,
+    ) -> Result<Vec<Vec<Trace>>, PerfError> {
+        let events = host.core(0).catalog().attack_events();
+        let lanes: Vec<Vec<LaneGuest>> = (0..n_lanes as u64)
+            .map(|lane| {
+                vec![
+                    LaneGuest::default(),
+                    LaneGuest {
+                        app: Some(Box::new(PlanSource::new(steady_plan(
+                            200.0 + 13.0 * lane as f64,
+                            window_ns,
+                        )))),
+                        injector: Some(Box::new(PlanSource::new(forever_plan(
+                            40.0 + 7.0 * lane as f64,
+                        )))),
+                    },
+                ]
+            })
+            .collect();
+        host.record_trace_multi_batch(
+            &[0, 1],
+            lanes,
+            &events,
+            OriginFilter::Any,
+            interval_ns,
+            window_ns,
+        )
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// Tentpole invariant: the lane-batched multi-core recording is
+        /// bit-equal to the scalar fork-per-replica reference on every
+        /// model, at arbitrary lane widths (crossing tile boundaries),
+        /// under both the inert and the smoke fault plan.
+        #[test]
+        fn batched_recording_bit_matches_scalar_forks(
+            arch_ix in 0usize..MicroArch::ALL.len(),
+            seed in 0u64..1 << 40,
+            n_lanes in 1usize..40,
+            smoke_ix in 0usize..2,
+        ) {
+            let smoke = smoke_ix == 1;
+            let plan = if smoke { FaultPlan::smoke() } else { FaultPlan::none() };
+            let (host, victim, decoy) = fleet_shaped_host(MicroArch::ALL[arch_ix], seed, plan);
+            let batched = batched_pair_traces(&host, n_lanes, 1_000_000, 3_000_000).unwrap();
+            proptest::prop_assert_eq!(batched.len(), n_lanes);
+            for (lane, got) in batched.iter().enumerate() {
+                let want = scalar_pair_traces(
+                    &host, victim, decoy, lane as u64, 1_000_000, 3_000_000,
+                ).unwrap();
+                for (pos, (w, g)) in want.iter().zip(got).enumerate() {
+                    proptest::prop_assert_eq!(
+                        &w.data, &g.data,
+                        "lane {} core-pos {} diverged (smoke={})", lane, pos, smoke
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault-latch parity: under a stall-heavy plan the watchdog latches
+    /// (and releases) fail-closed *inside* the recording window; the
+    /// batched per-lane latch must replay the scalar one bit-exactly,
+    /// and the latch must actually fire (traces differ from the inert
+    /// plan's).
+    #[test]
+    fn batched_fail_closed_latch_matches_scalar() {
+        let plan = FaultPlan {
+            seed: 5,
+            injector_stall: 0.2,
+            stall_ticks: 12,
+            ..FaultPlan::none()
+        };
+        let (host, victim, decoy) = fleet_shaped_host(MicroArch::AmdEpyc7252, 41, plan);
+        let n_lanes = 20; // crosses the 16-lane tile for 2-core groups
+        let batched = batched_pair_traces(&host, n_lanes, 1_000_000, 12_000_000).unwrap();
+        for (lane, got) in batched.iter().enumerate() {
+            let want =
+                scalar_pair_traces(&host, victim, decoy, lane as u64, 1_000_000, 12_000_000)
+                    .unwrap();
+            for (w, g) in want.iter().zip(got) {
+                assert_eq!(w.data, g.data, "lane {lane} diverged under stall faults");
+            }
+        }
+        let (inert_host, ..) = fleet_shaped_host(MicroArch::AmdEpyc7252, 41, FaultPlan::none());
+        let inert = batched_pair_traces(&inert_host, 1, 1_000_000, 12_000_000).unwrap();
+        assert_ne!(
+            inert[0][1].data, batched[0][1].data,
+            "the stall plan must actually perturb the victim-core trace"
+        );
+    }
+
+    #[test]
+    fn batched_recording_with_no_lanes_is_empty() {
+        let (host, ..) = fleet_shaped_host(MicroArch::AmdEpyc7252, 1, FaultPlan::none());
+        let events = host.core(0).catalog().attack_events();
+        let out = host
+            .record_trace_multi_batch(
+                &[0, 1],
+                Vec::new(),
+                &events,
+                OriginFilter::Any,
+                1_000_000,
+                2_000_000,
+            )
+            .unwrap();
+        assert!(out.is_empty());
     }
 }

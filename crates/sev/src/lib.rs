@@ -24,6 +24,6 @@ mod policy;
 mod source;
 
 pub use attestation::{verify_attestation, AttestationError, AttestationReport};
-pub use host::{Host, HostError, VcpuStats, VmId, TICK_NS};
+pub use host::{Host, HostError, LaneGuest, VcpuStats, VmId, TICK_NS};
 pub use policy::{SevMode, SevViolation};
 pub use source::{ActivitySource, PlanSource, ProtectionStatus};

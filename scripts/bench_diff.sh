@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Regression gate for the checked-in bench numbers: compares the
+# BENCH_*.json files in the working tree against the committed baseline
+# (`git show HEAD:<file>`) and fails if any comparable throughput or
+# speedup metric regressed by more than the threshold (default 20%).
+#
+#   ./scripts/bench_diff.sh            # compare working tree vs HEAD
+#   BENCH_DIFF_PCT=30 ./scripts/bench_diff.sh
+#
+# Rows are matched by "id". Only ratio/throughput metrics are gated
+# (speedup_vs_scalar, sessions_per_sec, traces_per_sec, tenants_per_sec,
+# hosts_per_sec, accuracy) — raw *_ns medians swing with machine load
+# and are reported informationally only. Rows present on one side only
+# (new or retired families) are listed but never fail the gate, so
+# adding a bench family does not require regenerating every file in the
+# same commit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PCT="${BENCH_DIFF_PCT:-20}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_diff: python3 not available, skipping bench comparison" >&2
+    exit 0
+fi
+
+status=0
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    if ! git cat-file -e "HEAD:$f" 2>/dev/null; then
+        echo "bench_diff: $f has no committed baseline (new file), skipping"
+        continue
+    fi
+    git show "HEAD:$f" >"/tmp/bench_diff_base.$$.json"
+    if ! python3 - "$f" "/tmp/bench_diff_base.$$.json" "$PCT" <<'EOF'
+import json, sys
+
+GATED = (
+    "speedup_vs_scalar", "sessions_per_sec", "traces_per_sec",
+    "tenants_per_sec", "hosts_per_sec", "accuracy",
+)
+
+def rows(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict):
+        doc = doc.get("rows", [])
+    return {r["id"]: r for r in doc if isinstance(r, dict) and "id" in r}
+
+fresh_path, base_path, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+fresh, base = rows(fresh_path), rows(base_path)
+failed = False
+
+for rid in sorted(base):
+    if rid not in fresh:
+        print(f"  {rid}: retired (baseline only)")
+        continue
+    for key in GATED:
+        b, f = base[rid].get(key), fresh[rid].get(key)
+        if not isinstance(b, (int, float)) or not isinstance(f, (int, float)):
+            continue
+        if b <= 0:
+            continue
+        drop = 100.0 * (b - f) / b
+        if drop > pct:
+            print(f"  FAIL {rid}.{key}: {b:.4g} -> {f:.4g} ({drop:.1f}% regression > {pct:.0f}%)")
+            failed = True
+        elif abs(drop) > 1.0:
+            print(f"  ok   {rid}.{key}: {b:.4g} -> {f:.4g} ({-drop:+.1f}%)")
+for rid in sorted(set(fresh) - set(base)):
+    print(f"  new  {rid}")
+
+sys.exit(1 if failed else 0)
+EOF
+    then
+        echo "bench_diff: $f regressed beyond ${PCT}%" >&2
+        status=1
+    else
+        echo "bench_diff: $f within ${PCT}% of HEAD baseline"
+    fi
+    rm -f "/tmp/bench_diff_base.$$.json"
+done
+
+exit $status

@@ -65,4 +65,12 @@ echo "== bench smoke (AEGIS_BENCH_SMOKE=1) =="
 # --benches runs all of it.
 AEGIS_BENCH_SMOKE=1 cargo bench -p aegis-suite --benches
 
+echo "== bench baseline diff =="
+# The smoke pass above never rewrites BENCH_*.json, so this compares
+# whatever numbers the working tree carries (freshly regenerated or
+# untouched) against the committed baselines and fails on any gated
+# throughput/speedup metric regressing more than 20%. Raw *_ns medians
+# are informational only; see scripts/bench_diff.sh.
+./scripts/bench_diff.sh
+
 echo "check.sh: all green"

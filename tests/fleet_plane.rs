@@ -14,7 +14,7 @@ use aegis::microarch::{named, MicroArch, OriginFilter};
 use aegis::par::{set_threads, ArtifactCache};
 use aegis::profiler::{RankConfig, WarmupConfig};
 use aegis::sev::{Host, SevMode};
-use aegis::workloads::KeystrokeApp;
+use aegis::workloads::{KeystrokeApp, SecretApp};
 use aegis::{
     fleet_sweep, storm_schedule, AegisConfig, AegisPipeline, DefensePlan, FaultPlan, FleetConfig,
     FleetReport, FleetSupervisor, FleetSweepConfig, FleetTopology, HostState, MechanismChoice,
@@ -302,6 +302,73 @@ fn crashed_host_reads_zero_and_unaffected_hosts_match_the_clean_twin() {
             "untouched host {h} diverged from the clean twin"
         );
     }
+}
+
+/// The lane-batched measurement hook is bit-identical to recording on
+/// detached forks of the shard: source-less lanes all reproduce the
+/// fork's trace, and a lane with its own app plan diverges from it.
+#[test]
+fn batched_host_recording_matches_detached_fork_replicas() {
+    use aegis::sev::{LaneGuest, PlanSource};
+    let topo = FleetTopology {
+        hosts: 2,
+        sockets_per_host: 1,
+        pairs_per_socket: 2,
+    };
+    let mut fleet = FleetSupervisor::deploy(
+        fleet_config(topo, PlacementPolicy::Packed, 2, FaultPlan::none(), 9),
+        shared_plan(),
+        &app(),
+    )
+    .unwrap();
+    fleet.run(2_000_000);
+    let ev = fleet
+        .host(0)
+        .core(0)
+        .catalog()
+        .lookup(named::RETIRED_UOPS)
+        .unwrap();
+    let cores = [0usize, 1];
+    let record_args = (1_000_000u64, 10_000_000u64);
+
+    let mut fork = fleet.host(0).fork_detached();
+    let scalar = fork
+        .record_trace_multi(&cores, &[ev], OriginFilter::Any, record_args.0, record_args.1)
+        .unwrap();
+
+    let lanes: Vec<Vec<LaneGuest>> = (0..5)
+        .map(|_| vec![LaneGuest::default(), LaneGuest::default()])
+        .collect();
+    let batched = fleet
+        .record_host_trace_batch(0, &cores, lanes, &[ev], OriginFilter::Any, record_args.0, record_args.1)
+        .unwrap();
+    assert_eq!(batched.len(), 5);
+    for lane in &batched {
+        assert_eq!(lane, &scalar, "a source-less lane diverged from its fork twin");
+    }
+
+    // A lane carrying its own app plan must see that plan's activity.
+    let (vm, vcpu) = fleet.host(0).assignment_of(0).expect("tenant core is assigned");
+    let mut fork = fleet.host(0).fork_detached();
+    use rand::SeedableRng;
+    let plan = app().sample_plan(0, &mut rand::rngs::StdRng::seed_from_u64(33));
+    fork.attach_app(vm, vcpu, Box::new(PlanSource::new(plan.clone())))
+        .unwrap();
+    let loaded_scalar = fork
+        .record_trace_multi(&cores, &[ev], OriginFilter::Any, record_args.0, record_args.1)
+        .unwrap();
+    let loaded_lane = vec![vec![
+        LaneGuest {
+            app: Some(Box::new(PlanSource::new(plan))),
+            injector: None,
+        },
+        LaneGuest::default(),
+    ]];
+    let loaded = fleet
+        .record_host_trace_batch(0, &cores, loaded_lane, &[ev], OriginFilter::Any, record_args.0, record_args.1)
+        .unwrap();
+    assert_eq!(loaded[0], loaded_scalar, "a loaded lane diverged from its fork twin");
+    assert_ne!(loaded[0], scalar, "the attached plan must show up in the counters");
 }
 
 // ── Family 2: the ε ledger across hosts ─────────────────────────────────
